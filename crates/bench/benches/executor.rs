@@ -1,0 +1,52 @@
+//! Microbenchmarks for the execution substrate: join algorithms and
+//! aggregation at a larger scale factor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ruletest_executor::execute;
+use ruletest_expr::{AggCall, AggFunc, Expr};
+use ruletest_logical::{IdGen, JoinKind, LogicalTree};
+use ruletest_optimizer::{Optimizer, OptimizerConfig};
+use ruletest_storage::{tpch_database, TpchConfig};
+use std::sync::Arc;
+
+fn bench_executor(c: &mut Criterion) {
+    // Scale factor 4: ~1200 lineitem rows.
+    let db = Arc::new(tpch_database(&TpchConfig::scaled(7, 4)).unwrap());
+    let opt = Optimizer::new(db.clone());
+    let cat = &db.catalog;
+
+    let join_query = || {
+        let mut ids = IdGen::new();
+        let l = LogicalTree::get(cat.table_by_name("lineitem").unwrap(), &mut ids);
+        let o = LogicalTree::get(cat.table_by_name("orders").unwrap(), &mut ids);
+        let pred = Expr::eq(Expr::col(l.output_col(0)), Expr::col(o.output_col(0)));
+        let join = LogicalTree::join(JoinKind::Inner, l, o, pred);
+        let out = ids.fresh();
+        LogicalTree::gbagg(join, vec![], vec![AggCall::new(AggFunc::CountStar, None, out)])
+    };
+
+    let q = join_query();
+    let hash_plan = opt.optimize(&q).unwrap().plan;
+    let nl_plan = opt
+        .optimize_with(
+            &q,
+            &OptimizerConfig::disabling(&[
+                opt.rule_id("JoinToHashJoin").unwrap(),
+                opt.rule_id("InnerJoinToMergeJoin").unwrap(),
+            ]),
+        )
+        .unwrap()
+        .plan;
+
+    let mut group = c.benchmark_group("executor");
+    group.bench_function("join/best-plan", |b| {
+        b.iter(|| execute(&db, &hash_plan).unwrap().len())
+    });
+    group.bench_function("join/nl-only-plan", |b| {
+        b.iter(|| execute(&db, &nl_plan).unwrap().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Microbenchmarks for the optimizer substrate: full optimization of
+//! representative query shapes, with and without rule masks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ruletest_expr::{AggCall, AggFunc, Expr};
+use ruletest_logical::{IdGen, JoinKind, LogicalTree};
+use ruletest_optimizer::{Optimizer, OptimizerConfig};
+use ruletest_storage::{tpch_database, TpchConfig};
+use std::sync::Arc;
+
+fn star_query(opt: &Optimizer, joins: usize) -> LogicalTree {
+    let cat = &opt.database().catalog;
+    let mut ids = IdGen::new();
+    let tables = ["lineitem", "orders", "part", "supplier", "customer"];
+    let mut tree = LogicalTree::get(cat.table_by_name("lineitem").unwrap(), &mut ids);
+    let mut left_key = tree.output_col(0);
+    for t in tables.iter().skip(1).take(joins) {
+        let right = LogicalTree::get(cat.table_by_name(t).unwrap(), &mut ids);
+        let rk = right.output_col(0);
+        tree = LogicalTree::join(
+            JoinKind::Inner,
+            tree,
+            right,
+            Expr::eq(Expr::col(left_key), Expr::col(rk)),
+        );
+        left_key = rk;
+    }
+    let agg = ids.fresh();
+    LogicalTree::gbagg(
+        tree,
+        vec![],
+        vec![AggCall::new(AggFunc::CountStar, None, agg)],
+    )
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let db = Arc::new(tpch_database(&TpchConfig::default()).unwrap());
+    let opt = Optimizer::new(db);
+    let mut group = c.benchmark_group("optimizer");
+    for joins in [1usize, 2, 3] {
+        let q = star_query(&opt, joins);
+        group.bench_function(format!("optimize/{joins}-join"), |b| {
+            b.iter(|| opt.optimize(&q).unwrap().cost)
+        });
+    }
+    let q = star_query(&opt, 2);
+    let masked = OptimizerConfig::disabling(&[opt.rule_id("JoinToHashJoin").unwrap()]);
+    group.bench_function("optimize/2-join-masked", |b| {
+        b.iter(|| opt.optimize_with(&q, &masked).unwrap().cost)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Regenerates every figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--quick] [--seed N] [--out DIR] [fig8|fig9|fig10|fig11|fig12|fig13|fig14|all]
+//! ```
+
+use ruletest_bench::figures::{self, ReproConfig};
+use ruletest_bench::FigureTable;
+use std::time::Instant;
+
+fn main() {
+    let mut cfg = ReproConfig::default();
+    let mut which: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => cfg.quick = true,
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--out" => {
+                cfg.out_dir = args.next().expect("--out needs a path").into();
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+    let all = which.iter().any(|w| w == "all");
+    let wants = |f: &str| all || which.iter().any(|w| w == f);
+
+    println!(
+        "ruletest figure reproduction (seed={:#x}, {} mode)\n",
+        cfg.seed,
+        if cfg.quick { "quick" } else { "full" }
+    );
+
+    let emit = |t: &FigureTable, file: &str| {
+        println!("{}", t.render());
+        let path = cfg.out_dir.join(file);
+        if let Err(e) = t.write_csv(&path) {
+            eprintln!("(csv write to {} failed: {e})", path.display());
+        } else {
+            println!("  [csv -> {}]\n", path.display());
+        }
+    };
+
+    let t0 = Instant::now();
+    if wants("fig8") {
+        emit(&figures::fig8(&cfg), "fig8.csv");
+    }
+    if wants("fig9") || wants("fig10") {
+        let (f9, f10) = figures::fig9_and_10(&cfg);
+        if wants("fig9") {
+            emit(&f9, "fig9.csv");
+        }
+        if wants("fig10") {
+            emit(&f10, "fig10.csv");
+            println!("  {}\n", figures::fig10_note());
+        }
+    }
+    if wants("fig11") {
+        emit(&figures::fig11(&cfg), "fig11.csv");
+    }
+    if wants("fig12") {
+        emit(&figures::fig12(&cfg), "fig12.csv");
+    }
+    if wants("fig13") {
+        emit(&figures::fig13(&cfg), "fig13.csv");
+    }
+    if wants("fig14") {
+        emit(&figures::fig14(&cfg), "fig14.csv");
+    }
+    println!("total: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,171 @@
+//! Figures 8–10: RANDOM vs PATTERN query generation efficiency.
+
+use super::ReproConfig;
+use crate::table::FigureTable;
+use ruletest_core::{GenConfig, Strategy};
+use std::time::Duration;
+
+/// Trial caps. Exhausted searches report the cap (a lower bound on the
+/// true trial count, as in any capped experiment).
+const PATTERN_CAP: usize = 60;
+const RANDOM_CAP_SINGLE: usize = 2_000;
+const RANDOM_CAP_PAIR: usize = 250;
+
+/// Figure 8: number of trials to generate a query for each **singleton
+/// rule**, RANDOM vs PATTERN (paper: PATTERN needs 1–4 trials, RANDOM up
+/// to ~40; totals 234 vs 38 over 30 rules).
+pub fn fig8(cfg: &ReproConfig) -> FigureTable {
+    let fw = cfg.framework();
+    let rules: Vec<_> = fw
+        .optimizer
+        .exploration_rule_ids()
+        .into_iter()
+        .take(30)
+        .collect();
+    let mut t = FigureTable::new(
+        "Figure 8: Random vs. Pattern based generation for singleton rules (trials)",
+        &["rule", "RANDOM", "PATTERN"],
+    );
+    let (mut tot_r, mut tot_p) = (0usize, 0usize);
+    let mut exhausted_r = 0usize;
+    for (i, rid) in rules.iter().enumerate() {
+        let name = fw.optimizer.rule(*rid).name;
+        let rnd = fw.find_query_for_rule(
+            *rid,
+            Strategy::Random,
+            &GenConfig {
+                seed: cfg.seed.wrapping_add(i as u64),
+                max_trials: RANDOM_CAP_SINGLE,
+                ..Default::default()
+            },
+        );
+        let pat = fw.find_query_for_rule(
+            *rid,
+            Strategy::Pattern,
+            &GenConfig {
+                seed: cfg.seed.wrapping_add(1000 + i as u64),
+                max_trials: PATTERN_CAP,
+                ..Default::default()
+            },
+        );
+        let r_trials = match &rnd {
+            Ok(o) => o.trials,
+            Err(_) => {
+                exhausted_r += 1;
+                RANDOM_CAP_SINGLE
+            }
+        };
+        let p_trials = match &pat {
+            Ok(o) => o.trials,
+            Err(_) => PATTERN_CAP,
+        };
+        tot_r += r_trials;
+        tot_p += p_trials;
+        t.row(vec![
+            name.to_string(),
+            format!("{r_trials}{}", if rnd.is_err() { "+" } else { "" }),
+            format!("{p_trials}{}", if pat.is_err() { "+" } else { "" }),
+        ]);
+    }
+    t.note(format!(
+        "totals over {} rules: RANDOM = {tot_r} trials ({exhausted_r} capped), PATTERN = {tot_p} trials (paper: 234 vs 38)",
+        rules.len()
+    ));
+    t.note(format!(
+        "shape check (PATTERN total < RANDOM total): {}",
+        if tot_p < tot_r { "PASS" } else { "FAIL" }
+    ));
+    t
+}
+
+/// Figures 9 and 10: trials and time for **rule pairs** at n rules
+/// (paper: n=15 gives 1187 vs 383 trials; n=30 gives >13000 vs <1000;
+/// Figure 10 shows the same gap in generation time).
+pub fn fig9_and_10(cfg: &ReproConfig) -> (FigureTable, FigureTable) {
+    let fw = cfg.framework();
+    let ns: &[usize] = if cfg.quick { &[8, 15] } else { &[15, 30] };
+    let mut trials_t = FigureTable::new(
+        "Figure 9: Random vs. Pattern based generation for rule pairs (total trials, log-scale in the paper)",
+        &["n (rules)", "pairs", "RANDOM trials", "RANDOM capped", "PATTERN trials", "PATTERN capped", "max RANDOM", "max PATTERN"],
+    );
+    let mut time_t = FigureTable::new(
+        "Figure 10: Random vs. Pattern based generation for rule pairs (total generation time)",
+        &["n (rules)", "pairs", "RANDOM time (s)", "PATTERN time (s)"],
+    );
+    for &n in ns {
+        let rules: Vec<_> = fw
+            .optimizer
+            .exploration_rule_ids()
+            .into_iter()
+            .take(n)
+            .collect();
+        let mut pairs = Vec::new();
+        for i in 0..rules.len() {
+            for j in (i + 1)..rules.len() {
+                pairs.push((rules[i], rules[j]));
+            }
+        }
+        let mut tot = [0usize; 2];
+        let mut capped = [0usize; 2];
+        let mut max_trials = [0usize; 2];
+        let mut time = [Duration::ZERO; 2];
+        for (pi, pair) in pairs.iter().enumerate() {
+            for (si, strategy) in [Strategy::Random, Strategy::Pattern].into_iter().enumerate() {
+                let cap = if strategy == Strategy::Random {
+                    RANDOM_CAP_PAIR
+                } else {
+                    PATTERN_CAP
+                };
+                let gen_cfg = GenConfig {
+                    seed: cfg
+                        .seed
+                        .wrapping_add((n as u64) << 40)
+                        .wrapping_add((pi as u64) << 8)
+                        .wrapping_add(si as u64),
+                    max_trials: cap,
+                    target_ops: 7,
+                    ..Default::default()
+                };
+                let started = std::time::Instant::now();
+                let res = fw.find_query_for_pair(*pair, strategy, &gen_cfg);
+                time[si] += started.elapsed();
+                let trials = match res {
+                    Ok(o) => o.trials,
+                    Err(_) => {
+                        capped[si] += 1;
+                        cap
+                    }
+                };
+                tot[si] += trials;
+                max_trials[si] = max_trials[si].max(trials);
+            }
+        }
+        trials_t.row(vec![
+            n.to_string(),
+            pairs.len().to_string(),
+            tot[0].to_string(),
+            capped[0].to_string(),
+            tot[1].to_string(),
+            capped[1].to_string(),
+            max_trials[0].to_string(),
+            max_trials[1].to_string(),
+        ]);
+        time_t.row(vec![
+            n.to_string(),
+            pairs.len().to_string(),
+            format!("{:.2}", time[0].as_secs_f64()),
+            format!("{:.2}", time[1].as_secs_f64()),
+        ]);
+        trials_t.note(format!(
+            "n={n} shape check (PATTERN << RANDOM): {}",
+            if tot[1] * 2 < tot[0] { "PASS" } else { "FAIL" }
+        ));
+    }
+    trials_t.note("paper: n=15 -> 1187 (RANDOM) vs 383 (PATTERN); n=30 -> >13000 vs <1000");
+    (trials_t, time_t)
+}
+
+/// The paper's Figure 10 commentary.
+pub fn fig10_note() -> &'static str {
+    "Figure 10 uses the same runs as Figure 9, measured as wall-clock time."
+}

@@ -1,0 +1,65 @@
+//! Figure-by-figure reproduction of the paper's evaluation (§6).
+
+pub mod compression;
+pub mod coverage;
+pub mod monotonic;
+
+use ruletest_core::{Framework, FrameworkConfig};
+use ruletest_storage::TpchConfig;
+use std::path::PathBuf;
+
+pub use compression::{fig11, fig12, fig13};
+pub use coverage::{fig10_note, fig8, fig9_and_10};
+pub use monotonic::fig14;
+
+/// Harness configuration shared by all figures.
+#[derive(Debug, Clone)]
+pub struct ReproConfig {
+    pub seed: u64,
+    /// Quick mode shrinks the parameter sweeps (for CI); full mode matches
+    /// the paper's sweep shapes.
+    pub quick: bool,
+    /// Directory for CSV output.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ReproConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xF1_60_5E,
+            quick: false,
+            out_dir: PathBuf::from("repro_out"),
+        }
+    }
+}
+
+impl ReproConfig {
+    /// A fresh framework over the standard test database.
+    pub fn framework(&self) -> Framework {
+        Framework::new(&FrameworkConfig::default()).expect("framework construction")
+    }
+
+    /// A framework over a scaled-up database. The compression figures
+    /// (11–13) compare optimizer-*estimated* suite costs: at larger scale
+    /// the spread between `Cost(q)` and `Cost(q, ¬R)` widens dramatically
+    /// (e.g. a filter stuck above a join on a large table), which is the
+    /// regime the paper's SMC-vs-TOPK contrast lives in. Nothing is
+    /// executed in these figures, so scale is cheap.
+    pub fn framework_scaled(&self, factor: usize) -> Framework {
+        let cfg = FrameworkConfig {
+            db: TpchConfig::scaled(0xC0FFEE, factor),
+        };
+        Framework::new(&cfg).expect("framework construction")
+    }
+}
+
+/// Formats a f64 cost compactly.
+pub(crate) fn fmt_cost(c: f64) -> String {
+    if c >= 1e6 {
+        format!("{:.3}M", c / 1e6)
+    } else if c >= 1e3 {
+        format!("{:.1}k", c / 1e3)
+    } else {
+        format!("{c:.1}")
+    }
+}

@@ -1,0 +1,13 @@
+//! Benchmark harness: regenerates every figure of the paper's evaluation
+//! (§6, Figures 8–14) on the Rust substrate.
+//!
+//! Absolute numbers differ from the paper (their substrate was Microsoft
+//! SQL Server on a 2009 testbed; ours is the sibling crates' optimizer and
+//! executor), but the *shapes* — who wins, by roughly what factor, and
+//! where methods degrade — are the reproduction target. EXPERIMENTS.md
+//! records paper-vs-measured values for each figure.
+
+pub mod figures;
+pub mod table;
+
+pub use table::FigureTable;

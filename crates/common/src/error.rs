@@ -1,0 +1,91 @@
+//! Error handling shared across the workspace.
+
+use std::fmt;
+
+/// Workspace-wide error type.
+///
+/// Variants are coarse-grained on purpose: the framework is a testing tool,
+/// so errors carry a human-readable message plus enough classification for
+/// callers that need to branch (e.g. the generator retries on `Unsupported`,
+/// but propagates `Internal`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A malformed logical tree, expression, or plan (type error, unknown
+    /// column, arity mismatch, ...).
+    Invalid(String),
+    /// Referencing a catalog object that does not exist.
+    NotFound(String),
+    /// A feature intentionally outside the supported dialect/operator set.
+    Unsupported(String),
+    /// SQL text that failed to tokenize or parse.
+    Parse(String),
+    /// An invariant violation inside the framework itself — always a bug.
+    Internal(String),
+}
+
+impl Error {
+    /// Shorthand constructor for [`Error::Invalid`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::Invalid(msg.into())
+    }
+
+    /// Shorthand constructor for [`Error::NotFound`].
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        Error::NotFound(msg.into())
+    }
+
+    /// Shorthand constructor for [`Error::Unsupported`].
+    pub fn unsupported(msg: impl Into<String>) -> Self {
+        Error::Unsupported(msg.into())
+    }
+
+    /// Shorthand constructor for [`Error::Parse`].
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse(msg.into())
+    }
+
+    /// Shorthand constructor for [`Error::Internal`].
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Invalid(m) => write!(f, "invalid: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_classification_and_message() {
+        assert_eq!(Error::invalid("bad tree").to_string(), "invalid: bad tree");
+        assert_eq!(Error::not_found("t9").to_string(), "not found: t9");
+        assert_eq!(
+            Error::unsupported("window functions").to_string(),
+            "unsupported: window functions"
+        );
+        assert_eq!(Error::parse("eof").to_string(), "parse error: eof");
+        assert_eq!(Error::internal("memo").to_string(), "internal error: memo");
+    }
+
+    #[test]
+    fn errors_are_comparable_for_test_assertions() {
+        assert_eq!(Error::invalid("x"), Error::Invalid("x".to_string()));
+        assert_ne!(Error::invalid("x"), Error::parse("x"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Shared primitives for the `ruletest` workspace.
+//!
+//! This crate deliberately has no dependencies: it defines the data model
+//! (SQL values and rows), deterministic randomness, identifier newtypes,
+//! error types, and multiset-based result comparison that every other crate
+//! builds on.
+
+pub mod error;
+pub mod ids;
+pub mod multiset;
+pub mod rng;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ids::{ColId, RuleId, TableId};
+pub use multiset::{diff_multisets, multisets_equal, ResultDiff};
+pub use rng::Rng;
+pub use value::{DataType, Row, Value};

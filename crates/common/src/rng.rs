@@ -1,0 +1,193 @@
+//! Deterministic random number generation.
+//!
+//! Every source of randomness in the workspace flows through [`Rng`], a
+//! splitmix64/xorshift-based generator seeded explicitly. This keeps figure
+//! regeneration reproducible run-to-run and machine-to-machine, which the
+//! paper's trial-count comparisons (Figures 8–10) depend on.
+
+/// A small, fast, deterministic PRNG (xorshift64* seeded via splitmix64).
+///
+/// Not cryptographic; statistical quality is ample for workload generation.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from an explicit seed. A zero seed is remapped to
+    /// a fixed non-zero constant (xorshift has a zero fixpoint).
+    pub fn new(seed: u64) -> Self {
+        // splitmix64 scramble so that adjacent seeds give unrelated streams.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self {
+            state: if z == 0 { 0x1234_5678_9ABC_DEF0 } else { z },
+        }
+    }
+
+    /// Forks an independent stream; the fork is a deterministic function of
+    /// the current state and `salt`.
+    pub fn fork(&mut self, salt: u64) -> Rng {
+        Rng::new(self.next_u64() ^ salt.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform integer in `[0, bound)`. Panics if `bound == 0`.
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below(0)");
+        // Multiply-shift rejection-free mapping; bias is negligible for the
+        // small bounds used here (< 2^32), and determinism matters more.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive. Panics if `lo > hi`.
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "gen_range_i64: {lo} > {hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        let off = ((self.next_u64() as u128).wrapping_mul(span) >> 64) as i128;
+        (lo as i128 + off) as i64
+    }
+
+    /// Uniform usize in `[0, bound)`.
+    pub fn gen_index(&mut self, bound: usize) -> usize {
+        self.gen_below(bound as u64) as usize
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to [0,1]).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.gen_index(items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Samples `n` distinct indices from `[0, bound)` (n <= bound),
+    /// returned in random order.
+    pub fn sample_indices(&mut self, bound: usize, n: usize) -> Vec<usize> {
+        assert!(n <= bound, "sample_indices: n > bound");
+        let mut all: Vec<usize> = (0..bound).collect();
+        self.shuffle(&mut all);
+        all.truncate(n);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Rng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn gen_below_respects_bound() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            assert!(r.gen_below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_endpoints() {
+        let mut r = Rng::new(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.gen_range_i64(-3, 3);
+            assert!((-3..=3).contains(&v));
+            seen_lo |= v == -3;
+            seen_hi |= v == 3;
+        }
+        assert!(seen_lo && seen_hi, "range endpoints should be reachable");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Rng::new(11);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::new(5);
+        let mut v: Vec<u32> = (0..20).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = Rng::new(6);
+        let s = r.sample_indices(10, 6);
+        assert_eq!(s.len(), 6);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut base = Rng::new(3);
+        let mut f1 = base.fork(1);
+        let mut f2 = base.fork(1);
+        // Forks taken at different points differ even with the same salt.
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn pick_returns_member() {
+        let mut r = Rng::new(8);
+        let items = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(items.contains(r.pick(&items)));
+        }
+    }
+}

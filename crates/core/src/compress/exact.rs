@@ -1,0 +1,195 @@
+//! Exact branch-and-bound solver for small compression instances.
+//!
+//! The problem is NP-Hard (Appendix A), so this is exponential — it exists
+//! to measure the *empirical* approximation quality of SMC and TOPK against
+//! the true optimum on instances small enough to enumerate.
+
+use super::{Instance, Solution};
+use std::collections::BTreeSet;
+
+/// Size guard: estimated search-tree size beyond which we refuse.
+const MAX_NODES: f64 = 5_000_000.0;
+
+fn combinations(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let mut c = 1.0f64;
+    for i in 0..k {
+        c = c * (n - i) as f64 / (i + 1) as f64;
+    }
+    c
+}
+
+/// Finds the optimal solution by enumeration with cost-based pruning, or
+/// `None` when the instance is too large (or infeasible).
+pub fn exact(inst: &Instance) -> Option<Solution> {
+    let mut size = 1.0f64;
+    for adj in &inst.adjacency {
+        size *= combinations(adj.len(), inst.k).max(1.0);
+        if size > MAX_NODES {
+            return None;
+        }
+    }
+    let mut best: Option<(f64, Vec<Vec<usize>>)> = None;
+    let mut partial: Vec<Vec<usize>> = Vec::new();
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    search(inst, 0, 0.0, &mut partial, &mut used, &mut best);
+    best.map(|(_, assignment)| Solution { assignment })
+}
+
+fn search(
+    inst: &Instance,
+    t: usize,
+    cost_so_far: f64,
+    partial: &mut Vec<Vec<usize>>,
+    used: &mut BTreeSet<usize>,
+    best: &mut Option<(f64, Vec<Vec<usize>>)>,
+) {
+    if let Some((b, _)) = best {
+        if cost_so_far >= *b {
+            return; // prune
+        }
+    }
+    if t == inst.num_targets() {
+        match best {
+            Some((b, _)) if cost_so_far >= *b => {}
+            _ => *best = Some((cost_so_far, partial.clone())),
+        }
+        return;
+    }
+    // Enumerate k-subsets of adjacency[t].
+    let adj = &inst.adjacency[t];
+    if adj.len() < inst.k {
+        return; // infeasible branch
+    }
+    let mut subset: Vec<usize> = Vec::with_capacity(inst.k);
+    enumerate_subsets(inst, t, adj, 0, &mut subset, cost_so_far, partial, used, best);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_subsets(
+    inst: &Instance,
+    t: usize,
+    adj: &[usize],
+    start: usize,
+    subset: &mut Vec<usize>,
+    cost_so_far: f64,
+    partial: &mut Vec<Vec<usize>>,
+    used: &mut BTreeSet<usize>,
+    best: &mut Option<(f64, Vec<Vec<usize>>)>,
+) {
+    if subset.len() == inst.k {
+        // Cost delta of this subset: edges plus node costs of newly used
+        // queries.
+        let mut delta = 0.0;
+        let mut newly: Vec<usize> = Vec::new();
+        for &q in subset.iter() {
+            delta += inst.edge(t, q);
+            if !used.contains(&q) && !newly.contains(&q) {
+                delta += inst.node_cost[q];
+                newly.push(q);
+            }
+        }
+        if !delta.is_finite() {
+            return;
+        }
+        for &q in &newly {
+            used.insert(q);
+        }
+        partial.push(subset.clone());
+        search(inst, t + 1, cost_so_far + delta, partial, used, best);
+        partial.pop();
+        for &q in &newly {
+            used.remove(&q);
+        }
+        return;
+    }
+    let need = inst.k - subset.len();
+    if adj.len() - start < need {
+        return;
+    }
+    for i in start..adj.len() {
+        subset.push(adj[i]);
+        enumerate_subsets(inst, t, adj, i + 1, subset, cost_so_far, partial, used, best);
+        subset.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{example_1, smc, topk};
+    use std::collections::HashMap;
+
+    #[test]
+    fn exact_matches_the_papers_optimum_on_example_1() {
+        let inst = example_1();
+        let sol = exact(&inst).unwrap();
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.total_cost(&inst), 340.0);
+    }
+
+    #[test]
+    fn heuristics_never_beat_exact() {
+        let inst = example_1();
+        let opt = exact(&inst).unwrap().total_cost(&inst);
+        assert!(smc(&inst).unwrap().total_cost(&inst) >= opt);
+        assert!(topk(&inst).unwrap().total_cost(&inst) >= opt);
+    }
+
+    #[test]
+    fn topk_respects_its_factor_two_bound_vs_exact() {
+        // A slightly larger instance with sharing opportunities.
+        let inst = Instance {
+            k: 2,
+            node_cost: vec![10.0, 20.0, 15.0, 12.0, 30.0],
+            adjacency: vec![vec![0, 1, 2, 4], vec![1, 2, 3, 4], vec![0, 2, 3, 4]],
+            edge_cost: HashMap::from([
+                ((0, 0), 15.0),
+                ((0, 1), 25.0),
+                ((0, 2), 21.0),
+                ((0, 4), 33.0),
+                ((1, 1), 22.0),
+                ((1, 2), 18.0),
+                ((1, 3), 14.0),
+                ((1, 4), 31.0),
+                ((2, 0), 13.0),
+                ((2, 2), 19.0),
+                ((2, 3), 16.0),
+                ((2, 4), 36.0),
+            ]),
+            generated_for: vec![0, 0, 1, 1, 2],
+        };
+        let opt = exact(&inst).unwrap().total_cost(&inst);
+        let tk = topk(&inst).unwrap().total_cost(&inst);
+        assert!(tk >= opt - 1e-9);
+        assert!(tk <= 2.0 * opt + 1e-9, "topk {tk} vs 2·opt {}", 2.0 * opt);
+    }
+
+    #[test]
+    fn oversized_instances_return_none() {
+        // 40 targets each with 40 coverers at k=8 explodes combinatorially.
+        let adj: Vec<usize> = (0..40).collect();
+        let inst = Instance {
+            k: 8,
+            node_cost: vec![1.0; 40],
+            adjacency: vec![adj; 40],
+            edge_cost: HashMap::new(),
+            generated_for: (0..40).map(|i| i % 40).collect(),
+        };
+        assert!(exact(&inst).is_none());
+    }
+
+    #[test]
+    fn infeasible_instance_returns_none() {
+        let inst = Instance {
+            k: 2,
+            node_cost: vec![1.0],
+            adjacency: vec![vec![0]],
+            edge_cost: HashMap::from([((0, 0), 1.0)]),
+            generated_for: vec![0],
+        };
+        assert!(exact(&inst).is_none());
+    }
+}

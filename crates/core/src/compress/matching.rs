@@ -1,0 +1,218 @@
+//! The §7 no-sharing variant of test-suite compression.
+//!
+//! "A stronger invariant is one that still preserves all the distinct
+//! queries in the original test suite (i.e. there is no sharing of queries
+//! across rules)... the problem then is to find the least-cost mapping of
+//! queries to rules such that each query in the original test suite is
+//! mapped to exactly one rule. We can show that this problem reduces to
+//! bipartite matching and thus can be solved efficiently."
+//!
+//! Each target contributes `k` slots; every query is assigned to exactly
+//! one slot; the assignment cost is `Cost(q) + Cost(q, ¬target)`. Solved
+//! exactly with the Hungarian algorithm (potentials formulation, O(n³)).
+
+use super::{Instance, Solution};
+use ruletest_common::{Error, Result};
+
+const INF: f64 = 1e18;
+
+/// Solves the no-sharing variant exactly. Requires exactly `k` queries per
+/// target in total (the shape `generate_suite` produces).
+pub fn matching(inst: &Instance) -> Result<Solution> {
+    let slots = inst.num_targets() * inst.k;
+    let nq = inst.num_queries();
+    if slots != nq {
+        return Err(Error::invalid(format!(
+            "no-sharing variant needs |queries| == k·|targets| ({nq} vs {slots})"
+        )));
+    }
+    // cost[slot][query]; slot s belongs to target s / k.
+    let cost: Vec<Vec<f64>> = (0..slots)
+        .map(|s| {
+            let t = s / inst.k;
+            (0..nq)
+                .map(|q| {
+                    let e = inst.edge(t, q);
+                    if e.is_finite() {
+                        inst.node_cost[q] + e
+                    } else {
+                        INF
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let assignment = hungarian(&cost)?;
+    let mut per_target = vec![Vec::new(); inst.num_targets()];
+    for (s, q) in assignment.into_iter().enumerate() {
+        per_target[s / inst.k].push(q);
+    }
+    let sol = Solution {
+        assignment: per_target,
+    };
+    sol.validate(inst)?;
+    Ok(sol)
+}
+
+/// Hungarian algorithm with potentials: minimum-cost perfect assignment of
+/// n rows to n columns. Returns `row -> column`.
+fn hungarian(cost: &[Vec<f64>]) -> Result<Vec<usize>> {
+    let n = cost.len();
+    if n == 0 {
+        return Ok(vec![]);
+    }
+    // 1-indexed internals, following the classic formulation.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut way = vec![0usize; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            if delta >= INF / 2.0 {
+                return Err(Error::invalid(
+                    "no feasible perfect assignment (a query covers no target slot)",
+                ));
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut row_to_col = vec![usize::MAX; n];
+    for j in 1..=n {
+        if p[j] != 0 {
+            row_to_col[p[j] - 1] = j - 1;
+        }
+    }
+    if row_to_col.iter().any(|&c| c == usize::MAX) {
+        return Err(Error::internal("incomplete assignment"));
+    }
+    Ok(row_to_col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn hungarian_solves_a_known_assignment() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let a = hungarian(&cost).unwrap();
+        let total: f64 = a.iter().enumerate().map(|(r, &c)| cost[r][c]).sum();
+        assert_eq!(total, 5.0); // 1 + 2 + 2
+    }
+
+    #[test]
+    fn matching_assigns_every_query_exactly_once() {
+        // 2 targets, k=1, 2 queries, both cover both targets.
+        let inst = Instance {
+            k: 1,
+            node_cost: vec![100.0, 100.0],
+            adjacency: vec![vec![0, 1], vec![0, 1]],
+            edge_cost: HashMap::from([
+                ((0, 0), 180.0),
+                ((0, 1), 120.0),
+                ((1, 0), 150.0),
+                ((1, 1), 120.0),
+            ]),
+            generated_for: vec![0, 1],
+        };
+        let sol = matching(&inst).unwrap();
+        let used = sol.used_queries();
+        assert_eq!(used.len(), 2, "no sharing allowed");
+        // Optimal split: q1->r0 via (100+120), q0->r1 via (100+150) = 470
+        // (vs q0->r0, q1->r1 = 100+180+100+120 = 500).
+        assert_eq!(sol.total_cost(&inst), 470.0);
+    }
+
+    #[test]
+    fn matching_requires_square_shape() {
+        let inst = Instance {
+            k: 2,
+            node_cost: vec![1.0],
+            adjacency: vec![vec![0]],
+            edge_cost: HashMap::new(),
+            generated_for: vec![0],
+        };
+        assert!(matching(&inst).is_err());
+    }
+
+    #[test]
+    fn infeasible_coverage_is_detected() {
+        // Query 1 covers nothing.
+        let inst = Instance {
+            k: 1,
+            node_cost: vec![1.0, 1.0],
+            adjacency: vec![vec![0], vec![0]],
+            edge_cost: HashMap::from([((0, 0), 2.0), ((1, 0), 2.0)]),
+            generated_for: vec![0, 1],
+        };
+        assert!(matching(&inst).is_err());
+    }
+
+    #[test]
+    fn no_sharing_costs_at_least_as_much_as_shared_optimum() {
+        use crate::compress::exact;
+        let inst = Instance {
+            k: 1,
+            node_cost: vec![100.0, 100.0],
+            adjacency: vec![vec![0, 1], vec![0, 1]],
+            edge_cost: HashMap::from([
+                ((0, 0), 180.0),
+                ((0, 1), 120.0),
+                ((1, 0), 150.0),
+                ((1, 1), 120.0),
+            ]),
+            generated_for: vec![0, 1],
+        };
+        let shared_opt = exact(&inst).unwrap().total_cost(&inst);
+        let unshared = matching(&inst).unwrap().total_cost(&inst);
+        assert!(unshared >= shared_opt - 1e-9);
+    }
+}

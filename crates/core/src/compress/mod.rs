@@ -1,0 +1,194 @@
+//! Test suite compression (§4, §5).
+//!
+//! Given the bipartite graph, find a minimum-cost subgraph in which every
+//! rule target keeps degree `k` (§4.1). The problem is NP-Hard (reduction
+//! from Set Cover, Appendix A); implemented here:
+//!
+//! * [`baseline`] — the uncompressed §2.3 method,
+//! * [`smc`] — the SetMultiCover greedy of Figure 5,
+//! * [`topk`] — the factor-2 TopKIndependent algorithm of Figure 6,
+//! * [`exact`] — brute force for small instances (measures real
+//!   approximation ratios),
+//! * [`matching`] — the §7 no-sharing variant, solved exactly as a
+//!   min-cost assignment.
+
+pub mod baseline;
+pub mod exact;
+pub mod matching;
+pub mod reduction;
+pub mod smc;
+pub mod topk;
+
+use crate::suite::BipartiteGraph;
+use ruletest_common::{Error, Result};
+use std::collections::{BTreeSet, HashMap};
+
+pub use baseline::baseline;
+pub use exact::exact;
+pub use matching::matching;
+pub use smc::smc;
+pub use topk::topk;
+
+/// An abstract compression instance (decoupled from suites so the
+/// algorithms can be unit-tested on hand-built graphs like §4.1's
+/// Example 1).
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Test suite size (queries per target).
+    pub k: usize,
+    /// `Cost(q)` per query node.
+    pub node_cost: Vec<f64>,
+    /// Feasible queries per target.
+    pub adjacency: Vec<Vec<usize>>,
+    /// `(target, query) -> Cost(q, ¬R)`.
+    pub edge_cost: HashMap<(usize, usize), f64>,
+    /// Which target each query was generated for.
+    pub generated_for: Vec<usize>,
+}
+
+impl Instance {
+    pub fn from_graph(g: &BipartiteGraph) -> Instance {
+        Instance {
+            k: g.k,
+            node_cost: g.node_cost.clone(),
+            adjacency: g.adjacency.clone(),
+            edge_cost: g.edges.clone(),
+            generated_for: g.generated_for.clone(),
+        }
+    }
+
+    pub fn num_targets(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    pub fn num_queries(&self) -> usize {
+        self.node_cost.len()
+    }
+
+    /// Edge cost, infinite when the edge was never materialized (pruned
+    /// builds omit provably useless edges).
+    pub fn edge(&self, t: usize, q: usize) -> f64 {
+        self.edge_cost
+            .get(&(t, q))
+            .copied()
+            .unwrap_or(f64::INFINITY)
+    }
+}
+
+/// A compressed suite: per target, the k queries validating it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    pub assignment: Vec<Vec<usize>>,
+}
+
+impl Solution {
+    /// Total execution cost (§4.1): each distinct query's plan executes
+    /// once (node cost), plus one disabled-plan execution per edge.
+    pub fn total_cost(&self, inst: &Instance) -> f64 {
+        let mut distinct: BTreeSet<usize> = BTreeSet::new();
+        let mut cost = 0.0;
+        for (t, qs) in self.assignment.iter().enumerate() {
+            for &q in qs {
+                distinct.insert(q);
+                cost += inst.edge(t, q);
+            }
+        }
+        cost + distinct.iter().map(|&q| inst.node_cost[q]).sum::<f64>()
+    }
+
+    /// Checks the validity invariants of §4.1: every target has exactly k
+    /// distinct queries, each actually covering it.
+    pub fn validate(&self, inst: &Instance) -> Result<()> {
+        if self.assignment.len() != inst.num_targets() {
+            return Err(Error::invalid("assignment arity mismatch"));
+        }
+        for (t, qs) in self.assignment.iter().enumerate() {
+            if qs.len() != inst.k {
+                return Err(Error::invalid(format!(
+                    "target {t} has {} queries, expected {}",
+                    qs.len(),
+                    inst.k
+                )));
+            }
+            let distinct: BTreeSet<usize> = qs.iter().copied().collect();
+            if distinct.len() != inst.k {
+                return Err(Error::invalid(format!("target {t} repeats a query")));
+            }
+            for &q in qs {
+                if !inst.adjacency[t].contains(&q) {
+                    return Err(Error::invalid(format!(
+                        "query {q} does not cover target {t}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Queries used anywhere in the solution.
+    pub fn used_queries(&self) -> BTreeSet<usize> {
+        self.assignment.iter().flatten().copied().collect()
+    }
+}
+
+/// §4.1 Example 1 as an instance (used by several unit tests — the paper
+/// works the numbers out explicitly, so we assert them).
+#[cfg(test)]
+pub(crate) fn example_1() -> Instance {
+    // r1 covered by {q1, q2}; r2 covered by {q2}. Costs per the paper.
+    Instance {
+        k: 1,
+        node_cost: vec![100.0, 100.0],
+        adjacency: vec![vec![0, 1], vec![1]],
+        edge_cost: HashMap::from([((0, 0), 180.0), ((0, 1), 120.0), ((1, 1), 120.0)]),
+        generated_for: vec![0, 1],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_1_costs_match_the_paper() {
+        let inst = example_1();
+        // BASELINE: (100+180) + (100+120) = 500.
+        let baseline = Solution {
+            assignment: vec![vec![0], vec![1]],
+        };
+        baseline.validate(&inst).unwrap();
+        assert_eq!(baseline.total_cost(&inst), 500.0);
+        // Sharing q2: (100+120) + 120 = 340.
+        let shared = Solution {
+            assignment: vec![vec![1], vec![1]],
+        };
+        shared.validate(&inst).unwrap();
+        assert_eq!(shared.total_cost(&inst), 340.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_solutions() {
+        let inst = example_1();
+        let wrong_arity = Solution {
+            assignment: vec![vec![0]],
+        };
+        assert!(wrong_arity.validate(&inst).is_err());
+        let uncovering = Solution {
+            assignment: vec![vec![0], vec![0]],
+        };
+        assert!(uncovering.validate(&inst).is_err());
+        let mut inst2 = inst.clone();
+        inst2.k = 2;
+        let repeats = Solution {
+            assignment: vec![vec![0, 0], vec![1, 1]],
+        };
+        assert!(repeats.validate(&inst2).is_err());
+    }
+
+    #[test]
+    fn missing_edges_cost_infinity() {
+        let inst = example_1();
+        assert!(inst.edge(1, 0).is_infinite());
+        assert_eq!(inst.edge(0, 1), 120.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Correctness-validation execution (§2.3).
+//!
+//! For every query in a (compressed) suite, `Plan(q)` executes once; for
+//! every `(target, query)` assignment, `Plan(q, ¬R)` executes and the two
+//! result multisets are compared. Differing results are correctness bugs.
+//! Per the paper's footnote 1, when the two plans are identical the
+//! execution is skipped — the results are guaranteed equal.
+
+use crate::compress::{Instance, Solution};
+use crate::framework::Framework;
+use crate::suite::{RuleTarget, TestSuite};
+use ruletest_common::{diff_multisets, Error, Result, Row};
+use ruletest_executor::{execute_with, ExecConfig};
+use ruletest_optimizer::OptimizerConfig;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One detected correctness bug.
+#[derive(Debug, Clone)]
+pub struct BugReport {
+    pub target: RuleTarget,
+    pub target_label: String,
+    pub sql: String,
+    pub diff_summary: String,
+}
+
+/// The outcome of executing a test suite.
+#[derive(Debug, Clone, Default)]
+pub struct CorrectnessReport {
+    /// (target, query) validations attempted.
+    pub validations: usize,
+    /// Plans actually executed (base plans + differing disabled plans).
+    pub executions: usize,
+    /// Validations skipped because `Plan(q)` and `Plan(q, ¬R)` were
+    /// identical (footnote 1).
+    pub skipped_identical: usize,
+    /// Validations skipped because execution exceeded the work budget.
+    pub skipped_expensive: usize,
+    /// Total estimated cost actually incurred (nodes once + edges).
+    pub estimated_cost: f64,
+    pub bugs: Vec<BugReport>,
+    pub elapsed: std::time::Duration,
+}
+
+impl CorrectnessReport {
+    pub fn passed(&self) -> bool {
+        self.bugs.is_empty()
+    }
+}
+
+/// Executes a compressed test suite against the framework's optimizer.
+pub fn execute_solution(
+    fw: &Framework,
+    suite: &TestSuite,
+    _inst: &Instance,
+    sol: &Solution,
+    exec_config: &ExecConfig,
+) -> Result<CorrectnessReport> {
+    let start = Instant::now();
+    let mut report = CorrectnessReport::default();
+    // Base results, one execution per distinct query (the node-cost-sharing
+    // observation of §4.1).
+    let mut base_results: HashMap<usize, Option<Vec<Row>>> = HashMap::new();
+    for &q in &sol.used_queries() {
+        let res = fw.optimizer.optimize(&suite.queries[q].tree)?;
+        report.estimated_cost += res.cost;
+        match execute_with(&fw.db, &res.plan, exec_config) {
+            Ok(rows) => {
+                report.executions += 1;
+                base_results.insert(q, Some(rows));
+            }
+            Err(Error::Unsupported(_)) => {
+                base_results.insert(q, None);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    for (t, qs) in sol.assignment.iter().enumerate() {
+        let target = suite.targets[t];
+        let rules = target.rules();
+        for &q in qs {
+            report.validations += 1;
+            let base = fw.optimizer.optimize(&suite.queries[q].tree)?;
+            let masked = fw
+                .optimizer
+                .optimize_with(&suite.queries[q].tree, &OptimizerConfig::disabling(&rules))?;
+            report.estimated_cost += masked.cost;
+            if base.plan.same_shape(&masked.plan) {
+                report.skipped_identical += 1;
+                continue;
+            }
+            let Some(Some(expected)) = base_results.get(&q) else {
+                report.skipped_expensive += 1;
+                continue;
+            };
+            match execute_with(&fw.db, &masked.plan, exec_config) {
+                Ok(actual) => {
+                    report.executions += 1;
+                    let diff = diff_multisets(expected, &actual);
+                    if !diff.is_empty() {
+                        report.bugs.push(BugReport {
+                            target,
+                            target_label: target.label(&fw.optimizer),
+                            sql: suite.queries[q].sql.clone(),
+                            diff_summary: diff.summary(),
+                        });
+                    }
+                }
+                Err(Error::Unsupported(_)) => {
+                    report.skipped_expensive += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    report.elapsed = start.elapsed();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compress::{baseline, topk};
+    use crate::framework::FrameworkConfig;
+    use crate::generate::{GenConfig, Strategy};
+    use crate::suite::{build_graph, generate_suite, singleton_targets};
+
+    #[test]
+    fn correct_rules_yield_no_bugs() {
+        let fw = Framework::new(&FrameworkConfig::default()).unwrap();
+        let targets = singleton_targets(&fw, 5);
+        let suite = generate_suite(
+            &fw,
+            targets,
+            2,
+            Strategy::Pattern,
+            &GenConfig {
+                pad_ops: 2,
+                ..GenConfig::default()
+            },
+        )
+        .unwrap();
+        let graph = build_graph(&fw, &suite).unwrap();
+        let inst = Instance::from_graph(&graph);
+        for sol in [baseline(&inst).unwrap(), topk(&inst).unwrap()] {
+            let report =
+                execute_solution(&fw, &suite, &inst, &sol, &ExecConfig::default()).unwrap();
+            assert!(report.passed(), "false positives: {:?}", report.bugs);
+            assert!(report.validations > 0);
+            assert!(report.executions > 0);
+        }
+    }
+}

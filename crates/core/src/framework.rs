@@ -1,0 +1,260 @@
+//! The framework facade (Figure 2): test database + instrumented optimizer
+//! + query generation entry points.
+
+use crate::generate::pairs::compose_patterns;
+use crate::generate::pattern::{instantiate_pattern, pad_above};
+use crate::generate::random::random_tree;
+use crate::generate::{GenConfig, GenOutcome, Strategy};
+use ruletest_common::{Error, Result, Rng, RuleId};
+use ruletest_logical::{IdGen, LogicalTree};
+use ruletest_optimizer::{Optimizer, PatternTree};
+use ruletest_sql::to_sql;
+use ruletest_storage::{tpch_database, Database, TpchConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Framework construction parameters.
+#[derive(Debug, Clone, Default)]
+pub struct FrameworkConfig {
+    /// The fixed test database (§2.3 assumes one is given).
+    pub db: TpchConfig,
+}
+
+/// The rule-testing framework: owns the test database and the instrumented
+/// optimizer, and exposes the generation/compression/correctness pipeline.
+pub struct Framework {
+    pub db: Arc<Database>,
+    pub optimizer: Arc<Optimizer>,
+}
+
+impl Framework {
+    /// Builds the framework over a freshly generated TPC-H test database.
+    pub fn new(config: &FrameworkConfig) -> Result<Framework> {
+        let db = Arc::new(tpch_database(&config.db)?);
+        let optimizer = Arc::new(Optimizer::new(db.clone()));
+        Ok(Framework { db, optimizer })
+    }
+
+    /// Builds the framework around an existing (possibly fault-injected)
+    /// optimizer.
+    pub fn with_optimizer(optimizer: Arc<Optimizer>) -> Framework {
+        Framework {
+            db: optimizer.database().clone(),
+            optimizer,
+        }
+    }
+
+    /// Builds the framework over an arbitrary test database — the paper's
+    /// techniques "can be invoked against any database" (§2.3); see the
+    /// star-schema run in `tests/other_schema.rs`.
+    pub fn over_database(db: Arc<Database>) -> Framework {
+        let optimizer = Arc::new(Optimizer::new(db.clone()));
+        Framework { db, optimizer }
+    }
+
+    /// Generates a SQL query that exercises `rule` (§3.1). The efficiency
+    /// metric is [`GenOutcome::trials`].
+    pub fn find_query_for_rule(
+        &self,
+        rule: RuleId,
+        strategy: Strategy,
+        cfg: &GenConfig,
+    ) -> Result<GenOutcome> {
+        self.find_query_for_rules(&[rule], strategy, cfg)
+    }
+
+    /// Generates a SQL query that exercises both rules of a pair (§3.2).
+    pub fn find_query_for_pair(
+        &self,
+        pair: (RuleId, RuleId),
+        strategy: Strategy,
+        cfg: &GenConfig,
+    ) -> Result<GenOutcome> {
+        self.find_query_for_rules(&[pair.0, pair.1], strategy, cfg)
+    }
+
+    /// Generates a SQL query whose optimization exercises every rule in
+    /// `targets`.
+    pub fn find_query_for_rules(
+        &self,
+        targets: &[RuleId],
+        strategy: Strategy,
+        cfg: &GenConfig,
+    ) -> Result<GenOutcome> {
+        let start = Instant::now();
+        let mut rng = Rng::new(cfg.seed);
+        // PATTERN: the candidate composite patterns, smallest first.
+        let candidates: Vec<PatternTree> = match (strategy, targets) {
+            (Strategy::Random, _) => vec![],
+            (Strategy::Pattern, [single]) => vec![self.optimizer.rule_pattern(*single).clone()],
+            (Strategy::Pattern, [a, b]) => {
+                // Rule dependencies (§3) mean one rule's pattern alone often
+                // suffices for a pair — its firing exposes the other rule's
+                // pattern during exploration — and such queries are smaller
+                // than any composite. Try the individual patterns first,
+                // then the composites.
+                let mut cands = vec![
+                    self.optimizer.rule_pattern(*a).clone(),
+                    self.optimizer.rule_pattern(*b).clone(),
+                ];
+                cands.extend(compose_patterns(
+                    self.optimizer.rule_pattern(*a),
+                    self.optimizer.rule_pattern(*b),
+                ));
+                cands
+            }
+            (Strategy::Pattern, many) => {
+                // Fold composition left-to-right for larger sets (§7).
+                let mut acc = vec![self.optimizer.rule_pattern(many[0]).clone()];
+                for r in &many[1..] {
+                    let mut next = Vec::new();
+                    for a in &acc {
+                        next.extend(compose_patterns(a, self.optimizer.rule_pattern(*r)));
+                    }
+                    next.sort_by_key(PatternTree::concrete_ops);
+                    next.truncate(8);
+                    acc = next;
+                }
+                acc
+            }
+        };
+
+        for trial in 1..=cfg.max_trials {
+            let mut ids = IdGen::new();
+            let built = match strategy {
+                Strategy::Random => Some(random_tree(&self.db, &mut rng, &mut ids, cfg.target_ops)),
+                Strategy::Pattern => {
+                    // Sweep candidates round-robin, smallest first.
+                    let pattern = &candidates[(trial - 1) % candidates.len()];
+                    instantiate_pattern(&self.db, &mut rng, &mut ids, pattern)
+                        .map(|b| pad_above(&self.db, &mut rng, &mut ids, b, cfg.pad_ops))
+                }
+            };
+            let Some(built) = built else {
+                continue; // counted as a trial: an instantiation attempt failed
+            };
+            let Ok(res) = self.optimizer.optimize(&built.tree) else {
+                continue;
+            };
+            if targets.iter().all(|t| res.rule_set.contains(t)) {
+                let sql = to_sql(&self.db.catalog, &built.tree)?;
+                let ops = built.tree.op_count();
+                return Ok(GenOutcome {
+                    query: built.tree,
+                    sql,
+                    trials: trial,
+                    elapsed: start.elapsed(),
+                    ops,
+                });
+            }
+        }
+        Err(Error::unsupported(format!(
+            "no query exercising {:?} found in {} trials ({})",
+            targets
+                .iter()
+                .map(|t| self.optimizer.rule(*t).name)
+                .collect::<Vec<_>>(),
+            cfg.max_trials,
+            strategy.name()
+        )))
+    }
+
+    /// Convenience: optimize a tree with all rules enabled.
+    pub fn optimize(&self, tree: &LogicalTree) -> Result<ruletest_optimizer::OptimizeResult> {
+        self.optimizer.optimize(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn framework() -> Framework {
+        Framework::new(&FrameworkConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn pattern_generation_finds_join_commute_quickly() {
+        let fw = framework();
+        let rule = fw.optimizer.rule_id("InnerJoinCommute").unwrap();
+        let out = fw
+            .find_query_for_rule(rule, Strategy::Pattern, &GenConfig::default())
+            .unwrap();
+        assert!(out.trials <= 3, "took {} trials", out.trials);
+        assert!(out.sql.contains("JOIN") || out.sql.contains("WHERE"));
+    }
+
+    #[test]
+    fn random_generation_eventually_finds_common_rules() {
+        let fw = framework();
+        let rule = fw.optimizer.rule_id("SelectPushBelowInnerJoin").unwrap();
+        let out = fw
+            .find_query_for_rule(rule, Strategy::Random, &GenConfig::default())
+            .unwrap();
+        assert!(out.trials >= 1);
+    }
+
+    #[test]
+    fn pattern_beats_random_on_a_rare_rule() {
+        let fw = framework();
+        let rule = fw.optimizer.rule_id("AntiJoinToLojFilter").unwrap();
+        let cfg = GenConfig {
+            max_trials: 2000,
+            ..GenConfig::default()
+        };
+        let pat = fw
+            .find_query_for_rule(rule, Strategy::Pattern, &cfg)
+            .unwrap();
+        let rnd = fw.find_query_for_rule(rule, Strategy::Random, &cfg).unwrap();
+        assert!(
+            pat.trials < rnd.trials,
+            "pattern {} vs random {}",
+            pat.trials,
+            rnd.trials
+        );
+    }
+
+    #[test]
+    fn pair_generation_via_composition() {
+        let fw = framework();
+        let a = fw.optimizer.rule_id("InnerJoinCommute").unwrap();
+        let b = fw.optimizer.rule_id("SelectMerge").unwrap();
+        let out = fw
+            .find_query_for_pair((a, b), Strategy::Pattern, &GenConfig::default())
+            .unwrap();
+        let res = fw.optimize(&out.query).unwrap();
+        assert!(res.rule_set.contains(&a) && res.rule_set.contains(&b));
+    }
+
+    #[test]
+    fn padded_queries_are_bigger() {
+        let fw = framework();
+        let rule = fw.optimizer.rule_id("SelectMerge").unwrap();
+        let small = fw
+            .find_query_for_rule(rule, Strategy::Pattern, &GenConfig::default())
+            .unwrap();
+        let cfg = GenConfig {
+            pad_ops: 6,
+            seed: 7,
+            ..GenConfig::default()
+        };
+        let big = fw
+            .find_query_for_rule(rule, Strategy::Pattern, &cfg)
+            .unwrap();
+        assert!(big.ops > small.ops);
+    }
+
+    #[test]
+    fn exhaustion_is_a_clean_error() {
+        let fw = framework();
+        let rule = fw.optimizer.rule_id("AntiJoinToLojFilter").unwrap();
+        let cfg = GenConfig {
+            max_trials: 1,
+            seed: 3,
+            ..GenConfig::default()
+        };
+        // One random trial essentially never hits the anti-join rule.
+        let r = fw.find_query_for_rule(rule, Strategy::Random, &cfg);
+        assert!(matches!(r, Err(Error::Unsupported(_))));
+    }
+}

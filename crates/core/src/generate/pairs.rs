@@ -1,0 +1,105 @@
+//! Rule-pattern composition for rule pairs (§3.2).
+//!
+//! Two composition schemes, exactly as the paper describes:
+//!
+//! 1. a new root (join or union) with the two patterns as children, and
+//! 2. substitution of one pattern into each generic placeholder ("circle")
+//!    of the other, in both directions.
+
+use ruletest_logical::{JoinKind, OpKind};
+use ruletest_optimizer::PatternTree;
+
+/// Replaces the placeholder at `path` (root-to-leaf child indexes) with
+/// `replacement`.
+pub fn substitute_at(
+    pattern: &PatternTree,
+    path: &[usize],
+    replacement: &PatternTree,
+) -> PatternTree {
+    if path.is_empty() {
+        debug_assert!(matches!(pattern, PatternTree::Any));
+        return replacement.clone();
+    }
+    match pattern {
+        PatternTree::Op { matcher, children } => {
+            let mut children = children.clone();
+            children[path[0]] = substitute_at(&children[path[0]], &path[1..], replacement);
+            PatternTree::Op {
+                matcher: matcher.clone(),
+                children,
+            }
+        }
+        PatternTree::Any => unreachable!("path leads through a concrete node"),
+    }
+}
+
+/// All composite patterns for the pair `(a, b)`, ordered by increasing
+/// concrete-operator count so the framework tries the smallest composites
+/// first ("pick the query with the least number of operators", §3.2).
+pub fn compose_patterns(a: &PatternTree, b: &PatternTree) -> Vec<PatternTree> {
+    let mut out = Vec::new();
+    // Scheme 1: new root with both patterns as children.
+    out.push(PatternTree::join(
+        vec![JoinKind::Inner],
+        a.clone(),
+        b.clone(),
+    ));
+    out.push(PatternTree::kind(OpKind::UnionAll, vec![a.clone(), b.clone()]));
+    // Scheme 2: substitute one pattern into each circle of the other.
+    for path in a.placeholder_paths() {
+        out.push(substitute_at(a, &path, b));
+    }
+    for path in b.placeholder_paths() {
+        out.push(substitute_at(b, &path, a));
+    }
+    out.sort_by_key(PatternTree::concrete_ops);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn join_pattern() -> PatternTree {
+        PatternTree::join(vec![JoinKind::Inner], PatternTree::Any, PatternTree::Any)
+    }
+
+    fn gbagg_pattern() -> PatternTree {
+        PatternTree::kind(OpKind::GbAgg, vec![PatternTree::Any])
+    }
+
+    #[test]
+    fn substitution_replaces_the_circle() {
+        let a = join_pattern();
+        let paths = a.placeholder_paths();
+        assert_eq!(paths.len(), 2);
+        let composed = substitute_at(&a, &paths[0], &gbagg_pattern());
+        assert_eq!(composed.concrete_ops(), 2);
+        // The right circle is still a placeholder.
+        assert_eq!(composed.placeholder_paths().len(), 2);
+    }
+
+    #[test]
+    fn compose_generates_root_and_substitution_schemes() {
+        let a = join_pattern();
+        let b = gbagg_pattern();
+        let all = compose_patterns(&a, &b);
+        // 2 root schemes + 2 circles of a + 1 circle of b.
+        assert_eq!(all.len(), 5);
+        // Sorted by concrete op count; every composite contains both
+        // patterns' concrete ops.
+        for w in all.windows(2) {
+            assert!(w[0].concrete_ops() <= w[1].concrete_ops());
+        }
+        for c in &all {
+            assert!(c.concrete_ops() >= a.concrete_ops() + b.concrete_ops());
+        }
+    }
+
+    #[test]
+    fn composition_of_leaf_patterns_uses_root_schemes_only() {
+        let get = PatternTree::kind(OpKind::Get, vec![]);
+        let all = compose_patterns(&get, &get);
+        assert_eq!(all.len(), 2, "no circles to substitute into");
+    }
+}

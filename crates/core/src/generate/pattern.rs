@@ -1,0 +1,245 @@
+//! PATTERN-based query generation (§3.1).
+//!
+//! The generator fetches a rule's pattern from the optimizer's export API
+//! and builds a logical query tree around it: concrete pattern operators
+//! are instantiated with generated arguments, placeholders ("circles")
+//! become small random subtrees, and — optionally — extra random operators
+//! are stacked on top to reach a requested complexity (§2.3).
+
+use super::args::{ArgGen, Built};
+use super::random::{random_project, random_tree};
+use ruletest_common::Rng;
+use ruletest_logical::{IdGen, JoinKind, LogicalTree, OpKind};
+use ruletest_optimizer::{OpMatcher, PatternTree};
+use ruletest_storage::Database;
+use std::collections::HashMap;
+
+/// Instantiates `pattern` into a valid logical query tree, or `None` when
+/// the drawn arguments cannot be made valid (caller counts a trial and
+/// retries).
+pub fn instantiate_pattern(
+    db: &Database,
+    rng: &mut Rng,
+    ids: &mut IdGen,
+    pattern: &PatternTree,
+) -> Option<Built> {
+    let gen = ArgGen::new(db);
+    instantiate(db, &gen, rng, ids, pattern)
+}
+
+fn instantiate(
+    db: &Database,
+    gen: &ArgGen,
+    rng: &mut Rng,
+    ids: &mut IdGen,
+    pattern: &PatternTree,
+) -> Option<Built> {
+    match pattern {
+        PatternTree::Any => {
+            // A placeholder: usually a base table, occasionally a small
+            // random subtree (placeholders match *any* operator).
+            let budget = if rng.gen_bool(0.75) {
+                1
+            } else {
+                2 + rng.gen_index(2)
+            };
+            Some(random_tree(db, rng, ids, budget))
+        }
+        PatternTree::Op { matcher, children } => {
+            let kids: Vec<Built> = children
+                .iter()
+                .map(|c| instantiate(db, gen, rng, ids, c))
+                .collect::<Option<_>>()?;
+            build_op(db, gen, rng, ids, matcher, kids)
+        }
+    }
+}
+
+fn build_op(
+    db: &Database,
+    gen: &ArgGen,
+    rng: &mut Rng,
+    ids: &mut IdGen,
+    matcher: &OpMatcher,
+    mut kids: Vec<Built>,
+) -> Option<Built> {
+    match matcher {
+        OpMatcher::Join(kinds) => {
+            let right = kids.pop()?;
+            let left = kids.pop()?;
+            let kind = *rng.pick(kinds);
+            let require_equi = matches!(kind, JoinKind::LeftSemi | JoinKind::LeftAnti)
+                || rng.gen_bool(0.8);
+            let pred = gen.join_predicate(rng, &left, &right, require_equi);
+            let mut base = left.base_cols.clone();
+            if kind.emits_both_sides() {
+                base.extend(right.base_cols.clone());
+            }
+            Built::new(db, LogicalTree::join(kind, left.tree, right.tree, pred), base)
+        }
+        OpMatcher::Kind(kind) => match kind {
+            OpKind::Get => Some(gen.random_get(rng, ids)),
+            OpKind::Select => {
+                let child = kids.pop()?;
+                let pred = gen.filter_predicate(rng, &child.schema);
+                let base = child.base_cols.clone();
+                Built::new(db, LogicalTree::select(child.tree, pred), base)
+            }
+            OpKind::Project => {
+                let child = kids.pop()?;
+                Some(random_project(db, gen, rng, ids, child))
+            }
+            OpKind::Join => {
+                let right = kids.pop()?;
+                let left = kids.pop()?;
+                let kind = gen.random_join_kind(rng);
+                let require_equi = matches!(kind, JoinKind::LeftSemi | JoinKind::LeftAnti);
+                let pred = gen.join_predicate(rng, &left, &right, require_equi);
+                let mut base = left.base_cols.clone();
+                if kind.emits_both_sides() {
+                    base.extend(right.base_cols.clone());
+                }
+                Built::new(db, LogicalTree::join(kind, left.tree, right.tree, pred), base)
+            }
+            OpKind::GbAgg => {
+                let child = kids.pop()?;
+                let (group_by, aggs) = gen.gbagg_args(rng, ids, &child);
+                let base = child.base_cols.clone();
+                Built::new(db, LogicalTree::gbagg(child.tree, group_by, aggs), base)
+            }
+            OpKind::UnionAll => {
+                let right = kids.pop()?;
+                let left = kids.pop()?;
+                let (outs, lc, rc) = gen.union_alignment(rng, ids, &left, &right)?;
+                Built::new(
+                    db,
+                    LogicalTree::union_all(left.tree, right.tree, outs, lc, rc),
+                    HashMap::new(),
+                )
+            }
+            OpKind::Distinct => {
+                let child = kids.pop()?;
+                let base = child.base_cols.clone();
+                Built::new(db, LogicalTree::distinct(child.tree), base)
+            }
+            OpKind::Sort => {
+                let child = kids.pop()?;
+                let keys = gen.sort_keys(rng, &child.schema);
+                if keys.is_empty() {
+                    return None;
+                }
+                let base = child.base_cols.clone();
+                Built::new(db, LogicalTree::sort(child.tree, keys), base)
+            }
+            OpKind::Top => {
+                let child = kids.pop()?;
+                let keys = gen.sort_keys(rng, &child.schema);
+                let n = 1 + rng.gen_below(20);
+                let base = child.base_cols.clone();
+                Built::new(db, LogicalTree::top(child.tree, n, keys), base)
+            }
+        },
+    }
+}
+
+/// Stacks `pad` extra random operators on top of an instantiated pattern
+/// query without disturbing the pattern below (§2.3: "add an additional
+/// number of (random) operators to an existing logical query tree").
+pub fn pad_above(db: &Database, rng: &mut Rng, ids: &mut IdGen, built: Built, pad: usize) -> Built {
+    let gen = ArgGen::new(db);
+    let mut cur = built;
+    for _ in 0..pad {
+        let roll = rng.gen_below(100);
+        let next = match roll {
+            0..=39 => {
+                let pred = gen.filter_predicate(rng, &cur.schema);
+                let base = cur.base_cols.clone();
+                Built::new(db, LogicalTree::select(cur.tree.clone(), pred), base)
+            }
+            // Join-padding multiplies the join-order search space; past a
+            // modest size it would push exploration into truncation, which
+            // suite generation rejects (truncated searches break the
+            // Cost(q) <= Cost(q, ¬R) invariant).
+            40..=64 if cur.tree.op_count() <= 6 => {
+                // Join with a fresh base table on top.
+                let right = gen.random_get(rng, ids);
+                let pred = gen.join_predicate(rng, &cur, &right, true);
+                let mut base = cur.base_cols.clone();
+                base.extend(right.base_cols.clone());
+                Built::new(
+                    db,
+                    LogicalTree::join(JoinKind::Inner, cur.tree.clone(), right.tree, pred),
+                    base,
+                )
+            }
+            65..=79 => {
+                let keys = gen.sort_keys(rng, &cur.schema);
+                let base = cur.base_cols.clone();
+                if keys.is_empty() {
+                    None
+                } else {
+                    Built::new(db, LogicalTree::sort(cur.tree.clone(), keys), base)
+                }
+            }
+            80..=89 => {
+                let base = cur.base_cols.clone();
+                Built::new(db, LogicalTree::distinct(cur.tree.clone()), base)
+            }
+            _ => Some(random_project(db, &gen, rng, ids, cur.clone())),
+        };
+        if let Some(next) = next {
+            cur = next;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruletest_logical::derive_schema;
+    use ruletest_optimizer::Optimizer;
+    use ruletest_storage::{tpch_database, TpchConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn every_rule_pattern_instantiates_to_a_valid_tree() {
+        let db = Arc::new(tpch_database(&TpchConfig::default()).unwrap());
+        let opt = Optimizer::new(db.clone());
+        let mut rng = Rng::new(11);
+        for rid in opt.exploration_rule_ids() {
+            let pattern = opt.rule_pattern(rid);
+            let mut ok = 0;
+            for _ in 0..20 {
+                let mut ids = IdGen::new();
+                if let Some(b) = instantiate_pattern(&db, &mut rng, &mut ids, pattern) {
+                    assert!(
+                        derive_schema(&db.catalog, &b.tree).is_ok(),
+                        "invalid instantiation for {}",
+                        opt.rule(rid).name
+                    );
+                    ok += 1;
+                }
+            }
+            assert!(
+                ok > 0,
+                "pattern of {} never instantiated in 20 draws",
+                opt.rule(rid).name
+            );
+        }
+    }
+
+    #[test]
+    fn padding_grows_the_query_and_keeps_it_valid() {
+        let db = Arc::new(tpch_database(&TpchConfig::default()).unwrap());
+        let opt = Optimizer::new(db.clone());
+        let commute = opt.rule_id("InnerJoinCommute").unwrap();
+        let mut rng = Rng::new(12);
+        let mut ids = IdGen::new();
+        let b = instantiate_pattern(&db, &mut rng, &mut ids, opt.rule_pattern(commute)).unwrap();
+        let before = b.tree.op_count();
+        let padded = pad_above(&db, &mut rng, &mut ids, b, 5);
+        assert!(padded.tree.op_count() > before);
+        assert!(derive_schema(&db.catalog, &padded.tree).is_ok());
+    }
+}

@@ -1,0 +1,210 @@
+//! The RANDOM baseline: stochastic generation of valid logical query trees
+//! (the trial-and-error state of the art the paper compares against —
+//! RAGS [17] and its genetic extension [1]).
+
+use super::args::{ArgGen, Built};
+use ruletest_common::Rng;
+use ruletest_expr::{BinOp, Expr};
+use ruletest_logical::{IdGen, JoinKind, LogicalTree};
+use ruletest_storage::Database;
+use std::collections::HashMap;
+
+/// Generates one random valid logical query tree with roughly `op_budget`
+/// operators.
+pub fn random_tree(db: &Database, rng: &mut Rng, ids: &mut IdGen, op_budget: usize) -> Built {
+    let gen = ArgGen::new(db);
+    build(db, &gen, rng, ids, op_budget.max(1))
+}
+
+fn build(db: &Database, gen: &ArgGen, rng: &mut Rng, ids: &mut IdGen, budget: usize) -> Built {
+    if budget <= 1 {
+        return gen.random_get(rng, ids);
+    }
+    // Weighted operator choice; binary operators need budget for two sides.
+    let binary_ok = budget >= 3;
+    let roll = rng.gen_below(100);
+    match roll {
+        // Joins dominate, as in realistic workloads.
+        0..=34 if binary_ok => {
+            let left_budget = 1 + rng.gen_index(budget - 2);
+            let left = build(db, gen, rng, ids, left_budget);
+            let right = build(db, gen, rng, ids, budget - 1 - left_budget);
+            let kind = gen.random_join_kind(rng);
+            let require_equi = matches!(kind, JoinKind::LeftSemi | JoinKind::LeftAnti);
+            let pred = gen.join_predicate(rng, &left, &right, require_equi);
+            let mut base = left.base_cols.clone();
+            let keep_right = kind.emits_both_sides();
+            if keep_right {
+                base.extend(right.base_cols.clone());
+            }
+            let tree = LogicalTree::join(kind, left.tree, right.tree, pred);
+            Built::new(db, tree, base).unwrap_or_else(|| gen.random_get(rng, ids))
+        }
+        35..=42 if binary_ok => {
+            let left_budget = 1 + rng.gen_index(budget - 2);
+            let left = build(db, gen, rng, ids, left_budget);
+            let right = build(db, gen, rng, ids, budget - 1 - left_budget);
+            match gen.union_alignment(rng, ids, &left, &right) {
+                Some((outs, lc, rc)) => {
+                    let tree = LogicalTree::union_all(left.tree, right.tree, outs, lc, rc);
+                    Built::new(db, tree, HashMap::new())
+                        .unwrap_or_else(|| gen.random_get(rng, ids))
+                }
+                None => left,
+            }
+        }
+        0..=54 => {
+            // Select (also the fallback band when binary ops don't fit).
+            let child = build(db, gen, rng, ids, budget - 1);
+            let pred = gen.filter_predicate(rng, &child.schema);
+            let base = child.base_cols.clone();
+            let tree = LogicalTree::select(child.tree, pred);
+            Built::new(db, tree, base).unwrap_or_else(|| gen.random_get(rng, ids))
+        }
+        55..=69 => {
+            let child = build(db, gen, rng, ids, budget - 1);
+            let (group_by, aggs) = gen.gbagg_args(rng, ids, &child);
+            let base = child.base_cols.clone();
+            let tree = LogicalTree::gbagg(child.tree, group_by, aggs);
+            Built::new(db, tree, base).unwrap_or_else(|| gen.random_get(rng, ids))
+        }
+        70..=79 => {
+            let child = build(db, gen, rng, ids, budget - 1);
+            random_project(db, gen, rng, ids, child)
+        }
+        80..=85 => {
+            let child = build(db, gen, rng, ids, budget - 1);
+            let base = child.base_cols.clone();
+            let tree = LogicalTree::distinct(child.tree);
+            Built::new(db, tree, base).unwrap_or_else(|| gen.random_get(rng, ids))
+        }
+        86..=92 => {
+            let child = build(db, gen, rng, ids, budget - 1);
+            let keys = gen.sort_keys(rng, &child.schema);
+            let base = child.base_cols.clone();
+            let tree = LogicalTree::sort(child.tree, keys);
+            Built::new(db, tree, base).unwrap_or_else(|| gen.random_get(rng, ids))
+        }
+        _ => {
+            let child = build(db, gen, rng, ids, budget - 1);
+            let keys = gen.sort_keys(rng, &child.schema);
+            let n = 1 + rng.gen_below(20);
+            let base = child.base_cols.clone();
+            let tree = LogicalTree::top(child.tree, n, keys);
+            Built::new(db, tree, base).unwrap_or_else(|| gen.random_get(rng, ids))
+        }
+    }
+}
+
+/// A random projection: a subset of child columns plus occasionally a
+/// computed integer column.
+pub(crate) fn random_project(
+    db: &Database,
+    gen: &ArgGen,
+    rng: &mut Rng,
+    ids: &mut IdGen,
+    child: Built,
+) -> Built {
+    let schema = &child.schema;
+    let keep = 1 + rng.gen_index(schema.len());
+    let idxs = rng.sample_indices(schema.len(), keep);
+    let mut outputs: Vec<(ruletest_common::ColId, Expr)> = Vec::new();
+    let mut base = HashMap::new();
+    for i in idxs {
+        let src = schema[i].id;
+        let out = ids.fresh();
+        if let Some(b) = child.base_cols.get(&src) {
+            base.insert(out, *b);
+        }
+        outputs.push((out, Expr::col(src)));
+    }
+    let int_cols: Vec<_> = schema
+        .iter()
+        .filter(|c| c.data_type == ruletest_common::DataType::Int)
+        .map(|c| c.id)
+        .collect();
+    if !int_cols.is_empty() && rng.gen_bool(0.3) {
+        let a = *rng.pick(&int_cols);
+        let out = ids.fresh();
+        outputs.push((
+            out,
+            Expr::bin(
+                *rng.pick(&[BinOp::Add, BinOp::Sub, BinOp::Mul]),
+                Expr::col(a),
+                Expr::lit(rng.gen_range_i64(1, 5)),
+            ),
+        ));
+    }
+    let tree = LogicalTree::project(child.tree, outputs);
+    Built::new(db, tree, base).unwrap_or_else(|| gen.random_get(rng, ids))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruletest_logical::derive_schema;
+    use ruletest_storage::{tpch_database, TpchConfig};
+
+    #[test]
+    fn random_trees_are_always_valid() {
+        let db = tpch_database(&TpchConfig::default()).unwrap();
+        let mut rng = Rng::new(7);
+        let mut ids = IdGen::new();
+        for budget in [1, 2, 4, 8, 12] {
+            for _ in 0..50 {
+                let b = random_tree(&db, &mut rng, &mut ids, budget);
+                assert!(derive_schema(&db.catalog, &b.tree).is_ok());
+                assert!(b.tree.op_count() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn budgets_are_roughly_respected() {
+        let db = tpch_database(&TpchConfig::default()).unwrap();
+        let mut rng = Rng::new(8);
+        let mut ids = IdGen::new();
+        let mut total = 0usize;
+        const N: usize = 100;
+        for _ in 0..N {
+            let b = random_tree(&db, &mut rng, &mut ids, 8);
+            total += b.tree.op_count();
+            assert!(b.tree.op_count() <= 9);
+        }
+        assert!(total / N >= 4, "average size should approach the budget");
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let db = tpch_database(&TpchConfig::default()).unwrap();
+        let t1 = {
+            let mut rng = Rng::new(99);
+            let mut ids = IdGen::new();
+            random_tree(&db, &mut rng, &mut ids, 6).tree
+        };
+        let t2 = {
+            let mut rng = Rng::new(99);
+            let mut ids = IdGen::new();
+            random_tree(&db, &mut rng, &mut ids, 6).tree
+        };
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn variety_of_operators_appears() {
+        let db = tpch_database(&TpchConfig::default()).unwrap();
+        let mut rng = Rng::new(10);
+        let mut ids = IdGen::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let b = random_tree(&db, &mut rng, &mut ids, 7);
+            b.tree.visit(&mut |n| {
+                seen.insert(n.op.kind());
+            });
+        }
+        use ruletest_logical::OpKind::*;
+        for kind in [Get, Select, Project, Join, GbAgg, UnionAll, Distinct, Sort, Top] {
+            assert!(seen.contains(&kind), "never generated {kind}");
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! **The testing framework of the paper** (Figure 2): pattern-based query
+//! generation for rule coverage (§3), test suite generation and the
+//! bipartite-graph formulation of test suite compression (§4), compression
+//! algorithms (§5), and correctness-validation execution (§2.3) — built on
+//! the rule-based optimizer, executor, SQL, and storage substrates of the
+//! sibling crates.
+
+pub mod compress;
+pub mod correctness;
+pub mod faults;
+pub mod framework;
+pub mod generate;
+pub mod perf;
+pub mod suite;
+
+pub use compress::{Instance, Solution};
+pub use correctness::{BugReport, CorrectnessReport};
+pub use framework::{Framework, FrameworkConfig};
+pub use generate::{GenConfig, GenOutcome, Strategy};
+pub use perf::{rule_impact, RuleImpact};
+pub use suite::{build_graph, build_graph_pruned, generate_suite, generate_suite_lenient, pair_targets, singleton_targets, BipartiteGraph, RuleTarget, SuiteQuery, TestSuite};

@@ -1,0 +1,257 @@
+//! Bipartite-graph construction and edge-cost computation (§4.1), with the
+//! monotonicity optimization of §5.3.1.
+//!
+//! Edge costs require invoking the optimizer with rules disabled — for rule
+//! pairs, `nC2` invocations per query in the worst case — so the number of
+//! optimizer invocations is itself the cost metric of Figure 14.
+
+use super::{RuleTarget, TestSuite};
+use crate::framework::Framework;
+use ruletest_common::Result;
+use ruletest_optimizer::OptimizerConfig;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// A fully materialized bipartite graph (Figure 4 / Figure 7).
+#[derive(Debug, Clone)]
+pub struct BipartiteGraph {
+    pub targets: Vec<RuleTarget>,
+    pub k: usize,
+    /// `Cost(q)` per query.
+    pub node_cost: Vec<f64>,
+    /// Queries covering each target.
+    pub adjacency: Vec<Vec<usize>>,
+    /// `(target, query) -> Cost(q, ¬R)`; present for every adjacency pair
+    /// when built eagerly, or for the demanded subset when built through
+    /// the pruned oracle.
+    pub edges: HashMap<(usize, usize), f64>,
+    /// Which target each query was generated for (drives BASELINE).
+    pub generated_for: Vec<usize>,
+    /// Optimizer invocations spent computing edge costs.
+    pub optimizer_calls: u64,
+}
+
+/// Demand-driven edge-cost computation with caching and invocation
+/// counting.
+pub struct EdgeOracle<'a> {
+    fw: &'a Framework,
+    suite: &'a TestSuite,
+    cache: RefCell<HashMap<(usize, usize), f64>>,
+    calls: Cell<u64>,
+}
+
+impl<'a> EdgeOracle<'a> {
+    pub fn new(fw: &'a Framework, suite: &'a TestSuite) -> Self {
+        Self {
+            fw,
+            suite,
+            cache: RefCell::new(HashMap::new()),
+            calls: Cell::new(0),
+        }
+    }
+
+    /// `Cost(q, ¬R)` for query `q` and target `t` — one optimizer
+    /// invocation per cache miss.
+    pub fn edge_cost(&self, t: usize, q: usize) -> Result<f64> {
+        if let Some(&c) = self.cache.borrow().get(&(t, q)) {
+            return Ok(c);
+        }
+        let rules = self.suite.targets[t].rules();
+        let res = self.fw.optimizer.optimize_with(
+            &self.suite.queries[q].tree,
+            &OptimizerConfig::disabling(&rules),
+        )?;
+        self.calls.set(self.calls.get() + 1);
+        self.cache.borrow_mut().insert((t, q), res.cost);
+        Ok(res.cost)
+    }
+
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    fn into_edges(self) -> (HashMap<(usize, usize), f64>, u64) {
+        let calls = self.calls.get();
+        (self.cache.into_inner(), calls)
+    }
+}
+
+fn skeleton(suite: &TestSuite) -> (Vec<f64>, Vec<Vec<usize>>, Vec<usize>) {
+    let node_cost: Vec<f64> = suite.queries.iter().map(|q| q.cost).collect();
+    let adjacency: Vec<Vec<usize>> = (0..suite.targets.len())
+        .map(|t| suite.covering(t))
+        .collect();
+    let generated_for = suite.queries.iter().map(|q| q.generated_for).collect();
+    (node_cost, adjacency, generated_for)
+}
+
+/// Builds the graph eagerly: every adjacency edge's cost is computed — the
+/// exhaustive strategy Figure 14 compares against.
+pub fn build_graph(fw: &Framework, suite: &TestSuite) -> Result<BipartiteGraph> {
+    let (node_cost, adjacency, generated_for) = skeleton(suite);
+    let oracle = EdgeOracle::new(fw, suite);
+    for (t, adj) in adjacency.iter().enumerate() {
+        for &q in adj {
+            oracle.edge_cost(t, q)?;
+        }
+    }
+    let (edges, optimizer_calls) = oracle.into_edges();
+    Ok(BipartiteGraph {
+        targets: suite.targets.clone(),
+        k: suite.k,
+        node_cost,
+        adjacency,
+        edges,
+        generated_for,
+        optimizer_calls,
+    })
+}
+
+/// Builds the graph with the §5.3.1 pruning: for each target, queries are
+/// visited in increasing `Cost(q)` order while maintaining the k cheapest
+/// edges seen; once the next query's node cost reaches the current k-th
+/// cheapest edge cost, no remaining query can improve the top-k (because
+/// `Cost(q) <= Cost(q, ¬R)` for a well-behaved optimizer) and the scan
+/// stops. Only the edges the TopKIndependent algorithm can ever use are
+/// computed.
+pub fn build_graph_pruned(fw: &Framework, suite: &TestSuite) -> Result<BipartiteGraph> {
+    let (node_cost, adjacency, generated_for) = skeleton(suite);
+    let oracle = EdgeOracle::new(fw, suite);
+    for (t, adj) in adjacency.iter().enumerate() {
+        let mut by_node_cost = adj.clone();
+        by_node_cost.sort_by(|&a, &b| {
+            node_cost[a]
+                .partial_cmp(&node_cost[b])
+                .expect("costs are finite")
+        });
+        // Max-heap of the k cheapest edge costs seen so far.
+        let mut heap: std::collections::BinaryHeap<ordered::F64> =
+            std::collections::BinaryHeap::new();
+        for &q in &by_node_cost {
+            if heap.len() == suite.k {
+                let kth = heap.peek().expect("heap is full").0;
+                if node_cost[q] >= kth {
+                    break; // every remaining edge is at least this expensive
+                }
+            }
+            let c = oracle.edge_cost(t, q)?;
+            if heap.len() < suite.k {
+                heap.push(ordered::F64(c));
+            } else if c < heap.peek().expect("heap is full").0 {
+                heap.pop();
+                heap.push(ordered::F64(c));
+            }
+        }
+    }
+    let (edges, optimizer_calls) = oracle.into_edges();
+    Ok(BipartiteGraph {
+        targets: suite.targets.clone(),
+        k: suite.k,
+        node_cost,
+        adjacency,
+        edges,
+        generated_for,
+        optimizer_calls,
+    })
+}
+
+mod ordered {
+    /// Total order wrapper for finite f64 costs.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct F64(pub f64);
+    impl Eq for F64 {}
+    #[allow(clippy::derive_ord_xor_partial_ord)]
+    impl Ord for F64 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.partial_cmp(&other.0).expect("finite costs")
+        }
+    }
+    impl PartialOrd for F64 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::FrameworkConfig;
+    use crate::generate::{GenConfig, Strategy};
+    use crate::suite::{generate_suite, singleton_targets};
+
+    fn small_suite() -> (Framework, TestSuite) {
+        let fw = Framework::new(&FrameworkConfig::default()).unwrap();
+        let targets = singleton_targets(&fw, 4);
+        let suite = generate_suite(
+            &fw,
+            targets,
+            2,
+            Strategy::Pattern,
+            &GenConfig::default(),
+        )
+        .unwrap();
+        (fw, suite)
+    }
+
+    #[test]
+    fn eager_graph_has_all_adjacency_edges_with_monotone_costs() {
+        let (fw, suite) = small_suite();
+        let g = build_graph(&fw, &suite).unwrap();
+        let mut total_edges = 0;
+        for (t, adj) in g.adjacency.iter().enumerate() {
+            assert!(adj.len() >= suite.k);
+            for &q in adj {
+                let e = g.edges[&(t, q)];
+                assert!(
+                    e >= g.node_cost[q] - 1e-9,
+                    "edge cost below node cost: {} < {}",
+                    e,
+                    g.node_cost[q]
+                );
+                total_edges += 1;
+            }
+        }
+        assert_eq!(g.edges.len(), total_edges);
+        assert_eq!(g.optimizer_calls, total_edges as u64);
+    }
+
+    #[test]
+    fn pruned_graph_spends_fewer_calls_and_keeps_the_topk_edges() {
+        let (fw, suite) = small_suite();
+        let eager = build_graph(&fw, &suite).unwrap();
+        let pruned = build_graph_pruned(&fw, &suite).unwrap();
+        assert!(pruned.optimizer_calls <= eager.optimizer_calls);
+        // The k cheapest edges per target must be present and identical.
+        for (t, adj) in eager.adjacency.iter().enumerate() {
+            let mut costs: Vec<f64> = adj.iter().map(|&q| eager.edges[&(t, q)]).collect();
+            costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let kth = costs[suite.k - 1];
+            let cheap: Vec<usize> = adj
+                .iter()
+                .copied()
+                .filter(|&q| eager.edges[&(t, q)] <= kth + 1e-9)
+                .collect();
+            // At least k of the cheap edges were computed by the pruned
+            // build (ties may differ, so check achievable coverage).
+            let present = cheap
+                .iter()
+                .filter(|&&q| pruned.edges.contains_key(&(t, q)))
+                .count();
+            assert!(
+                present >= suite.k.min(cheap.len()),
+                "pruned build lost top-k edges for target {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_caches_repeated_edges() {
+        let (fw, suite) = small_suite();
+        let oracle = EdgeOracle::new(&fw, &suite);
+        let a = oracle.edge_cost(0, 0).unwrap();
+        let b = oracle.edge_cost(0, 0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(oracle.calls(), 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Execution driver, resolution helpers, and the work budget.
+
+use ruletest_common::{ColId, Error, Result, Row, Value};
+use ruletest_optimizer::{PhysOp, PhysicalPlan};
+use ruletest_storage::Database;
+use std::collections::HashMap;
+
+/// Execution limits. Random queries can contain cross products; the budget
+/// turns pathological plans into a clean error instead of an effective hang
+/// (the test harness treats budget-exceeded queries as "too expensive" and
+/// regenerates).
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Cap on total work units (rows produced + join pairs examined).
+    pub work_budget: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        Self {
+            work_budget: 20_000_000,
+        }
+    }
+}
+
+/// An executed result: rows positionally aligned with the plan's schema.
+pub type ResultSet = Vec<Row>;
+
+pub(crate) struct Ctx<'a> {
+    pub db: &'a Database,
+    pub remaining: u64,
+}
+
+impl Ctx<'_> {
+    /// Charges `n` work units, failing when the budget runs out.
+    pub fn charge(&mut self, n: u64) -> Result<()> {
+        if self.remaining < n {
+            return Err(Error::unsupported("execution work budget exceeded"));
+        }
+        self.remaining -= n;
+        Ok(())
+    }
+}
+
+/// Column-id -> position map for a plan node's output.
+pub(crate) fn position_map(plan: &PhysicalPlan) -> HashMap<ColId, usize> {
+    plan.schema
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.id, i))
+        .collect()
+}
+
+/// Evaluates an expression against a row resolved through a position map.
+pub(crate) fn eval_row(
+    expr: &ruletest_expr::Expr,
+    map: &HashMap<ColId, usize>,
+    row: &Row,
+) -> Value {
+    ruletest_expr::eval(expr, &mut |c| {
+        row[*map.get(&c).unwrap_or_else(|| panic!("unresolved column {c}"))].clone()
+    })
+}
+
+/// Predicate evaluation with SQL filter semantics (UNKNOWN rejects).
+pub(crate) fn eval_pred(
+    expr: &ruletest_expr::Expr,
+    map: &HashMap<ColId, usize>,
+    row: &Row,
+) -> bool {
+    matches!(eval_row(expr, map, row), Value::Bool(true))
+}
+
+/// Executes a plan with the default budget.
+pub fn execute(db: &Database, plan: &PhysicalPlan) -> Result<ResultSet> {
+    execute_with(db, plan, &ExecConfig::default())
+}
+
+/// Executes a plan under an explicit budget.
+pub fn execute_with(db: &Database, plan: &PhysicalPlan, config: &ExecConfig) -> Result<ResultSet> {
+    let mut ctx = Ctx {
+        db,
+        remaining: config.work_budget,
+    };
+    let rows = exec_node(&mut ctx, plan)?;
+    debug_assert!(
+        rows.iter().all(|r| r.len() == plan.schema.len()),
+        "executor produced rows not matching the plan schema"
+    );
+    Ok(rows)
+}
+
+pub(crate) fn exec_node(ctx: &mut Ctx, plan: &PhysicalPlan) -> Result<ResultSet> {
+    match &plan.op {
+        PhysOp::SeqScan { .. } | PhysOp::IndexSeek { .. } => crate::ops_scan::exec(ctx, plan),
+        PhysOp::Filter { .. } | PhysOp::Compute { .. } => crate::ops_misc::exec_unary(ctx, plan),
+        PhysOp::NLJoin { .. } | PhysOp::HashJoin { .. } | PhysOp::MergeJoin { .. } => {
+            crate::ops_join::exec(ctx, plan)
+        }
+        PhysOp::HashAgg { .. } | PhysOp::StreamAgg { .. } => crate::ops_agg::exec(ctx, plan),
+        PhysOp::Concat { .. }
+        | PhysOp::HashDistinct
+        | PhysOp::SortOp { .. }
+        | PhysOp::TopN { .. } => crate::ops_misc::exec_other(ctx, plan),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testkit {
+    //! Shared fixtures for executor unit tests: a tiny two-table database
+    //! and helpers to construct physical plans by hand.
+
+    use super::*;
+    use ruletest_common::{DataType, TableId};
+    use ruletest_logical::{ColumnInfo, Schema};
+    use ruletest_storage::{Catalog, ColumnDef, TableDef};
+
+    /// t0(a INT PK, b STR nullable), t1(x INT PK, y INT nullable)
+    pub fn tiny_db() -> Database {
+        let mut cat = Catalog::new();
+        cat.add_table(TableDef {
+            id: TableId(0),
+            name: "t0".into(),
+            columns: vec![
+                ColumnDef::new("a", DataType::Int, false),
+                ColumnDef::new("b", DataType::Str, true),
+            ],
+            primary_key: vec![0],
+            unique_keys: vec![],
+            foreign_keys: vec![],
+        })
+        .unwrap();
+        cat.add_table(TableDef {
+            id: TableId(1),
+            name: "t1".into(),
+            columns: vec![
+                ColumnDef::new("x", DataType::Int, false),
+                ColumnDef::new("y", DataType::Int, true),
+            ],
+            primary_key: vec![0],
+            unique_keys: vec![],
+            foreign_keys: vec![],
+        })
+        .unwrap();
+        let mut db = Database::new(cat);
+        db.load_table(
+            TableId(0),
+            vec![
+                vec![Value::Int(1), Value::Str("one".into())],
+                vec![Value::Int(2), Value::Null],
+                vec![Value::Int(3), Value::Str("three".into())],
+            ],
+        )
+        .unwrap();
+        db.load_table(
+            TableId(1),
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Null],
+                vec![Value::Int(4), Value::Int(40)],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    pub fn int_col(id: u32) -> ColumnInfo {
+        ColumnInfo {
+            id: ColId(id),
+            data_type: DataType::Int,
+            nullable: true,
+        }
+    }
+
+    pub fn str_col(id: u32) -> ColumnInfo {
+        ColumnInfo {
+            id: ColId(id),
+            data_type: DataType::Str,
+            nullable: true,
+        }
+    }
+
+    pub fn plan(op: PhysOp, children: Vec<PhysicalPlan>, schema: Schema) -> PhysicalPlan {
+        PhysicalPlan {
+            op,
+            children,
+            schema,
+            est_rows: 1.0,
+            est_cost: 1.0,
+        }
+    }
+
+    /// Scan of t0 with column ids 0,1.
+    pub fn scan_t0() -> PhysicalPlan {
+        plan(
+            PhysOp::SeqScan {
+                table: TableId(0),
+                cols: vec![ColId(0), ColId(1)],
+            },
+            vec![],
+            vec![int_col(0), str_col(1)],
+        )
+    }
+
+    /// Scan of t1 with column ids 2,3.
+    pub fn scan_t1() -> PhysicalPlan {
+        plan(
+            PhysOp::SeqScan {
+                table: TableId(1),
+                cols: vec![ColId(2), ColId(3)],
+            },
+            vec![],
+            vec![int_col(2), int_col(3)],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testkit::*;
+    use super::*;
+
+    #[test]
+    fn budget_exhaustion_is_a_clean_error() {
+        let db = tiny_db();
+        let plan = scan_t0();
+        let err = execute_with(
+            &db,
+            &plan,
+            &ExecConfig { work_budget: 1 },
+        );
+        assert!(matches!(err, Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn seq_scan_returns_all_rows() {
+        let db = tiny_db();
+        let rows = execute(&db, &scan_t0()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][0], Value::Int(1));
+    }
+}

@@ -1,0 +1,22 @@
+//! Physical plan interpreter.
+//!
+//! Correctness validation (§2.3) requires *executing* `Plan(q)` and
+//! `Plan(q, ¬R)` and comparing results. This crate interprets the
+//! optimizer's physical plans against the in-memory database with exact SQL
+//! semantics (bags, three-valued logic, NULL grouping, null-padded outer
+//! joins), guaranteeing that two correct plans for the same query produce
+//! the same result multiset.
+//!
+//! Determinism note: `TopN` breaks ties by comparing the full row with
+//! columns ordered by ascending column id — a total, plan-independent
+//! order — so top-n results are a function of the input multiset alone.
+
+mod context;
+mod ops_agg;
+mod ops_join;
+mod ops_misc;
+mod ops_scan;
+pub mod reference;
+
+pub use context::{execute, execute_with, ExecConfig, ResultSet};
+pub use reference::reference_eval;

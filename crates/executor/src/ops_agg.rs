@@ -1,0 +1,231 @@
+//! Aggregation operators: hash aggregate and (sort-based) stream aggregate.
+//!
+//! SQL grouping semantics: NULL group keys compare equal (one NULL group);
+//! a *scalar* aggregate (no GROUP BY) emits exactly one row even over empty
+//! input; a grouped aggregate over empty input emits nothing.
+
+use crate::context::{exec_node, position_map, Ctx};
+use ruletest_common::{Error, Result, Row, Value};
+use ruletest_expr::{AggAccumulator, AggCall};
+use ruletest_optimizer::{PhysOp, PhysicalPlan};
+use std::collections::HashMap;
+
+pub(crate) fn exec(ctx: &mut Ctx, plan: &PhysicalPlan) -> Result<Vec<Row>> {
+    let (group_by, aggs, sort_based) = match &plan.op {
+        PhysOp::HashAgg { group_by, aggs } => (group_by, aggs, false),
+        PhysOp::StreamAgg { group_by, aggs } => (group_by, aggs, true),
+        other => {
+            return Err(Error::internal(format!(
+                "aggregate executor got {}",
+                other.name()
+            )))
+        }
+    };
+    let mut input = exec_node(ctx, &plan.children[0])?;
+    let map = position_map(&plan.children[0]);
+    let key_positions: Vec<usize> = group_by.iter().map(|c| map[c]).collect();
+    ctx.charge(input.len() as u64 + 1)?;
+
+    if sort_based {
+        // Stream aggregation sorts its input by the grouping key first —
+        // the cost model charges it for exactly this sort.
+        input.sort_by(|a, b| {
+            for &p in &key_positions {
+                let c = a[p].total_cmp(&b[p]);
+                if c != std::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    let feed = |accs: &mut Vec<AggAccumulator>, aggs: &[AggCall], row: &Row| {
+        for (acc, call) in accs.iter_mut().zip(aggs) {
+            let v = match call.arg {
+                Some(c) => row[map[&c]].clone(),
+                None => Value::Bool(true), // COUNT(*): any non-null marker
+            };
+            acc.update(call.func, &v);
+        }
+    };
+    let finish = |key: Vec<Value>, accs: Vec<AggAccumulator>| -> Row {
+        let mut row = key;
+        row.extend(accs.into_iter().map(AggAccumulator::finish));
+        row
+    };
+    let fresh = |aggs: &[AggCall]| -> Vec<AggAccumulator> {
+        aggs.iter().map(|a| AggAccumulator::new(a.func)).collect()
+    };
+
+    let mut out = Vec::new();
+    if group_by.is_empty() {
+        // Scalar aggregation: exactly one output row, always.
+        let mut accs = fresh(aggs);
+        for row in &input {
+            feed(&mut accs, aggs, row);
+        }
+        out.push(finish(vec![], accs));
+    } else if sort_based {
+        let mut i = 0usize;
+        while i < input.len() {
+            let start = i;
+            let same_group = |a: &Row, b: &Row| {
+                key_positions
+                    .iter()
+                    .all(|&p| a[p].total_cmp(&b[p]) == std::cmp::Ordering::Equal)
+            };
+            let mut accs = fresh(aggs);
+            while i < input.len() && same_group(&input[start], &input[i]) {
+                feed(&mut accs, aggs, &input[i]);
+                i += 1;
+            }
+            let key: Vec<Value> = key_positions
+                .iter()
+                .map(|&p| input[start][p].clone())
+                .collect();
+            out.push(finish(key, accs));
+        }
+    } else {
+        // Hash aggregation; insertion order preserved for determinism of
+        // intermediate traces (final comparison is multiset-based anyway).
+        let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut states: Vec<(Vec<Value>, Vec<AggAccumulator>)> = Vec::new();
+        for row in &input {
+            let key: Vec<Value> = key_positions.iter().map(|&p| row[p].clone()).collect();
+            let idx = *groups.entry(key.clone()).or_insert_with(|| {
+                states.push((key, fresh(aggs)));
+                states.len() - 1
+            });
+            feed(&mut states[idx].1, aggs, row);
+        }
+        for (key, accs) in states {
+            out.push(finish(key, accs));
+        }
+    }
+    ctx.charge(out.len() as u64)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::execute;
+    use crate::context::testkit::*;
+    use ruletest_common::{multisets_equal, ColId, Value};
+    use ruletest_expr::{AggCall, AggFunc};
+    use ruletest_optimizer::PhysOp;
+
+    fn agg_plan(hash: bool, group_by: Vec<ColId>, aggs: Vec<AggCall>) -> ruletest_optimizer::PhysicalPlan {
+        let mut schema: Vec<_> = group_by.iter().map(|c| int_col(c.0)).collect();
+        schema.extend(aggs.iter().map(|a| int_col(a.output.0)));
+        let op = if hash {
+            PhysOp::HashAgg {
+                group_by,
+                aggs,
+            }
+        } else {
+            PhysOp::StreamAgg {
+                group_by,
+                aggs,
+            }
+        };
+        plan(op, vec![scan_t1()], schema)
+    }
+
+    // t1 rows: (1,10), (2,NULL), (4,40)
+
+    #[test]
+    fn scalar_aggregate_over_rows() {
+        let db = tiny_db();
+        for hash in [true, false] {
+            let p = agg_plan(
+                hash,
+                vec![],
+                vec![
+                    AggCall::new(AggFunc::CountStar, None, ColId(10)),
+                    AggCall::new(AggFunc::Count, Some(ColId(3)), ColId(11)),
+                    AggCall::new(AggFunc::Sum, Some(ColId(3)), ColId(12)),
+                    AggCall::new(AggFunc::Min, Some(ColId(2)), ColId(13)),
+                    AggCall::new(AggFunc::Max, Some(ColId(2)), ColId(14)),
+                ],
+            );
+            let rows = execute(&db, &p).unwrap();
+            assert_eq!(
+                rows,
+                vec![vec![
+                    Value::Int(3),
+                    Value::Int(2),
+                    Value::Int(50),
+                    Value::Int(1),
+                    Value::Int(4),
+                ]]
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_aggregate_over_empty_input_emits_one_row() {
+        let db = tiny_db();
+        // Filter everything out first.
+        let filter = plan(
+            PhysOp::Filter {
+                predicate: ruletest_expr::Expr::lit(false),
+            },
+            vec![scan_t1()],
+            vec![int_col(2), int_col(3)],
+        );
+        let p = plan(
+            PhysOp::HashAgg {
+                group_by: vec![],
+                aggs: vec![
+                    AggCall::new(AggFunc::CountStar, None, ColId(10)),
+                    AggCall::new(AggFunc::Sum, Some(ColId(3)), ColId(11)),
+                ],
+            },
+            vec![filter],
+            vec![int_col(10), int_col(11)],
+        );
+        let rows = execute(&db, &p).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn grouped_aggregate_hash_and_stream_agree() {
+        let db = tiny_db();
+        // Group t1 by y (values 10, NULL, 40): three groups incl. the NULL
+        // group.
+        let mk = |hash| {
+            agg_plan(
+                hash,
+                vec![ColId(3)],
+                vec![AggCall::new(AggFunc::CountStar, None, ColId(10))],
+            )
+        };
+        let h = execute(&db, &mk(true)).unwrap();
+        let s = execute(&db, &mk(false)).unwrap();
+        assert_eq!(h.len(), 3);
+        assert!(multisets_equal(&h, &s));
+        assert!(h.iter().any(|r| r[0].is_null() && r[1] == Value::Int(1)));
+    }
+
+    #[test]
+    fn grouped_aggregate_over_empty_input_emits_nothing() {
+        let db = tiny_db();
+        let filter = plan(
+            PhysOp::Filter {
+                predicate: ruletest_expr::Expr::lit(false),
+            },
+            vec![scan_t1()],
+            vec![int_col(2), int_col(3)],
+        );
+        let p = plan(
+            PhysOp::StreamAgg {
+                group_by: vec![ColId(2)],
+                aggs: vec![AggCall::new(AggFunc::CountStar, None, ColId(10))],
+            },
+            vec![filter],
+            vec![int_col(2), int_col(10)],
+        );
+        assert!(execute(&db, &p).unwrap().is_empty());
+    }
+}

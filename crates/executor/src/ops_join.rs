@@ -1,0 +1,472 @@
+//! Join operators: nested loops (all kinds), hash join (all kinds), and
+//! sort-merge join (inner).
+//!
+//! All three implement identical join *semantics* — only the algorithm
+//! differs — which is precisely what correctness testing of implementation
+//! rules verifies. The shared semantics: a pair matches iff the full ON
+//! predicate evaluates to TRUE over the concatenated row; outer kinds pad
+//! unmatched preserved rows with NULLs; semi/anti emit the bare left row.
+
+use crate::context::{eval_pred, exec_node, position_map, Ctx};
+use ruletest_common::{ColId, Error, Result, Row, Value};
+use ruletest_expr::Expr;
+use ruletest_logical::JoinKind;
+use ruletest_optimizer::{PhysOp, PhysicalPlan};
+use std::collections::HashMap;
+
+pub(crate) fn exec(ctx: &mut Ctx, plan: &PhysicalPlan) -> Result<Vec<Row>> {
+    let left_rows = exec_node(ctx, &plan.children[0])?;
+    let right_rows = exec_node(ctx, &plan.children[1])?;
+    // Combined resolver: left columns at their positions, right columns
+    // shifted by the left arity.
+    let lmap = position_map(&plan.children[0]);
+    let rmap = position_map(&plan.children[1]);
+    let lwidth = plan.children[0].schema.len();
+    let mut combined: HashMap<ColId, usize> = lmap.clone();
+    for (c, i) in &rmap {
+        combined.insert(*c, i + lwidth);
+    }
+
+    match &plan.op {
+        PhysOp::NLJoin { kind, predicate } => {
+            let right_width = plan.children[1].schema.len();
+            nl_join(
+                ctx,
+                *kind,
+                predicate,
+                &left_rows,
+                &right_rows,
+                &combined,
+                lwidth,
+                right_width,
+            )
+        }
+        PhysOp::HashJoin {
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+        } => hash_join(
+            ctx, *kind, left_keys, right_keys, residual, &left_rows, &right_rows, &lmap, &rmap,
+            &combined, lwidth,
+        ),
+        PhysOp::MergeJoin {
+            left_key,
+            right_key,
+            residual,
+        } => merge_join(
+            ctx, *left_key, *right_key, residual, left_rows, right_rows, &lmap, &rmap, &combined,
+            lwidth,
+        ),
+        other => Err(Error::internal(format!(
+            "join executor got {}",
+            other.name()
+        ))),
+    }
+}
+
+fn pad_left(out: &mut Vec<Row>, left: &Row, right_width: usize) {
+    let mut row = left.clone();
+    row.extend(std::iter::repeat(Value::Null).take(right_width));
+    out.push(row);
+}
+
+fn pad_right(out: &mut Vec<Row>, left_width: usize, right: &Row) {
+    let mut row: Row = std::iter::repeat(Value::Null).take(left_width).collect();
+    row.extend(right.iter().cloned());
+    out.push(row);
+}
+
+/// Post-match bookkeeping shared by NL and hash join: what to emit for a
+/// left row given its match count, and (at the end) unmatched right rows.
+fn finish_left_row(
+    out: &mut Vec<Row>,
+    kind: JoinKind,
+    left: &Row,
+    matches: usize,
+    right_width: usize,
+) {
+    match kind {
+        JoinKind::LeftOuter | JoinKind::FullOuter if matches == 0 => {
+            pad_left(out, left, right_width)
+        }
+        JoinKind::LeftAnti if matches == 0 => out.push(left.clone()),
+        _ => {}
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn nl_join(
+    ctx: &mut Ctx,
+    kind: JoinKind,
+    predicate: &Expr,
+    left_rows: &[Row],
+    right_rows: &[Row],
+    combined: &HashMap<ColId, usize>,
+    lwidth: usize,
+    right_width: usize,
+) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    let mut right_matched = vec![false; right_rows.len()];
+    for left in left_rows {
+        ctx.charge(right_rows.len() as u64 + 1)?;
+        let mut matches = 0usize;
+        for (ri, right) in right_rows.iter().enumerate() {
+            let mut full = left.clone();
+            full.extend(right.iter().cloned());
+            if eval_pred(predicate, combined, &full) {
+                matches += 1;
+                right_matched[ri] = true;
+                match kind {
+                    JoinKind::LeftSemi => {
+                        out.push(left.clone());
+                        break; // semi: one match suffices
+                    }
+                    JoinKind::LeftAnti => {
+                        break; // anti: any match disqualifies
+                    }
+                    _ => out.push(full),
+                }
+            }
+        }
+        finish_left_row(&mut out, kind, left, matches, right_width);
+    }
+    if kind.preserves_right() {
+        for (ri, right) in right_rows.iter().enumerate() {
+            if !right_matched[ri] {
+                pad_right(&mut out, lwidth, right);
+            }
+        }
+    }
+    ctx.charge(out.len() as u64)?;
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    ctx: &mut Ctx,
+    kind: JoinKind,
+    left_keys: &[ColId],
+    right_keys: &[ColId],
+    residual: &Expr,
+    left_rows: &[Row],
+    right_rows: &[Row],
+    lmap: &HashMap<ColId, usize>,
+    rmap: &HashMap<ColId, usize>,
+    combined: &HashMap<ColId, usize>,
+    lwidth: usize,
+) -> Result<Vec<Row>> {
+    let right_width = rmap.len();
+    let key_of = |row: &Row, keys: &[ColId], map: &HashMap<ColId, usize>| -> Option<Vec<Value>> {
+        let mut k = Vec::with_capacity(keys.len());
+        for c in keys {
+            let v = row[map[c]].clone();
+            if v.is_null() {
+                return None; // SQL equality: NULL keys never match
+            }
+            k.push(v);
+        }
+        Some(k)
+    };
+
+    // Build side: right.
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (ri, right) in right_rows.iter().enumerate() {
+        ctx.charge(1)?;
+        if let Some(k) = key_of(right, right_keys, rmap) {
+            table.entry(k).or_default().push(ri);
+        }
+    }
+
+    let mut out = Vec::new();
+    let mut right_matched = vec![false; right_rows.len()];
+    for left in left_rows {
+        ctx.charge(1)?;
+        let mut matches = 0usize;
+        if let Some(k) = key_of(left, left_keys, lmap) {
+            if let Some(candidates) = table.get(&k) {
+                for &ri in candidates {
+                    ctx.charge(1)?;
+                    let right = &right_rows[ri];
+                    let mut full = left.clone();
+                    full.extend(right.iter().cloned());
+                    if residual.is_true_lit() || eval_pred(residual, combined, &full) {
+                        matches += 1;
+                        right_matched[ri] = true;
+                        match kind {
+                            JoinKind::LeftSemi => {
+                                out.push(left.clone());
+                                break;
+                            }
+                            JoinKind::LeftAnti => break,
+                            _ => out.push(full),
+                        }
+                    }
+                }
+            }
+        }
+        finish_left_row(&mut out, kind, left, matches, right_width);
+    }
+    if kind.preserves_right() {
+        for (ri, right) in right_rows.iter().enumerate() {
+            if !right_matched[ri] {
+                pad_right(&mut out, lwidth, right);
+            }
+        }
+    }
+    ctx.charge(out.len() as u64)?;
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn merge_join(
+    ctx: &mut Ctx,
+    left_key: ColId,
+    right_key: ColId,
+    residual: &Expr,
+    left_rows: Vec<Row>,
+    right_rows: Vec<Row>,
+    lmap: &HashMap<ColId, usize>,
+    rmap: &HashMap<ColId, usize>,
+    combined: &HashMap<ColId, usize>,
+    _lwidth: usize,
+) -> Result<Vec<Row>> {
+    let li = lmap[&left_key];
+    let ri = rmap[&right_key];
+    // NULL keys never join (inner): drop them before sorting.
+    let mut left: Vec<Row> = left_rows.into_iter().filter(|r| !r[li].is_null()).collect();
+    let mut right: Vec<Row> = right_rows
+        .into_iter()
+        .filter(|r| !r[ri].is_null())
+        .collect();
+    ctx.charge((left.len() + right.len()) as u64)?;
+    left.sort_by(|a, b| a[li].total_cmp(&b[li]));
+    right.sort_by(|a, b| a[ri].total_cmp(&b[ri]));
+
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        ctx.charge(1)?;
+        match left[i][li].total_cmp(&right[j][ri]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Find the equal runs and cross them.
+                let key = left[i][li].clone();
+                let istart = i;
+                while i < left.len() && left[i][li] == key {
+                    i += 1;
+                }
+                let jstart = j;
+                while j < right.len() && right[j][ri] == key {
+                    j += 1;
+                }
+                for l in &left[istart..i] {
+                    ctx.charge((j - jstart) as u64)?;
+                    for r in &right[jstart..j] {
+                        let mut full = l.clone();
+                        full.extend(r.iter().cloned());
+                        if residual.is_true_lit() || eval_pred(residual, combined, &full) {
+                            out.push(full);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ctx.charge(out.len() as u64)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::execute;
+    use crate::context::testkit::*;
+    use ruletest_common::{ColId, Value};
+    use ruletest_expr::Expr;
+    use ruletest_logical::JoinKind;
+    use ruletest_optimizer::PhysOp;
+    use ruletest_common::multisets_equal;
+
+    fn join_schema() -> Vec<ruletest_logical::ColumnInfo> {
+        vec![int_col(0), str_col(1), int_col(2), int_col(3)]
+    }
+
+    fn eq_pred() -> Expr {
+        Expr::eq(Expr::col(ColId(0)), Expr::col(ColId(2)))
+    }
+
+    fn nl(kind: JoinKind) -> ruletest_optimizer::PhysicalPlan {
+        let schema = match kind {
+            JoinKind::LeftSemi | JoinKind::LeftAnti => vec![int_col(0), str_col(1)],
+            _ => join_schema(),
+        };
+        plan(
+            PhysOp::NLJoin {
+                kind,
+                predicate: eq_pred(),
+            },
+            vec![scan_t0(), scan_t1()],
+            schema,
+        )
+    }
+
+    fn hash(kind: JoinKind) -> ruletest_optimizer::PhysicalPlan {
+        let schema = match kind {
+            JoinKind::LeftSemi | JoinKind::LeftAnti => vec![int_col(0), str_col(1)],
+            _ => join_schema(),
+        };
+        plan(
+            PhysOp::HashJoin {
+                kind,
+                left_keys: vec![ColId(0)],
+                right_keys: vec![ColId(2)],
+                residual: Expr::true_lit(),
+            },
+            vec![scan_t0(), scan_t1()],
+            schema,
+        )
+    }
+
+    // t0: a=1,2,3  t1: x=1,2,4 — inner matches a∈{1,2}.
+
+    #[test]
+    fn inner_join_all_algorithms_agree() {
+        let db = tiny_db();
+        let nl_rows = execute(&db, &nl(JoinKind::Inner)).unwrap();
+        assert_eq!(nl_rows.len(), 2);
+        let hash_rows = execute(&db, &hash(JoinKind::Inner)).unwrap();
+        assert!(multisets_equal(&nl_rows, &hash_rows));
+        let merge = plan(
+            PhysOp::MergeJoin {
+                left_key: ColId(0),
+                right_key: ColId(2),
+                residual: Expr::true_lit(),
+            },
+            vec![scan_t0(), scan_t1()],
+            join_schema(),
+        );
+        let merge_rows = execute(&db, &merge).unwrap();
+        assert!(multisets_equal(&nl_rows, &merge_rows));
+    }
+
+    #[test]
+    fn left_outer_pads_unmatched_left() {
+        let db = tiny_db();
+        for p in [nl(JoinKind::LeftOuter), hash(JoinKind::LeftOuter)] {
+            let rows = execute(&db, &p).unwrap();
+            assert_eq!(rows.len(), 3);
+            let padded: Vec<_> = rows
+                .iter()
+                .filter(|r| r[2].is_null() && r[3].is_null())
+                .collect();
+            assert_eq!(padded.len(), 1);
+            assert_eq!(padded[0][0], Value::Int(3));
+        }
+    }
+
+    #[test]
+    fn right_outer_pads_unmatched_right() {
+        let db = tiny_db();
+        for p in [nl(JoinKind::RightOuter), hash(JoinKind::RightOuter)] {
+            let rows = execute(&db, &p).unwrap();
+            assert_eq!(rows.len(), 3);
+            let padded: Vec<_> = rows.iter().filter(|r| r[0].is_null()).collect();
+            assert_eq!(padded.len(), 1);
+            assert_eq!(padded[0][2], Value::Int(4));
+        }
+    }
+
+    #[test]
+    fn full_outer_pads_both() {
+        let db = tiny_db();
+        for p in [nl(JoinKind::FullOuter), hash(JoinKind::FullOuter)] {
+            let rows = execute(&db, &p).unwrap();
+            assert_eq!(rows.len(), 4, "2 matches + 1 left pad + 1 right pad");
+        }
+    }
+
+    #[test]
+    fn semi_and_anti_partition_left() {
+        let db = tiny_db();
+        for (semi, anti) in [
+            (nl(JoinKind::LeftSemi), nl(JoinKind::LeftAnti)),
+            (hash(JoinKind::LeftSemi), hash(JoinKind::LeftAnti)),
+        ] {
+            let semi_rows = execute(&db, &semi).unwrap();
+            let anti_rows = execute(&db, &anti).unwrap();
+            assert_eq!(semi_rows.len(), 2);
+            assert_eq!(anti_rows.len(), 1);
+            assert_eq!(anti_rows[0][0], Value::Int(3));
+            assert_eq!(semi_rows[0].len(), 2, "semi emits only left columns");
+        }
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let db = tiny_db();
+        // Join t0.a with t1.y (y has a NULL): NULL never equals anything.
+        let pred = Expr::eq(Expr::col(ColId(0)), Expr::col(ColId(3)));
+        let p = plan(
+            PhysOp::NLJoin {
+                kind: JoinKind::Inner,
+                predicate: pred,
+            },
+            vec![scan_t0(), scan_t1()],
+            join_schema(),
+        );
+        let rows = execute(&db, &p).unwrap();
+        // y values: 10, NULL, 40 — none equals a∈{1,2,3}.
+        assert!(rows.is_empty());
+
+        let ph = plan(
+            PhysOp::HashJoin {
+                kind: JoinKind::Inner,
+                left_keys: vec![ColId(0)],
+                right_keys: vec![ColId(3)],
+                residual: Expr::true_lit(),
+            },
+            vec![scan_t0(), scan_t1()],
+            join_schema(),
+        );
+        assert!(execute(&db, &ph).unwrap().is_empty());
+    }
+
+    #[test]
+    fn residual_predicate_filters_matches() {
+        let db = tiny_db();
+        // a = x AND y > 5: (1,10) passes, (2,NULL) fails (UNKNOWN).
+        let residual = Expr::bin(
+            ruletest_expr::BinOp::Gt,
+            Expr::col(ColId(3)),
+            Expr::lit(5i64),
+        );
+        let p = plan(
+            PhysOp::HashJoin {
+                kind: JoinKind::Inner,
+                left_keys: vec![ColId(0)],
+                right_keys: vec![ColId(2)],
+                residual,
+            },
+            vec![scan_t0(), scan_t1()],
+            join_schema(),
+        );
+        let rows = execute(&db, &p).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn cross_join_via_true_predicate() {
+        let db = tiny_db();
+        let p = plan(
+            PhysOp::NLJoin {
+                kind: JoinKind::Inner,
+                predicate: Expr::true_lit(),
+            },
+            vec![scan_t0(), scan_t1()],
+            join_schema(),
+        );
+        assert_eq!(execute(&db, &p).unwrap().len(), 9);
+    }
+}

@@ -1,0 +1,255 @@
+//! Filter, compute, concat, distinct, sort, and top-n operators.
+
+use crate::context::{eval_pred, eval_row, exec_node, position_map, Ctx};
+use ruletest_common::{Error, Result, Row};
+use ruletest_optimizer::{PhysOp, PhysicalPlan};
+
+pub(crate) fn exec_unary(ctx: &mut Ctx, plan: &PhysicalPlan) -> Result<Vec<Row>> {
+    let input = exec_node(ctx, &plan.children[0])?;
+    let map = position_map(&plan.children[0]);
+    ctx.charge(input.len() as u64 + 1)?;
+    match &plan.op {
+        PhysOp::Filter { predicate } => Ok(input
+            .into_iter()
+            .filter(|row| eval_pred(predicate, &map, row))
+            .collect()),
+        PhysOp::Compute { outputs } => Ok(input
+            .iter()
+            .map(|row| {
+                outputs
+                    .iter()
+                    .map(|(_, e)| eval_row(e, &map, row))
+                    .collect()
+            })
+            .collect()),
+        other => Err(Error::internal(format!(
+            "unary executor got {}",
+            other.name()
+        ))),
+    }
+}
+
+pub(crate) fn exec_other(ctx: &mut Ctx, plan: &PhysicalPlan) -> Result<Vec<Row>> {
+    match &plan.op {
+        PhysOp::Concat {
+            left_cols,
+            right_cols,
+            ..
+        } => {
+            let left = exec_node(ctx, &plan.children[0])?;
+            let right = exec_node(ctx, &plan.children[1])?;
+            let lmap = position_map(&plan.children[0]);
+            let rmap = position_map(&plan.children[1]);
+            ctx.charge((left.len() + right.len()) as u64 + 1)?;
+            let lpos: Vec<usize> = left_cols.iter().map(|c| lmap[c]).collect();
+            let rpos: Vec<usize> = right_cols.iter().map(|c| rmap[c]).collect();
+            let mut out = Vec::with_capacity(left.len() + right.len());
+            for row in &left {
+                out.push(lpos.iter().map(|&p| row[p].clone()).collect());
+            }
+            for row in &right {
+                out.push(rpos.iter().map(|&p| row[p].clone()).collect());
+            }
+            Ok(out)
+        }
+        PhysOp::HashDistinct => {
+            let input = exec_node(ctx, &plan.children[0])?;
+            ctx.charge(input.len() as u64 + 1)?;
+            let mut seen = std::collections::HashSet::new();
+            // SQL DISTINCT treats NULLs as equal — Value's Eq does too.
+            Ok(input.into_iter().filter(|r| seen.insert(r.clone())).collect())
+        }
+        PhysOp::SortOp { keys } => {
+            let mut input = exec_node(ctx, &plan.children[0])?;
+            let map = position_map(&plan.children[0]);
+            ctx.charge(input.len() as u64 + 1)?;
+            let key_pos: Vec<(usize, bool)> =
+                keys.iter().map(|k| (map[&k.col], k.descending)).collect();
+            input.sort_by(|a, b| {
+                for &(p, desc) in &key_pos {
+                    let c = a[p].total_cmp(&b[p]);
+                    if c != std::cmp::Ordering::Equal {
+                        return if desc { c.reverse() } else { c };
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(input)
+        }
+        PhysOp::TopN { n, keys } => {
+            let mut input = exec_node(ctx, &plan.children[0])?;
+            let map = position_map(&plan.children[0]);
+            ctx.charge(input.len() as u64 + 1)?;
+            let key_pos: Vec<(usize, bool)> =
+                keys.iter().map(|k| (map[&k.col], k.descending)).collect();
+            // Tie-break on the full row with columns in ascending id order —
+            // a total, *plan-independent* order, so TopN is a deterministic
+            // function of the input multiset (see crate docs).
+            let mut tie_pos: Vec<(ruletest_common::ColId, usize)> =
+                map.iter().map(|(c, p)| (*c, *p)).collect();
+            tie_pos.sort_by_key(|(c, _)| *c);
+            input.sort_by(|a, b| {
+                for &(p, desc) in &key_pos {
+                    let c = a[p].total_cmp(&b[p]);
+                    if c != std::cmp::Ordering::Equal {
+                        return if desc { c.reverse() } else { c };
+                    }
+                }
+                for &(_, p) in &tie_pos {
+                    let c = a[p].total_cmp(&b[p]);
+                    if c != std::cmp::Ordering::Equal {
+                        return c;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            input.truncate(*n as usize);
+            Ok(input)
+        }
+        other => Err(Error::internal(format!(
+            "misc executor got {}",
+            other.name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::execute;
+    use crate::context::testkit::*;
+    use ruletest_common::{ColId, Value};
+    use ruletest_expr::{BinOp, Expr};
+    use ruletest_logical::SortKey;
+    use ruletest_optimizer::PhysOp;
+
+    #[test]
+    fn filter_drops_unknown_and_false() {
+        let db = tiny_db();
+        // b = 'one': TRUE for row 1, UNKNOWN for NULL b, FALSE for 'three'.
+        let p = plan(
+            PhysOp::Filter {
+                predicate: Expr::eq(Expr::col(ColId(1)), Expr::lit("one")),
+            },
+            vec![scan_t0()],
+            vec![int_col(0), str_col(1)],
+        );
+        let rows = execute(&db, &p).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn compute_evaluates_expressions() {
+        let db = tiny_db();
+        let p = plan(
+            PhysOp::Compute {
+                outputs: vec![
+                    (
+                        ColId(10),
+                        Expr::bin(BinOp::Mul, Expr::col(ColId(0)), Expr::lit(2i64)),
+                    ),
+                    (ColId(11), Expr::is_null(Expr::col(ColId(1)))),
+                ],
+            },
+            vec![scan_t0()],
+            vec![int_col(10), int_col(11)],
+        );
+        let rows = execute(&db, &p).unwrap();
+        assert_eq!(rows[0], vec![Value::Int(2), Value::Bool(false)]);
+        assert_eq!(rows[1], vec![Value::Int(4), Value::Bool(true)]);
+    }
+
+    #[test]
+    fn concat_remaps_both_sides() {
+        let db = tiny_db();
+        let p = plan(
+            PhysOp::Concat {
+                outputs: vec![ColId(20)],
+                left_cols: vec![ColId(0)],
+                right_cols: vec![ColId(3)],
+            },
+            vec![scan_t0(), scan_t1()],
+            vec![int_col(20)],
+        );
+        let rows = execute(&db, &p).unwrap();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0], vec![Value::Int(1)]);
+        assert_eq!(rows[4], vec![Value::Null], "right NULL y survives");
+    }
+
+    #[test]
+    fn distinct_treats_nulls_as_equal() {
+        let db = tiny_db();
+        let project_b = plan(
+            PhysOp::Compute {
+                outputs: vec![(ColId(10), Expr::is_null(Expr::col(ColId(1))))],
+            },
+            vec![scan_t0()],
+            vec![int_col(10)],
+        );
+        let p = plan(
+            PhysOp::HashDistinct,
+            vec![project_b],
+            vec![int_col(10)],
+        );
+        let rows = execute(&db, &p).unwrap();
+        assert_eq!(rows.len(), 2); // true / false
+    }
+
+    #[test]
+    fn sort_orders_with_nulls_first_and_desc() {
+        let db = tiny_db();
+        let p = plan(
+            PhysOp::SortOp {
+                keys: vec![SortKey::asc(ColId(3))],
+            },
+            vec![scan_t1()],
+            vec![int_col(2), int_col(3)],
+        );
+        let rows = execute(&db, &p).unwrap();
+        assert!(rows[0][1].is_null(), "NULLS FIRST ascending");
+        assert_eq!(rows[1][1], Value::Int(10));
+
+        let p = plan(
+            PhysOp::SortOp {
+                keys: vec![SortKey::desc(ColId(3))],
+            },
+            vec![scan_t1()],
+            vec![int_col(2), int_col(3)],
+        );
+        let rows = execute(&db, &p).unwrap();
+        assert_eq!(rows[0][1], Value::Int(40));
+        assert!(rows[2][1].is_null(), "NULLS LAST descending");
+    }
+
+    #[test]
+    fn top_n_takes_smallest_under_keys() {
+        let db = tiny_db();
+        let p = plan(
+            PhysOp::TopN {
+                n: 2,
+                keys: vec![SortKey::desc(ColId(2))],
+            },
+            vec![scan_t1()],
+            vec![int_col(2), int_col(3)],
+        );
+        let rows = execute(&db, &p).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][0], Value::Int(4));
+        assert_eq!(rows[1][0], Value::Int(2));
+    }
+
+    #[test]
+    fn top_n_larger_than_input_keeps_all() {
+        let db = tiny_db();
+        let p = plan(
+            PhysOp::TopN {
+                n: 99,
+                keys: vec![SortKey::asc(ColId(2))],
+            },
+            vec![scan_t1()],
+            vec![int_col(2), int_col(3)],
+        );
+        assert_eq!(execute(&db, &p).unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Base-table access operators: sequential scan and primary-key index seek.
+
+use crate::context::{eval_pred, position_map, Ctx};
+use ruletest_common::{Error, Result, Row};
+use ruletest_optimizer::{PhysOp, PhysicalPlan};
+
+pub(crate) fn exec(ctx: &mut Ctx, plan: &PhysicalPlan) -> Result<Vec<Row>> {
+    match &plan.op {
+        PhysOp::SeqScan { table, .. } => {
+            let t = ctx.db.table(*table)?;
+            ctx.charge(t.rows.len() as u64)?;
+            Ok(t.rows.clone())
+        }
+        PhysOp::IndexSeek {
+            table,
+            key,
+            residual,
+            ..
+        } => {
+            let t = ctx.db.table(*table)?;
+            let map = position_map(plan);
+            let mut out = Vec::new();
+            for &off in t.pk_lookup(std::slice::from_ref(key)) {
+                ctx.charge(1)?;
+                let row = &t.rows[off];
+                if eval_pred(residual, &map, row) {
+                    out.push(row.clone());
+                }
+            }
+            Ok(out)
+        }
+        other => Err(Error::internal(format!(
+            "scan executor got {}",
+            other.name()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::context::testkit::*;
+    use crate::context::execute;
+    use ruletest_common::{ColId, TableId, Value};
+    use ruletest_expr::{BinOp, Expr};
+    use ruletest_optimizer::PhysOp;
+
+    #[test]
+    fn index_seek_finds_by_key() {
+        let db = tiny_db();
+        let p = plan(
+            PhysOp::IndexSeek {
+                table: TableId(0),
+                cols: vec![ColId(0), ColId(1)],
+                key: Value::Int(2),
+                residual: Expr::true_lit(),
+            },
+            vec![],
+            vec![int_col(0), str_col(1)],
+        );
+        let rows = execute(&db, &p).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(2), Value::Null]]);
+    }
+
+    #[test]
+    fn index_seek_misses_cleanly() {
+        let db = tiny_db();
+        let p = plan(
+            PhysOp::IndexSeek {
+                table: TableId(0),
+                cols: vec![ColId(0), ColId(1)],
+                key: Value::Int(99),
+                residual: Expr::true_lit(),
+            },
+            vec![],
+            vec![int_col(0), str_col(1)],
+        );
+        assert!(execute(&db, &p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn index_seek_applies_residual() {
+        let db = tiny_db();
+        let p = plan(
+            PhysOp::IndexSeek {
+                table: TableId(0),
+                cols: vec![ColId(0), ColId(1)],
+                key: Value::Int(2),
+                // b IS NULL holds for the row with a=2 -> NOT NULL rejects it
+                residual: Expr::bin(
+                    BinOp::Eq,
+                    Expr::col(ColId(1)),
+                    Expr::lit("one"),
+                ),
+            },
+            vec![],
+            vec![int_col(0), str_col(1)],
+        );
+        assert!(execute(&db, &p).unwrap().is_empty());
+    }
+}

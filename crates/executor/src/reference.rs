@@ -1,0 +1,363 @@
+//! A naive reference evaluator for *logical* trees.
+//!
+//! This is a deliberately independent second implementation of the query
+//! semantics: it interprets the logical operators directly (no optimizer,
+//! no physical plans, no hash tables — just nested loops and sorts), so it
+//! shares no code path with the production pipeline beyond expression
+//! evaluation. Tests use it as an oracle: for any query,
+//! `optimize + execute` must produce the same multiset as `reference_eval`.
+
+use crate::context::{ExecConfig, ResultSet};
+use ruletest_common::{ColId, Error, Result, Row, Value};
+use ruletest_expr::AggAccumulator;
+use ruletest_logical::{JoinKind, LogicalTree, Operator, SortKey};
+use ruletest_storage::Database;
+use std::collections::HashMap;
+
+/// Rows tagged with their column ids (schema travels with the data — the
+/// simplest correct representation, not the fastest).
+#[derive(Debug, Clone)]
+struct Rel {
+    cols: Vec<ColId>,
+    rows: Vec<Row>,
+}
+
+impl Rel {
+    fn position(&self, c: ColId) -> usize {
+        self.cols
+            .iter()
+            .position(|&x| x == c)
+            .unwrap_or_else(|| panic!("reference: unresolved column {c}"))
+    }
+
+    fn get(&self, row: &Row, c: ColId) -> Value {
+        row[self.position(c)].clone()
+    }
+}
+
+fn eval(rel: &Rel, row: &Row, e: &ruletest_expr::Expr) -> Value {
+    ruletest_expr::eval(e, &mut |c| rel.get(row, c))
+}
+
+fn pred(rel: &Rel, row: &Row, e: &ruletest_expr::Expr) -> bool {
+    matches!(eval(rel, row, e), Value::Bool(true))
+}
+
+/// Evaluates a logical tree directly. The work budget mirrors the real
+/// executor's.
+pub fn reference_eval(
+    db: &Database,
+    tree: &LogicalTree,
+    config: &ExecConfig,
+) -> Result<ResultSet> {
+    let mut budget = config.work_budget;
+    let rel = walk(db, tree, &mut budget)?;
+    Ok(rel.rows)
+}
+
+fn charge(budget: &mut u64, n: u64) -> Result<()> {
+    if *budget < n {
+        return Err(Error::unsupported("reference evaluator budget exceeded"));
+    }
+    *budget -= n;
+    Ok(())
+}
+
+fn concat_rel(kind: JoinKind, left: &Rel, right: &Rel) -> Vec<ColId> {
+    match kind {
+        JoinKind::LeftSemi | JoinKind::LeftAnti => left.cols.clone(),
+        _ => {
+            let mut cols = left.cols.clone();
+            cols.extend(right.cols.iter().copied());
+            cols
+        }
+    }
+}
+
+fn walk(db: &Database, tree: &LogicalTree, budget: &mut u64) -> Result<Rel> {
+    match &tree.op {
+        Operator::Get { table, cols } => {
+            let t = db.table(*table)?;
+            charge(budget, t.rows.len() as u64)?;
+            Ok(Rel {
+                cols: cols.clone(),
+                rows: t.rows.clone(),
+            })
+        }
+        Operator::Select { predicate } => {
+            let input = walk(db, &tree.children[0], budget)?;
+            charge(budget, input.rows.len() as u64)?;
+            let rows = input
+                .rows
+                .iter()
+                .filter(|r| pred(&input, r, predicate))
+                .cloned()
+                .collect();
+            Ok(Rel {
+                cols: input.cols.clone(),
+                rows,
+            })
+        }
+        Operator::Project { outputs } => {
+            let input = walk(db, &tree.children[0], budget)?;
+            charge(budget, input.rows.len() as u64)?;
+            let rows = input
+                .rows
+                .iter()
+                .map(|r| outputs.iter().map(|(_, e)| eval(&input, r, e)).collect())
+                .collect();
+            Ok(Rel {
+                cols: outputs.iter().map(|(c, _)| *c).collect(),
+                rows,
+            })
+        }
+        Operator::Join { kind, predicate } => {
+            let left = walk(db, &tree.children[0], budget)?;
+            let right = walk(db, &tree.children[1], budget)?;
+            charge(
+                budget,
+                (left.rows.len() as u64 + 1) * (right.rows.len() as u64 + 1),
+            )?;
+            let cols = concat_rel(*kind, &left, &right);
+            let combined = Rel {
+                cols: {
+                    let mut c = left.cols.clone();
+                    c.extend(right.cols.iter().copied());
+                    c
+                },
+                rows: vec![],
+            };
+            let mut rows: Vec<Row> = Vec::new();
+            let mut right_matched = vec![false; right.rows.len()];
+            for l in &left.rows {
+                let mut matches = 0usize;
+                for (ri, r) in right.rows.iter().enumerate() {
+                    let mut full = l.clone();
+                    full.extend(r.iter().cloned());
+                    if pred(&combined, &full, predicate) {
+                        matches += 1;
+                        right_matched[ri] = true;
+                        match kind {
+                            JoinKind::LeftSemi => {
+                                rows.push(l.clone());
+                                break;
+                            }
+                            JoinKind::LeftAnti => break,
+                            _ => rows.push(full),
+                        }
+                    }
+                }
+                if matches == 0 {
+                    match kind {
+                        JoinKind::LeftOuter | JoinKind::FullOuter => {
+                            let mut padded = l.clone();
+                            padded.extend(std::iter::repeat(Value::Null).take(right.cols.len()));
+                            rows.push(padded);
+                        }
+                        JoinKind::LeftAnti => rows.push(l.clone()),
+                        _ => {}
+                    }
+                }
+            }
+            if kind.preserves_right() {
+                for (ri, r) in right.rows.iter().enumerate() {
+                    if !right_matched[ri] {
+                        let mut padded: Row =
+                            std::iter::repeat(Value::Null).take(left.cols.len()).collect();
+                        padded.extend(r.iter().cloned());
+                        rows.push(padded);
+                    }
+                }
+            }
+            Ok(Rel { cols, rows })
+        }
+        Operator::GbAgg { group_by, aggs } => {
+            let input = walk(db, &tree.children[0], budget)?;
+            charge(budget, input.rows.len() as u64 + 1)?;
+            let key_pos: Vec<usize> = group_by.iter().map(|&c| input.position(c)).collect();
+            let mut groups: Vec<(Vec<Value>, Vec<AggAccumulator>)> = Vec::new();
+            let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+            let fresh = || -> Vec<AggAccumulator> {
+                aggs.iter().map(|a| AggAccumulator::new(a.func)).collect()
+            };
+            if group_by.is_empty() {
+                groups.push((vec![], fresh()));
+            }
+            for row in &input.rows {
+                let key: Vec<Value> = key_pos.iter().map(|&p| row[p].clone()).collect();
+                let gi = if group_by.is_empty() {
+                    0
+                } else {
+                    *index.entry(key.clone()).or_insert_with(|| {
+                        groups.push((key.clone(), fresh()));
+                        groups.len() - 1
+                    })
+                };
+                for (acc, call) in groups[gi].1.iter_mut().zip(aggs) {
+                    let v = match call.arg {
+                        Some(c) => input.get(row, c),
+                        None => Value::Bool(true),
+                    };
+                    acc.update(call.func, &v);
+                }
+            }
+            let mut cols = group_by.clone();
+            cols.extend(aggs.iter().map(|a| a.output));
+            let rows = groups
+                .into_iter()
+                .map(|(key, accs)| {
+                    let mut row = key;
+                    row.extend(accs.into_iter().map(AggAccumulator::finish));
+                    row
+                })
+                .collect();
+            Ok(Rel { cols, rows })
+        }
+        Operator::UnionAll {
+            outputs,
+            left_cols,
+            right_cols,
+        } => {
+            let left = walk(db, &tree.children[0], budget)?;
+            let right = walk(db, &tree.children[1], budget)?;
+            charge(budget, (left.rows.len() + right.rows.len()) as u64)?;
+            let lpos: Vec<usize> = left_cols.iter().map(|&c| left.position(c)).collect();
+            let rpos: Vec<usize> = right_cols.iter().map(|&c| right.position(c)).collect();
+            let mut rows: Vec<Row> = Vec::new();
+            for r in &left.rows {
+                rows.push(lpos.iter().map(|&p| r[p].clone()).collect());
+            }
+            for r in &right.rows {
+                rows.push(rpos.iter().map(|&p| r[p].clone()).collect());
+            }
+            Ok(Rel {
+                cols: outputs.clone(),
+                rows,
+            })
+        }
+        Operator::Distinct => {
+            let input = walk(db, &tree.children[0], budget)?;
+            charge(budget, input.rows.len() as u64)?;
+            let mut seen = std::collections::HashSet::new();
+            let rows = input
+                .rows
+                .iter()
+                .filter(|r| seen.insert((*r).clone()))
+                .cloned()
+                .collect();
+            Ok(Rel {
+                cols: input.cols.clone(),
+                rows,
+            })
+        }
+        Operator::Sort { keys } => {
+            let mut input = walk(db, &tree.children[0], budget)?;
+            charge(budget, input.rows.len() as u64)?;
+            sort_rows(&mut input, keys, false);
+            Ok(input)
+        }
+        Operator::Top { n, keys } => {
+            let mut input = walk(db, &tree.children[0], budget)?;
+            charge(budget, input.rows.len() as u64)?;
+            sort_rows(&mut input, keys, true);
+            input.rows.truncate(*n as usize);
+            Ok(input)
+        }
+    }
+}
+
+/// Sorts by keys; for TOP semantics also applies the plan-independent
+/// full-row tie-break (columns in ascending id order).
+fn sort_rows(rel: &mut Rel, keys: &[SortKey], tie_break: bool) {
+    let key_pos: Vec<(usize, bool)> = keys
+        .iter()
+        .map(|k| (rel.position(k.col), k.descending))
+        .collect();
+    let mut tie_pos: Vec<(ColId, usize)> = rel
+        .cols
+        .iter()
+        .enumerate()
+        .map(|(p, &c)| (c, p))
+        .collect();
+    tie_pos.sort_by_key(|(c, _)| *c);
+    rel.rows.sort_by(|a, b| {
+        for &(p, desc) in &key_pos {
+            let c = a[p].total_cmp(&b[p]);
+            if c != std::cmp::Ordering::Equal {
+                return if desc { c.reverse() } else { c };
+            }
+        }
+        if tie_break {
+            for &(_, p) in &tie_pos {
+                let c = a[p].total_cmp(&b[p]);
+                if c != std::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::testkit::tiny_db;
+    use ruletest_expr::{AggCall, AggFunc, Expr};
+    use ruletest_logical::IdGen;
+
+    fn get(db: &Database, name: &str, ids: &mut IdGen) -> LogicalTree {
+        LogicalTree::get(db.catalog.table_by_name(name).unwrap(), ids)
+    }
+
+    #[test]
+    fn reference_scan_and_filter() {
+        let db = tiny_db();
+        let mut ids = IdGen::new();
+        let t = get(&db, "t0", &mut ids);
+        let key = t.output_col(0);
+        let q = LogicalTree::select(
+            t,
+            Expr::bin(ruletest_expr::BinOp::Gt, Expr::col(key), Expr::lit(1i64)),
+        );
+        let rows = reference_eval(&db, &q, &ExecConfig::default()).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn reference_outer_join_pads() {
+        let db = tiny_db();
+        let mut ids = IdGen::new();
+        let l = get(&db, "t0", &mut ids);
+        let r = get(&db, "t1", &mut ids);
+        let p = Expr::eq(Expr::col(l.output_col(0)), Expr::col(r.output_col(0)));
+        let q = LogicalTree::join(JoinKind::FullOuter, l, r, p);
+        let rows = reference_eval(&db, &q, &ExecConfig::default()).unwrap();
+        assert_eq!(rows.len(), 4, "2 matches + 1 left pad + 1 right pad");
+    }
+
+    #[test]
+    fn reference_scalar_agg_on_empty_input() {
+        let db = tiny_db();
+        let mut ids = IdGen::new();
+        let t = get(&db, "t0", &mut ids);
+        let filtered = LogicalTree::select(t, Expr::lit(false));
+        let out = ids.fresh();
+        let q = LogicalTree::gbagg(
+            filtered,
+            vec![],
+            vec![AggCall::new(AggFunc::CountStar, None, out)],
+        );
+        let rows = reference_eval(&db, &q, &ExecConfig::default()).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn reference_budget_is_enforced() {
+        let db = tiny_db();
+        let mut ids = IdGen::new();
+        let t = get(&db, "t0", &mut ids);
+        let err = reference_eval(&db, &t, &ExecConfig { work_budget: 1 });
+        assert!(matches!(err, Err(Error::Unsupported(_))));
+    }
+}

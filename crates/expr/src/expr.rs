@@ -1,0 +1,191 @@
+//! The scalar expression tree.
+
+use ruletest_common::{ColId, Value};
+use std::fmt;
+
+/// Binary operators. Comparison and logical operators produce BOOL;
+/// arithmetic operators produce INT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// True for `=, <>, <, <=, >, >=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// True for `+, -, *`.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul)
+    }
+
+    /// True for `AND, OR`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// SQL spelling of the operator.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+/// A scalar expression over column ids.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Reference to a column instance by id.
+    Col(ColId),
+    /// A constant.
+    Lit(Value),
+    /// Binary operation.
+    Bin {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    /// Logical negation (Kleene NOT).
+    Not(Box<Expr>),
+    /// `expr IS NULL` — total (never returns NULL itself).
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    pub fn col(id: ColId) -> Expr {
+        Expr::Col(id)
+    }
+
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Bin {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    pub fn eq(left: Expr, right: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, left, right)
+    }
+
+    pub fn and(left: Expr, right: Expr) -> Expr {
+        Expr::bin(BinOp::And, left, right)
+    }
+
+    pub fn or(left: Expr, right: Expr) -> Expr {
+        Expr::bin(BinOp::Or, left, right)
+    }
+
+    pub fn not(inner: Expr) -> Expr {
+        Expr::Not(Box::new(inner))
+    }
+
+    pub fn is_null(inner: Expr) -> Expr {
+        Expr::IsNull(Box::new(inner))
+    }
+
+    /// The constant TRUE predicate.
+    pub fn true_lit() -> Expr {
+        Expr::Lit(Value::Bool(true))
+    }
+
+    /// True iff this is the literal TRUE.
+    pub fn is_true_lit(&self) -> bool {
+        matches!(self, Expr::Lit(Value::Bool(true)))
+    }
+
+    /// Number of nodes in the expression tree.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Col(_) | Expr::Lit(_) => 1,
+            Expr::Bin { left, right, .. } => 1 + left.node_count() + right.node_count(),
+            Expr::Not(e) | Expr::IsNull(e) => 1 + e.node_count(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(c) => write!(f, "{c}"),
+            Expr::Lit(v) => write!(f, "{}", v.to_sql_literal()),
+            Expr::Bin { op, left, right } => write!(f, "({left} {} {right})", op.sql()),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classification_is_partition() {
+        for op in [
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::And,
+            BinOp::Or,
+        ] {
+            let classes = [op.is_comparison(), op.is_arithmetic(), op.is_logical()];
+            assert_eq!(classes.iter().filter(|&&b| b).count(), 1, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn display_renders_sql_like_text() {
+        let e = Expr::and(
+            Expr::eq(Expr::col(ColId(1)), Expr::lit(5i64)),
+            Expr::not(Expr::is_null(Expr::col(ColId(2)))),
+        );
+        assert_eq!(e.to_string(), "((c1 = 5) AND (NOT (c2 IS NULL)))");
+    }
+
+    #[test]
+    fn node_count() {
+        let e = Expr::and(
+            Expr::eq(Expr::col(ColId(1)), Expr::lit(5i64)),
+            Expr::true_lit(),
+        );
+        assert_eq!(e.node_count(), 5);
+        assert!(Expr::true_lit().is_true_lit());
+        assert!(!Expr::lit(false).is_true_lit());
+    }
+}

@@ -1,0 +1,116 @@
+//! Static type inference for scalar expressions.
+
+use crate::expr::Expr;
+use ruletest_common::{ColId, DataType, Error, Result};
+
+/// Infers the type of `expr` given a column-type resolver. Returns `None`
+/// for the untyped literal NULL.
+pub fn infer_type(
+    expr: &Expr,
+    col_type: &impl Fn(ColId) -> Option<DataType>,
+) -> Result<Option<DataType>> {
+    match expr {
+        Expr::Col(c) => col_type(*c)
+            .map(Some)
+            .ok_or_else(|| Error::invalid(format!("unknown column {c}"))),
+        Expr::Lit(v) => Ok(v.data_type()),
+        Expr::IsNull(e) => {
+            infer_type(e, col_type)?;
+            Ok(Some(DataType::Bool))
+        }
+        Expr::Not(e) => {
+            let t = infer_type(e, col_type)?;
+            match t {
+                None | Some(DataType::Bool) => Ok(Some(DataType::Bool)),
+                Some(other) => Err(Error::invalid(format!("NOT over {other}"))),
+            }
+        }
+        Expr::Bin { op, left, right } => {
+            let lt = infer_type(left, col_type)?;
+            let rt = infer_type(right, col_type)?;
+            if op.is_comparison() {
+                match (lt, rt) {
+                    (Some(a), Some(b)) if a != b => {
+                        Err(Error::invalid(format!("comparing {a} with {b}")))
+                    }
+                    _ => Ok(Some(DataType::Bool)),
+                }
+            } else if op.is_arithmetic() {
+                for t in [lt, rt].into_iter().flatten() {
+                    if t != DataType::Int {
+                        return Err(Error::invalid(format!("arithmetic over {t}")));
+                    }
+                }
+                Ok(Some(DataType::Int))
+            } else {
+                for t in [lt, rt].into_iter().flatten() {
+                    if t != DataType::Bool {
+                        return Err(Error::invalid(format!("logical op over {t}")));
+                    }
+                }
+                Ok(Some(DataType::Bool))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    fn resolver(id: ColId) -> Option<DataType> {
+        match id.0 {
+            1 => Some(DataType::Int),
+            2 => Some(DataType::Str),
+            3 => Some(DataType::Bool),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn well_typed_predicate() {
+        let e = Expr::and(
+            Expr::eq(Expr::col(ColId(1)), Expr::lit(4i64)),
+            Expr::not(Expr::col(ColId(3))),
+        );
+        assert_eq!(infer_type(&e, &resolver).unwrap(), Some(DataType::Bool));
+    }
+
+    #[test]
+    fn cross_type_comparison_rejected() {
+        let e = Expr::eq(Expr::col(ColId(1)), Expr::col(ColId(2)));
+        assert!(infer_type(&e, &resolver).is_err());
+    }
+
+    #[test]
+    fn arithmetic_requires_int() {
+        let ok = Expr::bin(BinOp::Add, Expr::col(ColId(1)), Expr::lit(1i64));
+        assert_eq!(infer_type(&ok, &resolver).unwrap(), Some(DataType::Int));
+        let bad = Expr::bin(BinOp::Add, Expr::col(ColId(2)), Expr::lit(1i64));
+        assert!(infer_type(&bad, &resolver).is_err());
+    }
+
+    #[test]
+    fn null_literal_is_polymorphic() {
+        use ruletest_common::Value;
+        let e = Expr::eq(Expr::col(ColId(2)), Expr::Lit(Value::Null));
+        assert_eq!(infer_type(&e, &resolver).unwrap(), Some(DataType::Bool));
+        assert_eq!(
+            infer_type(&Expr::Lit(Value::Null), &resolver).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let e = Expr::col(ColId(99));
+        assert!(infer_type(&e, &resolver).is_err());
+    }
+
+    #[test]
+    fn logical_over_string_rejected() {
+        let e = Expr::and(Expr::col(ColId(2)), Expr::lit(true));
+        assert!(infer_type(&e, &resolver).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests for the expression analyses that rule preconditions rely
+//! on — above all, that the *syntactic* null-rejection test is sound with
+//! respect to actual three-valued evaluation.
+
+use proptest::prelude::*;
+use ruletest_common::{ColId, Value};
+use ruletest_expr::{
+    columns_of, conjoin, conjuncts, eval, is_null_rejecting, remap_columns, substitute, BinOp,
+    Expr,
+};
+use std::collections::{BTreeSet, HashMap};
+
+/// Random predicate over columns c0..c4 (INT-typed domain).
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u32..5).prop_map(|i| Expr::col(ColId(i))),
+        (-5i64..5).prop_map(Expr::lit),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), cmp_op())
+                .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
+            inner.clone().prop_map(|e| Expr::is_null(e)),
+            (pred_strategy_inner(inner.clone()), pred_strategy_inner(inner.clone()))
+                .prop_map(|(a, b)| Expr::and(a, b)),
+        ]
+    })
+}
+
+fn cmp_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ]
+}
+
+/// Boolean-valued expression built over integer leaves.
+fn pred_strategy_inner(int_expr: impl Strategy<Value = Expr> + Clone) -> impl Strategy<Value = Expr> {
+    (int_expr.clone(), int_expr, cmp_op()).prop_map(|(a, b, op)| Expr::bin(op, a, b))
+}
+
+/// A random boolean predicate (comparisons combined with AND/OR/NOT).
+fn predicate_strategy() -> impl Strategy<Value = Expr> {
+    let atom = prop_oneof![
+        ((0u32..5), (-5i64..5), cmp_op())
+            .prop_map(|(c, v, op)| Expr::bin(op, Expr::col(ColId(c)), Expr::lit(v))),
+        ((0u32..5), (0u32..5), cmp_op())
+            .prop_map(|(a, b, op)| Expr::bin(op, Expr::col(ColId(a)), Expr::col(ColId(b)))),
+        (0u32..5).prop_map(|c| Expr::is_null(Expr::col(ColId(c)))),
+    ];
+    atom.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
+            inner.clone().prop_map(Expr::not),
+        ]
+    })
+}
+
+fn eval_with(pred: &Expr, binding: &HashMap<ColId, Value>) -> Value {
+    eval(pred, &mut |c| {
+        binding.get(&c).cloned().unwrap_or(Value::Null)
+    })
+}
+
+proptest! {
+    /// Soundness of the null-rejection analysis: if the analysis says a
+    /// predicate rejects NULLs of column c, then no binding with c = NULL
+    /// can make the predicate TRUE.
+    #[test]
+    fn null_rejection_is_sound(
+        pred in predicate_strategy(),
+        vals in prop::collection::vec(-5i64..5, 5),
+        target in 0u32..5,
+    ) {
+        let cols = BTreeSet::from([ColId(target)]);
+        if is_null_rejecting(&pred, &cols) {
+            let mut binding: HashMap<ColId, Value> = vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (ColId(i as u32), Value::Int(v)))
+                .collect();
+            binding.insert(ColId(target), Value::Null);
+            prop_assert_ne!(
+                eval_with(&pred, &binding),
+                Value::Bool(true),
+                "analysis claimed rejection but predicate is TRUE: {}",
+                pred
+            );
+        }
+    }
+
+    /// `conjoin(conjuncts(p))` is truth-equivalent to `p` under any binding.
+    #[test]
+    fn conjunct_roundtrip_preserves_truth(
+        pred in predicate_strategy(),
+        vals in prop::collection::vec(prop_oneof![
+            Just(Value::Null),
+            (-5i64..5).prop_map(Value::Int)
+        ], 5),
+    ) {
+        let binding: HashMap<ColId, Value> = vals
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (ColId(i as u32), v))
+            .collect();
+        let parts = conjuncts(&pred);
+        let rebuilt = conjoin(parts);
+        prop_assert_eq!(eval_with(&pred, &binding), eval_with(&rebuilt, &binding));
+    }
+
+    /// Column remapping is invertible and consistent with the column set.
+    #[test]
+    fn remap_roundtrip(expr in expr_strategy()) {
+        let forward: HashMap<ColId, ColId> =
+            (0..5).map(|i| (ColId(i), ColId(i + 100))).collect();
+        let back: HashMap<ColId, ColId> =
+            (0..5).map(|i| (ColId(i + 100), ColId(i))).collect();
+        let mapped = remap_columns(&expr, &forward);
+        for c in columns_of(&mapped) {
+            prop_assert!(c.0 >= 100, "column {c} escaped the remap");
+        }
+        prop_assert_eq!(remap_columns(&mapped, &back), expr);
+    }
+
+    /// Substituting identity expressions is a no-op.
+    #[test]
+    fn identity_substitution_is_noop(expr in expr_strategy()) {
+        let identity: HashMap<ColId, Expr> =
+            (0..5).map(|i| (ColId(i), Expr::col(ColId(i)))).collect();
+        prop_assert_eq!(substitute(&expr, &identity), expr);
+    }
+
+    /// Evaluation never panics on well-typed integer predicates, and
+    /// produces only NULL/TRUE/FALSE for boolean shapes.
+    #[test]
+    fn predicates_evaluate_to_three_values(
+        pred in predicate_strategy(),
+        vals in prop::collection::vec(prop_oneof![
+            Just(Value::Null),
+            (-5i64..5).prop_map(Value::Int)
+        ], 5),
+    ) {
+        let binding: HashMap<ColId, Value> = vals
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (ColId(i as u32), v))
+            .collect();
+        let v = eval_with(&pred, &binding);
+        prop_assert!(matches!(v, Value::Null | Value::Bool(_)), "got {v:?}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for logical-tree utilities and schema derivation.
+
+use proptest::prelude::*;
+use ruletest_common::Rng;
+use ruletest_expr::Expr;
+use ruletest_logical::{derive_schema, IdGen, JoinKind, LogicalTree, Operator};
+use ruletest_storage::tpch_catalog;
+
+/// Builds a random (always-valid) join/select chain over the catalog —
+/// a lightweight local generator so this crate does not depend on core.
+fn random_chain(seed: u64, depth: usize) -> LogicalTree {
+    let cat = tpch_catalog();
+    let mut rng = Rng::new(seed);
+    let mut ids = IdGen::new();
+    let tables = cat.tables();
+    let mut tree = LogicalTree::get(&tables[rng.gen_index(tables.len())], &mut ids);
+    for _ in 0..depth {
+        if rng.gen_bool(0.5) {
+            let right = LogicalTree::get(&tables[rng.gen_index(tables.len())], &mut ids);
+            tree = LogicalTree::join(JoinKind::Inner, tree, right, Expr::true_lit());
+        } else {
+            tree = LogicalTree::select(tree, Expr::true_lit());
+        }
+    }
+    tree
+}
+
+proptest! {
+    /// `IdGen::above` always allocates ids strictly greater than any id in
+    /// the tree.
+    #[test]
+    fn idgen_above_is_strictly_fresh(seed in any::<u64>(), depth in 0usize..6) {
+        let tree = random_chain(seed, depth);
+        let mut gen = IdGen::above(&tree);
+        let fresh = gen.fresh();
+        tree.visit(&mut |n| {
+            if let Operator::Get { cols, .. } = &n.op {
+                for c in cols {
+                    assert!(c.0 < fresh.0, "fresh id {fresh} collides with {c}");
+                }
+            }
+        });
+    }
+
+    /// Schema derivation is deterministic and sized consistently with the
+    /// operator semantics.
+    #[test]
+    fn schema_derivation_is_deterministic(seed in any::<u64>(), depth in 0usize..6) {
+        let cat = tpch_catalog();
+        let tree = random_chain(seed, depth);
+        let a = derive_schema(&cat, &tree).unwrap();
+        let b = derive_schema(&cat, &tree).unwrap();
+        prop_assert_eq!(&a, &b);
+        // Ids are unique within a schema.
+        let mut ids: Vec<_> = a.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), a.len());
+    }
+
+    /// op_count equals the number of nodes visited.
+    #[test]
+    fn op_count_matches_visit(seed in any::<u64>(), depth in 0usize..6) {
+        let tree = random_chain(seed, depth);
+        let mut n = 0usize;
+        tree.visit(&mut |_| n += 1);
+        prop_assert_eq!(n, tree.op_count());
+        prop_assert_eq!(tree.op_count(), depth + 1 + tree.tables().len() - 1);
+    }
+}

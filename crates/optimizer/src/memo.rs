@@ -1,0 +1,361 @@
+//! The memo: groups of logically equivalent expressions.
+//!
+//! The memo deduplicates expressions globally — inserting a substitute that
+//! structurally equals an existing expression is a no-op — which is what
+//! keeps exploration to a fixpoint finite even with inverse rule pairs
+//! (merge/split, commute twice, ...).
+
+use crate::rule::{NewChild, NewTree};
+use ruletest_common::{Error, Result};
+use ruletest_logical::{output_schema, Operator, Schema};
+use ruletest_storage::Database;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a group in the memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// One logical expression inside a group: an operator whose children are
+/// groups.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroupExpr {
+    pub op: Operator,
+    pub children: Vec<GroupId>,
+}
+
+/// A set of logically equivalent expressions sharing an output schema and a
+/// cardinality estimate.
+#[derive(Debug, Clone)]
+pub struct Group {
+    pub exprs: Vec<GroupExpr>,
+    /// Per-expression provenance flag, aligned with `exprs`: `true` when
+    /// the expression's derivation from the seed tree used no fresh-id
+    /// minting rule. Fresh-id rules fire only on organic expressions —
+    /// an intrinsic (mask-independent) property that keeps the exploration
+    /// fixpoint finite without order-dependent throttling.
+    pub organic: Vec<bool>,
+    /// Which rule created each expression (`None` for the seed tree) —
+    /// backs the §7 "rule r2 exercised on an expression obtained as a
+    /// result of exercising rule r1" interaction tracking.
+    pub created_by: Vec<Option<ruletest_common::RuleId>>,
+    pub schema: Schema,
+    /// Estimated output rows (a logical property: computed once from the
+    /// first expression inserted, which is the canonical one).
+    pub est_rows: f64,
+}
+
+/// The memo structure.
+pub struct Memo {
+    groups: Vec<Group>,
+    dedup: HashMap<GroupExpr, GroupId>,
+}
+
+impl Memo {
+    pub fn new() -> Self {
+        Self {
+            groups: Vec::new(),
+            dedup: HashMap::new(),
+        }
+    }
+
+    pub fn group(&self, id: GroupId) -> &Group {
+        &self.groups[id.0 as usize]
+    }
+
+    pub fn schema(&self, id: GroupId) -> &Schema {
+        &self.group(id).schema
+    }
+
+    pub fn est_rows(&self, id: GroupId) -> f64 {
+        self.group(id).est_rows
+    }
+
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn num_exprs(&self) -> usize {
+        self.groups.iter().map(|g| g.exprs.len()).sum()
+    }
+
+    /// Inserts a substitute. `target` is `Some(g)` when the substitute is
+    /// equivalent to group `g` (the normal rule case) and `None` when a new
+    /// group should be created for it (sub-expressions minted by rules).
+    /// `organic` is false when the substitute was produced by (or derives
+    /// from) a fresh-id minting rule — see [`Group::organic`].
+    ///
+    /// Returns the group the root landed in and whether anything new was
+    /// added anywhere in the tree.
+    pub fn insert(
+        &mut self,
+        db: &Database,
+        tree: &NewTree,
+        target: Option<GroupId>,
+        organic: bool,
+    ) -> Result<(GroupId, bool)> {
+        self.insert_created_by(db, tree, target, organic, None)
+    }
+
+    /// Like [`Memo::insert`], recording the rule that produced the
+    /// substitute.
+    pub fn insert_created_by(
+        &mut self,
+        db: &Database,
+        tree: &NewTree,
+        target: Option<GroupId>,
+        organic: bool,
+        creator: Option<ruletest_common::RuleId>,
+    ) -> Result<(GroupId, bool)> {
+        let mut any_new = false;
+        let mut child_ids = Vec::with_capacity(tree.children.len());
+        for c in &tree.children {
+            match c {
+                NewChild::Group(g) => {
+                    if g.0 as usize >= self.groups.len() {
+                        return Err(Error::internal(format!("dangling group reference {g}")));
+                    }
+                    child_ids.push(*g);
+                }
+                NewChild::Tree(t) => {
+                    let (g, n) = self.insert_created_by(db, t, None, organic, creator)?;
+                    any_new |= n;
+                    child_ids.push(g);
+                }
+            }
+        }
+        let expr = GroupExpr {
+            op: tree.op.clone(),
+            children: child_ids,
+        };
+        let (g, n) = self.add_expr(db, expr, target, organic, creator)?;
+        Ok((g, any_new || n))
+    }
+
+    /// True iff expression `ei` of group `g` is organic.
+    pub fn is_organic(&self, g: GroupId, ei: usize) -> bool {
+        self.groups[g.0 as usize].organic[ei]
+    }
+
+    /// The rule that created expression `ei` of group `g`, if any.
+    pub fn created_by(&self, g: GroupId, ei: usize) -> Option<ruletest_common::RuleId> {
+        self.groups[g.0 as usize].created_by[ei]
+    }
+
+    /// Adds a single expression, deduplicating globally.
+    fn add_expr(
+        &mut self,
+        db: &Database,
+        expr: GroupExpr,
+        target: Option<GroupId>,
+        organic: bool,
+        creator: Option<ruletest_common::RuleId>,
+    ) -> Result<(GroupId, bool)> {
+        if let Some(&existing) = self.dedup.get(&expr) {
+            // Already known. An organic re-derivation upgrades the stored
+            // flag.
+            if organic {
+                let group = &mut self.groups[existing.0 as usize];
+                if let Some(pos) = group.exprs.iter().position(|e| *e == expr) {
+                    group.organic[pos] = true;
+                }
+            }
+            // If the caller proved this expression equivalent to a
+            // *different* group, record it there too (full Cascades would
+            // merge the groups). Membership placement must not depend on
+            // which derivation happened to run first — that would make the
+            // searched plan space, and thus the best cost, depend on the
+            // rule mask in non-monotonic ways.
+            if let Some(target) = target {
+                if target != existing {
+                    let group = &self.groups[target.0 as usize];
+                    if !group.exprs.contains(&expr) {
+                        let child_schemas: Vec<&Schema> =
+                            expr.children.iter().map(|&c| self.schema(c)).collect();
+                        let schema = output_schema(&db.catalog, &expr.op, &child_schemas)?;
+                        let tgroup = &self.groups[target.0 as usize];
+                        if !same_shape(&tgroup.schema, &schema) {
+                            return Err(Error::internal(format!(
+                                "substitute schema mismatch in {target}: op {}",
+                                expr.op.label()
+                            )));
+                        }
+                        let tgroup = &mut self.groups[target.0 as usize];
+                        tgroup.exprs.push(expr);
+                        tgroup.organic.push(organic);
+                        tgroup.created_by.push(creator);
+                        return Ok((target, true));
+                    }
+                    return Ok((target, false));
+                }
+            }
+            return Ok((existing, false));
+        }
+        let child_schemas: Vec<&Schema> =
+            expr.children.iter().map(|&c| self.schema(c)).collect();
+        let schema = output_schema(&db.catalog, &expr.op, &child_schemas)?;
+        let gid = match target {
+            Some(g) => {
+                let group = &self.groups[g.0 as usize];
+                if !same_shape(&group.schema, &schema) {
+                    return Err(Error::internal(format!(
+                        "substitute schema mismatch in {g}: {:?} vs {:?} (op {})",
+                        group.schema,
+                        schema,
+                        expr.op.label()
+                    )));
+                }
+                g
+            }
+            None => {
+                let child_rows: Vec<f64> =
+                    expr.children.iter().map(|&c| self.est_rows(c)).collect();
+                let est = crate::cost::estimate_rows(db, &expr.op, &child_schemas, &child_rows);
+                self.groups.push(Group {
+                    exprs: Vec::new(),
+                    organic: Vec::new(),
+                    created_by: Vec::new(),
+                    schema,
+                    est_rows: est,
+                });
+                GroupId((self.groups.len() - 1) as u32)
+            }
+        };
+        self.dedup.insert(expr.clone(), gid);
+        let group = &mut self.groups[gid.0 as usize];
+        group.exprs.push(expr);
+        group.organic.push(organic);
+        group.created_by.push(creator);
+        Ok((gid, true))
+    }
+}
+
+impl Default for Memo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Schema compatibility for group membership: same *set* of column ids and
+/// types. Order is excluded because commutativity rules legitimately permute
+/// it (executors resolve columns by id, and the optimizer pins the root
+/// output order with a projection). Nullability may *narrow* through
+/// transformations (e.g. an outer join simplified to an inner join), so it
+/// is excluded too.
+fn same_shape(a: &Schema, b: &Schema) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    a.iter().all(|x| {
+        b.iter()
+            .any(|y| x.id == y.id && x.data_type == y.data_type)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::newtree_from_logical;
+    use ruletest_expr::Expr;
+    use ruletest_logical::{IdGen, JoinKind, LogicalTree};
+    use ruletest_storage::{tpch_database, TpchConfig};
+
+    fn db() -> Database {
+        tpch_database(&TpchConfig::default()).unwrap()
+    }
+
+    fn join_tree(db: &Database, ids: &mut IdGen) -> LogicalTree {
+        let l = LogicalTree::get(db.catalog.table_by_name("region").unwrap(), ids);
+        let r = LogicalTree::get(db.catalog.table_by_name("nation").unwrap(), ids);
+        let pred = Expr::eq(Expr::col(l.output_col(0)), Expr::col(r.output_col(2)));
+        LogicalTree::join(JoinKind::Inner, l, r, pred)
+    }
+
+    #[test]
+    fn inserting_a_tree_creates_one_group_per_operator() {
+        let db = db();
+        let mut memo = Memo::new();
+        let mut ids = IdGen::new();
+        let tree = join_tree(&db, &mut ids);
+        let nt = newtree_from_logical(&tree);
+        let (root, fresh) = memo.insert(&db, &nt, None, true).unwrap();
+        assert!(fresh);
+        assert_eq!(memo.num_groups(), 3);
+        assert_eq!(memo.num_exprs(), 3);
+        assert_eq!(memo.schema(root).len(), 5);
+        assert!(memo.est_rows(root) > 0.0);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let db = db();
+        let mut memo = Memo::new();
+        let mut ids = IdGen::new();
+        let tree = join_tree(&db, &mut ids);
+        let nt = newtree_from_logical(&tree);
+        let (g1, _) = memo.insert(&db, &nt, None, true).unwrap();
+        let (g2, fresh) = memo.insert(&db, &nt, None, true).unwrap();
+        assert_eq!(g1, g2);
+        assert!(!fresh);
+        assert_eq!(memo.num_exprs(), 3);
+    }
+
+    #[test]
+    fn substitute_into_target_group_shares_schema() {
+        let db = db();
+        let mut memo = Memo::new();
+        let mut ids = IdGen::new();
+        let tree = join_tree(&db, &mut ids);
+        let (root, _) = memo
+            .insert(&db, &newtree_from_logical(&tree), None, true)
+            .unwrap();
+        // Commuted join: same predicate, swapped children -> same schema set
+        // but different column order... so build the *same* join again (dup)
+        // plus a select-true wrapper targeted at the root group: schema is
+        // identical, so it must be accepted.
+        let sel = NewTree::new(
+            Operator::Select {
+                predicate: Expr::true_lit(),
+            },
+            vec![NewChild::Group(root)],
+        );
+        let (g, fresh) = memo.insert(&db, &sel, Some(root), false).unwrap();
+        assert_eq!(g, root);
+        assert!(fresh);
+        assert_eq!(memo.group(root).exprs.len(), 2);
+    }
+
+    #[test]
+    fn mismatched_substitute_schema_is_rejected() {
+        let db = db();
+        let mut memo = Memo::new();
+        let mut ids = IdGen::new();
+        let tree = join_tree(&db, &mut ids);
+        let (root, _) = memo
+            .insert(&db, &newtree_from_logical(&tree), None, true)
+            .unwrap();
+        let other = LogicalTree::get(db.catalog.table_by_name("part").unwrap(), &mut ids);
+        let bad = newtree_from_logical(&other);
+        assert!(memo.insert(&db, &bad, Some(root), true).is_err());
+    }
+
+    #[test]
+    fn dangling_group_reference_is_internal_error() {
+        let db = db();
+        let mut memo = Memo::new();
+        let nt = NewTree::new(
+            Operator::Distinct,
+            vec![NewChild::Group(GroupId(42))],
+        );
+        assert!(matches!(
+            memo.insert(&db, &nt, None, true),
+            Err(Error::Internal(_))
+        ));
+    }
+}

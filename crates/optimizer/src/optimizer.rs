@@ -1,0 +1,800 @@
+//! The optimization driver: exploration to a fixpoint, then cost-based
+//! plan extraction — with the three testing extensions (rule tracing, rule
+//! masking, pattern export) the framework requires (§2.3).
+
+use crate::cost::phys_cost;
+use crate::mask::RuleMask;
+use crate::memo::{GroupId, Memo};
+use crate::pattern::{OpMatcher, PatternTree};
+use crate::physical::{PhysOp, PhysicalPlan};
+use crate::rule::{newtree_from_logical, Bound, BoundChild, Rule, RuleAction, RuleCtx, RuleKind};
+use crate::rules::exploration_rules;
+use crate::rules_impl::implementation_rules;
+use ruletest_common::{Error, Result, RuleId};
+use ruletest_expr::Expr;
+use ruletest_logical::{
+    derive_schema, output_schema, IdGen, JoinKind, LogicalTree, Operator, Schema,
+};
+use ruletest_storage::Database;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Search budgets and the rule mask for one optimization.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Disabled rules (`¬R`); empty for `Plan(q)`.
+    pub mask: RuleMask,
+    /// Safety cap on total memo expressions; exceeding it sets
+    /// [`OptimizeResult::truncated`].
+    pub max_exprs: usize,
+    /// Safety cap on exploration passes.
+    pub max_passes: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self {
+            mask: RuleMask::all_enabled(),
+            // Large enough that the fixpoint is reached for the padded
+            // pattern queries correctness suites use; large random
+            // multi-join queries may truncate (industrial optimizers prune
+            // their search too).
+            max_exprs: 3_000,
+            max_passes: 64,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// All rules enabled.
+    pub fn all_enabled() -> Self {
+        Self::default()
+    }
+
+    /// Disabling exactly `rules`.
+    pub fn disabling(rules: &[RuleId]) -> Self {
+        Self {
+            mask: RuleMask::disabling(rules),
+            ..Self::default()
+        }
+    }
+}
+
+/// The outcome of optimizing one query.
+#[derive(Debug, Clone)]
+pub struct OptimizeResult {
+    /// `Plan(q)` (or `Plan(q, ¬R)` under a mask).
+    pub plan: PhysicalPlan,
+    /// `Cost(q)` — the plan's estimated cost in optimizer units.
+    pub cost: f64,
+    /// `RuleSet(q)`: every rule exercised during this optimization.
+    pub rule_set: BTreeSet<RuleId>,
+    /// Observed rule dependencies (§7's second interaction flavor): a pair
+    /// `(r1, r2)` records that r2 fired on an expression r1 had created.
+    pub rule_dependencies: BTreeSet<(RuleId, RuleId)>,
+    /// Memo size diagnostics.
+    pub groups: usize,
+    pub exprs: usize,
+    /// True if a search budget was hit (the plan is still valid, the
+    /// exploration just stopped early).
+    pub truncated: bool,
+}
+
+impl OptimizeResult {
+    /// Exercised rules restricted to exploration rules.
+    pub fn exercised(&self, optimizer: &Optimizer) -> BTreeSet<RuleId> {
+        self.rule_set
+            .iter()
+            .copied()
+            .filter(|&r| optimizer.rule(r).kind == RuleKind::Exploration)
+            .collect()
+    }
+}
+
+/// The rule-based optimizer.
+pub struct Optimizer {
+    db: Arc<Database>,
+    rules: Vec<Rule>,
+    by_name: HashMap<&'static str, RuleId>,
+    /// Exploration-rule indexes whose pattern root can match each OpKind —
+    /// avoids testing all rules against every expression.
+    explore_by_kind: HashMap<ruletest_logical::OpKind, Vec<usize>>,
+    /// Same for implementation rules.
+    implement_by_kind: HashMap<ruletest_logical::OpKind, Vec<usize>>,
+    invocations: AtomicU64,
+}
+
+impl Optimizer {
+    /// Builds the optimizer with the full rule catalog over `db`.
+    pub fn new(db: Arc<Database>) -> Self {
+        let mut rules = exploration_rules();
+        rules.extend(implementation_rules());
+        Self::with_rules(db, rules)
+    }
+
+    /// Builds the optimizer with the standard catalog, but with any rule
+    /// whose name matches an override replaced by the override. This is the
+    /// fault-injection hook the testing framework uses to demonstrate that
+    /// correctness validation detects incorrectly implemented rules.
+    pub fn new_with_overrides(db: Arc<Database>, overrides: Vec<Rule>) -> Self {
+        let mut rules = exploration_rules();
+        rules.extend(implementation_rules());
+        for over in overrides {
+            if let Some(slot) = rules.iter_mut().find(|r| r.name == over.name) {
+                *slot = over;
+            } else {
+                rules.push(over);
+            }
+        }
+        Self::with_rules(db, rules)
+    }
+
+    fn with_rules(db: Arc<Database>, rules: Vec<Rule>) -> Self {
+        let by_name = rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name, RuleId(i as u16)))
+            .collect();
+        use ruletest_logical::OpKind;
+        const ALL_KINDS: [OpKind; 9] = [
+            OpKind::Get,
+            OpKind::Select,
+            OpKind::Project,
+            OpKind::Join,
+            OpKind::GbAgg,
+            OpKind::UnionAll,
+            OpKind::Distinct,
+            OpKind::Sort,
+            OpKind::Top,
+        ];
+        let mut explore_by_kind: HashMap<OpKind, Vec<usize>> = HashMap::new();
+        let mut implement_by_kind: HashMap<OpKind, Vec<usize>> = HashMap::new();
+        for kind in ALL_KINDS {
+            for (i, r) in rules.iter().enumerate() {
+                let root_accepts = match &r.pattern {
+                    PatternTree::Op { matcher, .. } => match matcher {
+                        OpMatcher::Kind(k) => *k == kind,
+                        OpMatcher::Join(_) => kind == OpKind::Join,
+                    },
+                    PatternTree::Any => true,
+                };
+                if root_accepts {
+                    match r.kind {
+                        RuleKind::Exploration => {
+                            explore_by_kind.entry(kind).or_default().push(i)
+                        }
+                        RuleKind::Implementation => {
+                            implement_by_kind.entry(kind).or_default().push(i)
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            db,
+            rules,
+            by_name,
+            explore_by_kind,
+            implement_by_kind,
+            invocations: AtomicU64::new(0),
+        }
+    }
+
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Total number of rules.
+    pub fn num_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn rule(&self, id: RuleId) -> &Rule {
+        &self.rules[id.0 as usize]
+    }
+
+    pub fn rule_id(&self, name: &str) -> Option<RuleId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// **The pattern-export API of §3.1**: the rule pattern tree for a rule.
+    /// Serialize with [`PatternTree::to_xml`] for the paper's XML format.
+    pub fn rule_pattern(&self, id: RuleId) -> &PatternTree {
+        &self.rule(id).pattern
+    }
+
+    /// Ids of all exploration (logical) rules, in stable order.
+    pub fn exploration_rule_ids(&self) -> Vec<RuleId> {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.kind == RuleKind::Exploration)
+            .map(|(i, _)| RuleId(i as u16))
+            .collect()
+    }
+
+    /// Ids of all implementation (physical) rules.
+    pub fn implementation_rule_ids(&self) -> Vec<RuleId> {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.kind == RuleKind::Implementation)
+            .map(|(i, _)| RuleId(i as u16))
+            .collect()
+    }
+
+    /// Number of `optimize*` calls made so far (the "optimizer invocations"
+    /// counted by §5.3.1 / Figure 14).
+    pub fn invocation_count(&self) -> u64 {
+        self.invocations.load(Ordering::Relaxed)
+    }
+
+    /// Optimizes with every rule enabled — `Plan(q)`.
+    pub fn optimize(&self, tree: &LogicalTree) -> Result<OptimizeResult> {
+        self.optimize_with(tree, &OptimizerConfig::default())
+    }
+
+    /// Optimizes under a configuration — `Plan(q, ¬R)` when rules are
+    /// disabled in `config.mask`.
+    pub fn optimize_with(
+        &self,
+        tree: &LogicalTree,
+        config: &OptimizerConfig,
+    ) -> Result<OptimizeResult> {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+
+        // Pin the root output order with an identity projection so that
+        // every alternative plan emits columns in the same order (join
+        // commutativity legitimately permutes column order inside).
+        let pinned;
+        let tree = if matches!(tree.op, Operator::Project { .. }) {
+            tree
+        } else {
+            let schema = derive_schema(&self.db.catalog, tree)?;
+            let outputs = schema
+                .iter()
+                .map(|c| (c.id, Expr::col(c.id)))
+                .collect::<Vec<_>>();
+            pinned = LogicalTree::project(tree.clone(), outputs);
+            &pinned
+        };
+
+        let mut memo = Memo::new();
+        let (root, _) = memo.insert(&self.db, &newtree_from_logical(tree), None, true)?;
+        let ids = RefCell::new(IdGen::above(tree));
+        let mut exercised: BTreeSet<RuleId> = BTreeSet::new();
+        let mut rule_dependencies: BTreeSet<(RuleId, RuleId)> = BTreeSet::new();
+        let mut truncated = false;
+
+        // ---- Exploration to fixpoint ----
+        // `applied` dedupes (expression, rule, concrete binding). Rules
+        // that mint fresh column ids fire only on *organic* expressions
+        // (those not derived from any fresh-id rule): their outputs can
+        // never deduplicate, so firing them on their own descendants would
+        // diverge (e.g. endlessly re-splitting the global aggregate of a
+        // previous split). Organic-ness is intrinsic to an expression's
+        // derivation, hence independent of the rule mask — which preserves
+        // cost monotonicity under masking.
+        let mut applied: HashSet<(u32, usize, u16, Vec<(u32, usize)>)> = HashSet::new();
+        // (group, expr, rule) -> sum of child group sizes when last matched;
+        // re-matching is pointless until some child group grows.
+        let mut match_watermark: HashMap<(u32, u32, u16), usize> = HashMap::new();
+        let empty: Vec<usize> = Vec::new();
+
+        'passes: for _pass in 0..config.max_passes {
+            let mut changed = false;
+            let mut g = 0usize;
+            while g < memo.num_groups() {
+                let gid = GroupId(g as u32);
+                let mut ei = 0usize;
+                while ei < memo.group(gid).exprs.len() {
+                    let kind = memo.group(gid).exprs[ei].op.kind();
+                    let candidates = self.explore_by_kind.get(&kind).unwrap_or(&empty);
+                    for &ri in candidates {
+                        let rule = &self.rules[ri];
+                        let rid = RuleId(ri as u16);
+                        if config.mask.is_disabled(rid) {
+                            continue;
+                        }
+                        if rule.mints_fresh_ids && !memo.is_organic(gid, ei) {
+                            continue;
+                        }
+                        // Child-growth watermark: bindings only change when
+                        // a child group gains expressions.
+                        let child_sum: usize = memo.group(gid).exprs[ei]
+                            .children
+                            .iter()
+                            .map(|&c| memo.group(c).exprs.len())
+                            .sum();
+                        let wm_key = (gid.0, ei as u32, rid.0);
+                        if match_watermark.get(&wm_key) == Some(&child_sum) {
+                            continue;
+                        }
+                        match_watermark.insert(wm_key, child_sum);
+                        let bindings = match_bindings(&memo, &rule.pattern, gid, ei);
+                        for (bound, sig) in bindings {
+                            if rule.mints_fresh_ids
+                                && !sig.iter().all(|&(g, e)| memo.is_organic(GroupId(g), e))
+                            {
+                                continue;
+                            }
+                            let key = (gid.0, ei, rid.0, sig);
+                            if !applied.insert(key) {
+                                continue;
+                            }
+                            let results = {
+                                let ctx = RuleCtx {
+                                    db: &self.db,
+                                    memo: &memo,
+                                    ids: &ids,
+                                };
+                                match &rule.action {
+                                    RuleAction::Explore(f) => f(&ctx, &bound),
+                                    RuleAction::Implement(_) => unreachable!(),
+                                }
+                            };
+                            if !results.is_empty() {
+                                exercised.insert(rid);
+                                if let Some(creator) = memo.created_by(gid, ei) {
+                                    rule_dependencies.insert((creator, rid));
+                                }
+                            }
+                            let organic = !rule.mints_fresh_ids
+                                && memo.is_organic(gid, ei);
+                            for nt in results {
+                                let (_, fresh) = memo.insert_created_by(
+                                    &self.db,
+                                    &nt,
+                                    Some(gid),
+                                    organic,
+                                    Some(rid),
+                                )?;
+                                changed |= fresh;
+                            }
+                            if memo.num_exprs() > config.max_exprs {
+                                truncated = true;
+                                break 'passes;
+                            }
+                        }
+                    }
+                    ei += 1;
+                }
+                g += 1;
+            }
+            if !changed {
+                break;
+            }
+            if _pass + 1 == config.max_passes {
+                truncated = true;
+            }
+        }
+
+        if std::env::var("RULETEST_DUMP_MEMO").is_ok() {
+            for g in 0..memo.num_groups() {
+                let gid = GroupId(g as u32);
+                let group = memo.group(gid);
+                eprintln!("group g{g} (rows={:.1}):", group.est_rows);
+                for (i, e) in group.exprs.iter().enumerate() {
+                    let kids: Vec<String> =
+                        e.children.iter().map(|c| c.to_string()).collect();
+                    eprintln!(
+                        "  [{i}]{} {} ({})",
+                        if group.organic[i] { "" } else { "*" },
+                        e.op.label(),
+                        kids.join(", ")
+                    );
+                }
+            }
+        }
+
+        // ---- Implementation & extraction ----
+        let mut extractor = Extractor {
+            optimizer: self,
+            memo: &memo,
+            config,
+            ids: &ids,
+            cache: HashMap::new(),
+            exercised: &mut exercised,
+        };
+        let best = extractor.best_plan(root)?;
+        let Some((plan, cost)) = best else {
+            return Err(Error::invalid(
+                "no physical plan exists under the given rule mask",
+            ));
+        };
+
+        Ok(OptimizeResult {
+            cost,
+            plan,
+            rule_set: exercised,
+            rule_dependencies,
+            groups: memo.num_groups(),
+            exprs: memo.num_exprs(),
+            truncated,
+        })
+    }
+}
+
+/// Enumerates pattern bindings of `pattern` against expression `ei` of
+/// group `gid`. Returns each binding plus a signature identifying the
+/// nested expressions chosen (for deduplication).
+fn match_bindings(
+    memo: &Memo,
+    pattern: &PatternTree,
+    gid: GroupId,
+    ei: usize,
+) -> Vec<(Bound, Vec<(u32, usize)>)> {
+    let expr = &memo.group(gid).exprs[ei];
+    let PatternTree::Op { matcher, children } = pattern else {
+        // A bare placeholder pattern matches trivially but binds nothing a
+        // rule could use; no rule has one.
+        return vec![];
+    };
+    if !matcher_accepts(matcher, &expr.op) {
+        return vec![];
+    }
+    if children.len() != expr.children.len() {
+        return vec![];
+    }
+    // For each child slot, the list of possible (BoundChild, signature)
+    // alternatives.
+    let mut slot_options: Vec<Vec<(BoundChild, Vec<(u32, usize)>)>> = Vec::new();
+    for (pat_child, &cg) in children.iter().zip(&expr.children) {
+        match pat_child {
+            PatternTree::Any => {
+                slot_options.push(vec![(BoundChild::Leaf(cg), vec![])]);
+            }
+            PatternTree::Op { .. } => {
+                let mut opts = Vec::new();
+                for (cei, _) in memo.group(cg).exprs.iter().enumerate() {
+                    for (nested, mut sig) in match_bindings(memo, pat_child, cg, cei) {
+                        sig.insert(0, (cg.0, cei));
+                        opts.push((BoundChild::Nested(nested), sig));
+                    }
+                }
+                if opts.is_empty() {
+                    return vec![];
+                }
+                slot_options.push(opts);
+            }
+        }
+    }
+    // Cartesian product over slots.
+    let mut out: Vec<(Vec<BoundChild>, Vec<(u32, usize)>)> = vec![(vec![], vec![])];
+    for opts in slot_options {
+        let mut next = Vec::with_capacity(out.len() * opts.len());
+        for (partial, psig) in &out {
+            for (child, csig) in &opts {
+                let mut p = partial.clone();
+                p.push(child.clone());
+                let mut s = psig.clone();
+                s.extend(csig.iter().copied());
+                next.push((p, s));
+            }
+        }
+        out = next;
+    }
+    out.into_iter()
+        .map(|(children, sig)| {
+            (
+                Bound {
+                    group: gid,
+                    op: expr.op.clone(),
+                    children,
+                },
+                sig,
+            )
+        })
+        .collect()
+}
+
+fn matcher_accepts(matcher: &OpMatcher, op: &Operator) -> bool {
+    matcher.accepts(op.kind(), op.join_kind())
+}
+
+/// Maps a physical operator to the logical operator whose schema derivation
+/// it shares.
+fn logical_equivalent(op: &PhysOp) -> Operator {
+    match op {
+        PhysOp::SeqScan { table, cols } => Operator::Get {
+            table: *table,
+            cols: cols.clone(),
+        },
+        PhysOp::IndexSeek { table, cols, .. } => Operator::Get {
+            table: *table,
+            cols: cols.clone(),
+        },
+        PhysOp::Filter { predicate } => Operator::Select {
+            predicate: predicate.clone(),
+        },
+        PhysOp::Compute { outputs } => Operator::Project {
+            outputs: outputs.clone(),
+        },
+        PhysOp::NLJoin { kind, predicate } => Operator::Join {
+            kind: *kind,
+            predicate: predicate.clone(),
+        },
+        PhysOp::HashJoin {
+            kind,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            let mut pred = residual.clone();
+            for (l, r) in left_keys.iter().zip(right_keys) {
+                pred = Expr::and(pred, Expr::eq(Expr::col(*l), Expr::col(*r)));
+            }
+            Operator::Join {
+                kind: *kind,
+                predicate: pred,
+            }
+        }
+        PhysOp::MergeJoin {
+            left_key,
+            right_key,
+            residual,
+        } => Operator::Join {
+            kind: JoinKind::Inner,
+            predicate: Expr::and(
+                residual.clone(),
+                Expr::eq(Expr::col(*left_key), Expr::col(*right_key)),
+            ),
+        },
+        PhysOp::HashAgg { group_by, aggs } | PhysOp::StreamAgg { group_by, aggs } => {
+            Operator::GbAgg {
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            }
+        }
+        PhysOp::Concat {
+            outputs,
+            left_cols,
+            right_cols,
+        } => Operator::UnionAll {
+            outputs: outputs.clone(),
+            left_cols: left_cols.clone(),
+            right_cols: right_cols.clone(),
+        },
+        PhysOp::HashDistinct => Operator::Distinct,
+        PhysOp::SortOp { keys } => Operator::Sort { keys: keys.clone() },
+        PhysOp::TopN { n, keys } => Operator::Top {
+            n: *n,
+            keys: keys.clone(),
+        },
+    }
+}
+
+/// Output schema of a physical operator given its child *plan* schemas
+/// (positional, so a commuted join's plan schema reflects the commuted
+/// order).
+pub fn phys_schema(db: &Database, op: &PhysOp, children: &[&Schema]) -> Result<Schema> {
+    let logical = logical_equivalent(op);
+    // IndexSeek absorbed a Select(Get); its schema is the Get's.
+    output_schema(&db.catalog, &logical, children)
+}
+
+enum CacheEntry {
+    InProgress,
+    Done(Option<(PhysicalPlan, f64)>),
+}
+
+struct Extractor<'a> {
+    optimizer: &'a Optimizer,
+    memo: &'a Memo,
+    config: &'a OptimizerConfig,
+    ids: &'a RefCell<IdGen>,
+    cache: HashMap<GroupId, CacheEntry>,
+    exercised: &'a mut BTreeSet<RuleId>,
+}
+
+impl Extractor<'_> {
+    /// Bottom-up dynamic program: the cheapest physical plan for a group.
+    fn best_plan(&mut self, g: GroupId) -> Result<Option<(PhysicalPlan, f64)>> {
+        match self.cache.get(&g) {
+            Some(CacheEntry::Done(r)) => return Ok(r.clone()),
+            Some(CacheEntry::InProgress) => return Ok(None), // cycle guard
+            None => {}
+        }
+        self.cache.insert(g, CacheEntry::InProgress);
+
+        let db = &self.optimizer.db;
+        let mut best: Option<(PhysicalPlan, f64)> = None;
+        let empty: Vec<usize> = Vec::new();
+        for ei in 0..self.memo.group(g).exprs.len() {
+            let kind = self.memo.group(g).exprs[ei].op.kind();
+            let candidates = self
+                .optimizer
+                .implement_by_kind
+                .get(&kind)
+                .unwrap_or(&empty);
+            for &ri in candidates.iter() {
+                let rule = &self.optimizer.rules[ri];
+                let rid = RuleId(ri as u16);
+                if self.config.mask.is_disabled(rid) {
+                    continue;
+                }
+                let bindings = match_bindings(self.memo, &rule.pattern, g, ei);
+                for (bound, _) in bindings {
+                    let candidates = {
+                        let ctx = RuleCtx {
+                            db,
+                            memo: self.memo,
+                            ids: self.ids,
+                        };
+                        match &rule.action {
+                            RuleAction::Implement(f) => f(&ctx, &bound),
+                            RuleAction::Explore(_) => unreachable!(),
+                        }
+                    };
+                    if !candidates.is_empty() {
+                        self.exercised.insert(rid);
+                    }
+                    'cand: for cand in candidates {
+                        let mut child_plans = Vec::with_capacity(cand.children.len());
+                        for &cg in &cand.children {
+                            match self.best_plan(cg)? {
+                                Some((p, _)) => child_plans.push(p),
+                                None => continue 'cand,
+                            }
+                        }
+                        let child_schemas: Vec<&Schema> =
+                            child_plans.iter().map(|p| &p.schema).collect();
+                        let schema = phys_schema(db, &cand.op, &child_schemas)?;
+                        let child_rows: Vec<f64> =
+                            child_plans.iter().map(|p| p.est_rows).collect();
+                        let child_costs: Vec<f64> =
+                            child_plans.iter().map(|p| p.est_cost).collect();
+                        // Cardinality is a *group* (logical) property: every
+                        // plan implementing this group carries the same row
+                        // estimate. Per-plan estimates would let a locally
+                        // cheaper alternative claim a different output size
+                        // and make parent costs — and therefore the chosen
+                        // plan — depend on which alternatives the rule mask
+                        // happened to generate.
+                        let rows = self.memo.est_rows(g);
+                        let cost = phys_cost(&cand.op, &child_rows, &child_costs, rows);
+                        if best.as_ref().map_or(true, |(_, bc)| cost < *bc) {
+                            best = Some((
+                                PhysicalPlan {
+                                    op: cand.op,
+                                    children: child_plans,
+                                    schema,
+                                    est_rows: rows,
+                                    est_cost: cost,
+                                },
+                                cost,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        self.cache.insert(g, CacheEntry::Done(best.clone()));
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruletest_storage::{tpch_database, TpchConfig};
+
+    fn optimizer() -> Optimizer {
+        Optimizer::new(Arc::new(tpch_database(&TpchConfig::default()).unwrap()))
+    }
+
+    fn simple_join(opt: &Optimizer) -> LogicalTree {
+        let cat = &opt.db.catalog;
+        let mut ids = IdGen::new();
+        let l = LogicalTree::get(cat.table_by_name("nation").unwrap(), &mut ids);
+        let r = LogicalTree::get(cat.table_by_name("region").unwrap(), &mut ids);
+        let pred = Expr::eq(Expr::col(l.output_col(2)), Expr::col(r.output_col(0)));
+        LogicalTree::join(JoinKind::Inner, l, r, pred)
+    }
+
+    #[test]
+    fn optimize_produces_a_plan_and_ruleset() {
+        let opt = optimizer();
+        let tree = simple_join(&opt);
+        let res = opt.optimize(&tree).unwrap();
+        assert!(res.cost > 0.0);
+        assert!(!res.truncated);
+        assert!(!res.rule_set.is_empty());
+        let commute = opt.rule_id("InnerJoinCommute").unwrap();
+        assert!(res.rule_set.contains(&commute));
+        // Implementation rules are traced too.
+        let seqscan = opt.rule_id("GetToSeqScan").unwrap();
+        assert!(res.rule_set.contains(&seqscan));
+    }
+
+    #[test]
+    fn masking_a_rule_removes_it_from_the_ruleset() {
+        let opt = optimizer();
+        let tree = simple_join(&opt);
+        let commute = opt.rule_id("InnerJoinCommute").unwrap();
+        let res = opt
+            .optimize_with(&tree, &OptimizerConfig::disabling(&[commute]))
+            .unwrap();
+        assert!(!res.rule_set.contains(&commute));
+    }
+
+    #[test]
+    fn disabling_rules_never_lowers_cost() {
+        let opt = optimizer();
+        let tree = simple_join(&opt);
+        let base = opt.optimize(&tree).unwrap();
+        for rid in opt.exploration_rule_ids() {
+            let masked = opt
+                .optimize_with(&tree, &OptimizerConfig::disabling(&[rid]))
+                .unwrap();
+            assert!(
+                masked.cost >= base.cost - 1e-9,
+                "disabling {} lowered cost: {} -> {}",
+                opt.rule(rid).name,
+                base.cost,
+                masked.cost
+            );
+        }
+    }
+
+    #[test]
+    fn hash_join_beats_nested_loops_here() {
+        let opt = optimizer();
+        let tree = simple_join(&opt);
+        let base = opt.optimize(&tree).unwrap();
+        let hj = opt.rule_id("JoinToHashJoin").unwrap();
+        let mj = opt.rule_id("InnerJoinToMergeJoin").unwrap();
+        let masked = opt
+            .optimize_with(&tree, &OptimizerConfig::disabling(&[hj, mj]))
+            .unwrap();
+        assert!(masked.cost > base.cost);
+    }
+
+    #[test]
+    fn disabling_every_join_implementation_fails() {
+        let opt = optimizer();
+        let tree = simple_join(&opt);
+        let ids: Vec<RuleId> = ["JoinToNestedLoops", "JoinToHashJoin", "InnerJoinToMergeJoin"]
+            .iter()
+            .map(|n| opt.rule_id(n).unwrap())
+            .collect();
+        assert!(opt
+            .optimize_with(&tree, &OptimizerConfig::disabling(&ids))
+            .is_err());
+    }
+
+    #[test]
+    fn invocation_counter_increments() {
+        let opt = optimizer();
+        let tree = simple_join(&opt);
+        let before = opt.invocation_count();
+        let _ = opt.optimize(&tree).unwrap();
+        let _ = opt.optimize(&tree).unwrap();
+        assert_eq!(opt.invocation_count(), before + 2);
+    }
+
+    #[test]
+    fn pattern_api_exports_xml() {
+        let opt = optimizer();
+        let commute = opt.rule_id("InnerJoinCommute").unwrap();
+        let xml = opt.rule_pattern(commute).to_xml();
+        assert!(xml.contains("Join"));
+        assert!(xml.contains("<Any/>"));
+    }
+
+    #[test]
+    fn rule_catalog_is_well_formed() {
+        let opt = optimizer();
+        assert!(opt.exploration_rule_ids().len() >= 30, "paper uses ~30");
+        assert!(opt.implementation_rule_ids().len() >= 10);
+        // Names unique.
+        let mut names: Vec<_> = (0..opt.num_rules())
+            .map(|i| opt.rule(RuleId(i as u16)).name)
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), opt.num_rules());
+    }
+}

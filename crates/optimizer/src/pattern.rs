@@ -1,0 +1,211 @@
+//! Rule patterns and their export format.
+//!
+//! A rule pattern (paper §3.1, Figure 3) is the logical-tree shape whose
+//! presence is a *necessary* condition for a rule to fire: concrete
+//! operators that must be present plus placeholders ("circles") matching
+//! any operator. The paper extends the DBMS "with an API through which it
+//! returns the rule pattern tree for a rule in a XML format" — reproduced
+//! here by [`PatternTree::to_xml`].
+
+use ruletest_logical::{JoinKind, OpKind};
+
+/// What a concrete pattern node accepts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpMatcher {
+    /// Any operator of this kind (for joins: any join kind).
+    Kind(OpKind),
+    /// A join whose kind is one of the listed kinds.
+    Join(Vec<JoinKind>),
+}
+
+impl OpMatcher {
+    /// True iff an operator with kind `kind` (and join kind `jk`, when it is
+    /// a join) satisfies this matcher.
+    pub fn accepts(&self, kind: OpKind, jk: Option<JoinKind>) -> bool {
+        match self {
+            OpMatcher::Kind(k) => *k == kind,
+            OpMatcher::Join(kinds) => {
+                kind == OpKind::Join && jk.map_or(false, |j| kinds.contains(&j))
+            }
+        }
+    }
+
+    fn xml_name(&self) -> String {
+        match self {
+            OpMatcher::Kind(k) => k.to_string(),
+            OpMatcher::Join(kinds) => {
+                let names: Vec<String> = kinds.iter().map(|k| format!("{k:?}")).collect();
+                format!("Join kinds=\"{}\"", names.join("|"))
+            }
+        }
+    }
+}
+
+/// A rule pattern tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternTree {
+    /// A concrete operator with child patterns (arity must match the
+    /// operator kind's arity; leaves of 0-arity ops have no children).
+    Op {
+        matcher: OpMatcher,
+        children: Vec<PatternTree>,
+    },
+    /// A generic placeholder — the "circle" in Figure 3 — matching any
+    /// logical subtree.
+    Any,
+}
+
+impl PatternTree {
+    /// Concrete operator node.
+    pub fn op(matcher: OpMatcher, children: Vec<PatternTree>) -> Self {
+        PatternTree::Op { matcher, children }
+    }
+
+    /// Concrete node by op kind with `Any` children filled in.
+    pub fn kind(kind: OpKind, children: Vec<PatternTree>) -> Self {
+        PatternTree::Op {
+            matcher: OpMatcher::Kind(kind),
+            children,
+        }
+    }
+
+    /// A join node restricted to the given kinds, with the given children.
+    pub fn join(kinds: Vec<JoinKind>, left: PatternTree, right: PatternTree) -> Self {
+        PatternTree::Op {
+            matcher: OpMatcher::Join(kinds),
+            children: vec![left, right],
+        }
+    }
+
+    /// Number of *concrete* operator nodes (placeholders excluded).
+    pub fn concrete_ops(&self) -> usize {
+        match self {
+            PatternTree::Any => 0,
+            PatternTree::Op { children, .. } => {
+                1 + children.iter().map(PatternTree::concrete_ops).sum::<usize>()
+            }
+        }
+    }
+
+    /// Depth of the pattern (Any counts as depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            PatternTree::Any => 1,
+            PatternTree::Op { children, .. } => {
+                1 + children.iter().map(PatternTree::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// All placeholder positions, as root-to-leaf child-index paths.
+    pub fn placeholder_paths(&self) -> Vec<Vec<usize>> {
+        fn go(node: &PatternTree, path: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            match node {
+                PatternTree::Any => out.push(path.clone()),
+                PatternTree::Op { children, .. } => {
+                    for (i, c) in children.iter().enumerate() {
+                        path.push(i);
+                        go(c, path, out);
+                        path.pop();
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Serializes the pattern as XML — the export format of the paper's
+    /// server API (§3.1).
+    pub fn to_xml(&self) -> String {
+        fn go(node: &PatternTree, depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            match node {
+                PatternTree::Any => out.push_str(&format!("{pad}<Any/>\n")),
+                PatternTree::Op { matcher, children } => {
+                    let name = matcher.xml_name();
+                    if children.is_empty() {
+                        out.push_str(&format!("{pad}<{name}/>\n"));
+                    } else {
+                        let tag = name.split_whitespace().next().unwrap_or("Op").to_string();
+                        out.push_str(&format!("{pad}<{name}>\n"));
+                        for c in children {
+                            go(c, depth + 1, out);
+                        }
+                        out.push_str(&format!("{pad}</{tag}>\n"));
+                    }
+                }
+            }
+        }
+        let mut s = String::new();
+        go(self, 0, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The two example patterns of Figure 3.
+    fn join_commute_pattern() -> PatternTree {
+        PatternTree::join(vec![JoinKind::Inner], PatternTree::Any, PatternTree::Any)
+    }
+
+    fn gbagg_over_join_pattern() -> PatternTree {
+        PatternTree::kind(
+            OpKind::GbAgg,
+            vec![PatternTree::join(
+                vec![JoinKind::Inner],
+                PatternTree::Any,
+                PatternTree::Any,
+            )],
+        )
+    }
+
+    #[test]
+    fn matcher_accepts_by_kind() {
+        let m = OpMatcher::Kind(OpKind::Select);
+        assert!(m.accepts(OpKind::Select, None));
+        assert!(!m.accepts(OpKind::Join, Some(JoinKind::Inner)));
+    }
+
+    #[test]
+    fn join_matcher_filters_kinds() {
+        let m = OpMatcher::Join(vec![JoinKind::LeftOuter, JoinKind::RightOuter]);
+        assert!(m.accepts(OpKind::Join, Some(JoinKind::LeftOuter)));
+        assert!(!m.accepts(OpKind::Join, Some(JoinKind::Inner)));
+        assert!(!m.accepts(OpKind::GbAgg, None));
+    }
+
+    #[test]
+    fn figure3_shapes() {
+        let jc = join_commute_pattern();
+        assert_eq!(jc.concrete_ops(), 1);
+        assert_eq!(jc.depth(), 2);
+        let gb = gbagg_over_join_pattern();
+        assert_eq!(gb.concrete_ops(), 2);
+        assert_eq!(gb.depth(), 3);
+    }
+
+    #[test]
+    fn placeholder_paths_enumerate_circles() {
+        let gb = gbagg_over_join_pattern();
+        assert_eq!(gb.placeholder_paths(), vec![vec![0, 0], vec![0, 1]]);
+        assert!(PatternTree::kind(OpKind::Get, vec![])
+            .placeholder_paths()
+            .is_empty());
+    }
+
+    #[test]
+    fn xml_export_round_shape() {
+        let xml = gbagg_over_join_pattern().to_xml();
+        assert!(xml.contains("<GbAgg>"));
+        assert!(xml.contains("<Join kinds=\"Inner\">"));
+        assert!(xml.contains("<Any/>"));
+        assert!(xml.contains("</GbAgg>"));
+        let leaf = PatternTree::kind(OpKind::Get, vec![]).to_xml();
+        assert_eq!(leaf.trim(), "<Get/>");
+    }
+}

@@ -1,0 +1,193 @@
+//! The rule abstraction: pattern + substitution (paper §3.1: a rule is the
+//! triple *(Rule Name, Rule Pattern, Substitution)*).
+
+use crate::memo::{GroupId, Memo};
+use crate::pattern::PatternTree;
+use crate::physical::PhysOp;
+use ruletest_logical::{LogicalTree, Operator};
+use ruletest_storage::Database;
+use std::cell::RefCell;
+
+/// Exploration (logical) vs implementation (physical) rules — §2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    Exploration,
+    Implementation,
+}
+
+/// A pattern match handed to a rule's substitution function.
+///
+/// The matched concrete operators are inlined; every pattern placeholder
+/// ("circle") is bound to the memo group it matched.
+#[derive(Debug, Clone)]
+pub struct Bound {
+    /// The group that the *root* of the match lives in; substitutes are
+    /// inserted back into this group.
+    pub group: GroupId,
+    pub op: Operator,
+    pub children: Vec<BoundChild>,
+}
+
+/// One child position of a bound match.
+#[derive(Debug, Clone)]
+pub enum BoundChild {
+    /// A placeholder: any expression of this group matched.
+    Leaf(GroupId),
+    /// A nested concrete match.
+    Nested(Bound),
+}
+
+impl BoundChild {
+    /// The memo group this child denotes, regardless of nesting.
+    pub fn group(&self) -> GroupId {
+        match self {
+            BoundChild::Leaf(g) => *g,
+            BoundChild::Nested(b) => b.group,
+        }
+    }
+
+    /// The nested bound match, if the pattern matched a concrete operator
+    /// here.
+    pub fn nested(&self) -> Option<&Bound> {
+        match self {
+            BoundChild::Nested(b) => Some(b),
+            BoundChild::Leaf(_) => None,
+        }
+    }
+}
+
+/// A substitute produced by an exploration rule: a small tree of new
+/// operators whose leaves are existing memo groups.
+#[derive(Debug, Clone)]
+pub struct NewTree {
+    pub op: Operator,
+    pub children: Vec<NewChild>,
+}
+
+/// Child of a substitute node.
+#[derive(Debug, Clone)]
+pub enum NewChild {
+    /// Reference to an existing group.
+    Group(GroupId),
+    /// A newly created operator subtree.
+    Tree(NewTree),
+}
+
+impl NewTree {
+    pub fn new(op: Operator, children: Vec<NewChild>) -> Self {
+        debug_assert_eq!(op.arity(), children.len());
+        Self { op, children }
+    }
+}
+
+/// A physical alternative produced by an implementation rule.
+#[derive(Debug, Clone)]
+pub struct PhysCandidate {
+    pub op: PhysOp,
+    /// Input groups, in execution order (empty for leaves — e.g. an index
+    /// seek that absorbed a `Select(Get)` match).
+    pub children: Vec<GroupId>,
+}
+
+/// Shared context handed to substitution functions.
+pub struct RuleCtx<'a> {
+    pub db: &'a Database,
+    pub memo: &'a Memo,
+    /// Fresh-column-id allocator for substitutes that mint columns
+    /// (aggregation splits, union pushdowns, ...).
+    pub ids: &'a RefCell<ruletest_logical::IdGen>,
+}
+
+impl RuleCtx<'_> {
+    /// Output schema of a memo group.
+    pub fn schema(&self, g: GroupId) -> &ruletest_logical::Schema {
+        self.memo.schema(g)
+    }
+}
+
+/// The substitution function of a rule.
+pub enum RuleAction {
+    /// Produces zero or more equivalent logical substitutes.
+    Explore(fn(&RuleCtx, &Bound) -> Vec<NewTree>),
+    /// Produces zero or more physical alternatives.
+    Implement(fn(&RuleCtx, &Bound) -> Vec<PhysCandidate>),
+}
+
+/// A transformation rule: name, pattern, substitution (§3.1).
+pub struct Rule {
+    pub name: &'static str,
+    pub kind: RuleKind,
+    pub pattern: PatternTree,
+    /// Human-readable statement of the sufficient conditions beyond the
+    /// pattern (the part the pattern cannot express — §3.1).
+    pub precondition: &'static str,
+    pub action: RuleAction,
+    /// True for rules whose substitutes mint fresh column ids (aggregation
+    /// splits, union pushdowns). Such rules fire only on organic
+    /// expressions — see `Memo::is_organic` — because their outputs can
+    /// never deduplicate and firing them on their own descendants would
+    /// diverge.
+    pub mints_fresh_ids: bool,
+}
+
+impl Rule {
+    pub fn explore(
+        name: &'static str,
+        pattern: PatternTree,
+        precondition: &'static str,
+        f: fn(&RuleCtx, &Bound) -> Vec<NewTree>,
+    ) -> Rule {
+        Rule {
+            name,
+            kind: RuleKind::Exploration,
+            pattern,
+            precondition,
+            action: RuleAction::Explore(f),
+            mints_fresh_ids: false,
+        }
+    }
+
+    pub fn implement(
+        name: &'static str,
+        pattern: PatternTree,
+        precondition: &'static str,
+        f: fn(&RuleCtx, &Bound) -> Vec<PhysCandidate>,
+    ) -> Rule {
+        Rule {
+            name,
+            kind: RuleKind::Implementation,
+            pattern,
+            precondition,
+            action: RuleAction::Implement(f),
+            mints_fresh_ids: false,
+        }
+    }
+
+    /// Builder: marks this rule as minting fresh column ids.
+    pub fn minting_fresh_ids(mut self) -> Rule {
+        self.mints_fresh_ids = true;
+        self
+    }
+}
+
+impl std::fmt::Debug for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rule")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+/// Converts a standalone [`LogicalTree`] into a [`NewTree`] with no group
+/// references — used when seeding the memo.
+pub fn newtree_from_logical(tree: &LogicalTree) -> NewTree {
+    NewTree {
+        op: tree.op.clone(),
+        children: tree
+            .children
+            .iter()
+            .map(|c| NewChild::Tree(newtree_from_logical(c)))
+            .collect(),
+    }
+}

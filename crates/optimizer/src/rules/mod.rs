@@ -1,0 +1,26 @@
+//! The exploration (logical transformation) rule catalog.
+//!
+//! Every rule is correct by construction: the substitution preserves the
+//! result multiset of the matched expression under SQL semantics (NULLs,
+//! bags, three-valued logic). Preconditions that the pattern cannot express
+//! are checked inside the substitution functions — this is exactly why a
+//! pattern is a *necessary but not sufficient* firing condition (§3.1).
+
+mod agg;
+mod join;
+mod misc;
+mod select;
+pub(crate) mod util;
+
+use crate::rule::Rule;
+
+/// All exploration rules, in a stable order (their index is the `RuleId`
+/// offset within the exploration segment).
+pub fn exploration_rules() -> Vec<Rule> {
+    let mut rules = Vec::new();
+    rules.extend(join::rules());
+    rules.extend(select::rules());
+    rules.extend(agg::rules());
+    rules.extend(misc::rules());
+    rules
+}

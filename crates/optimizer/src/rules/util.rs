@@ -1,0 +1,44 @@
+//! Shared helpers for rule substitution functions.
+
+use crate::memo::GroupId;
+use crate::rule::{BoundChild, NewChild, RuleCtx};
+use ruletest_common::ColId;
+use ruletest_expr::Expr;
+use ruletest_logical::Schema;
+use std::collections::BTreeSet;
+
+/// Column-id set of a schema.
+pub(crate) fn schema_cols(schema: &Schema) -> BTreeSet<ColId> {
+    schema.iter().map(|c| c.id).collect()
+}
+
+/// Column-id set of a memo group's output.
+pub(crate) fn group_cols(ctx: &RuleCtx, g: GroupId) -> BTreeSet<ColId> {
+    schema_cols(ctx.schema(g))
+}
+
+/// Shorthand: a substitute child referencing the group a bound child
+/// matched.
+pub(crate) fn gref(child: &BoundChild) -> NewChild {
+    NewChild::Group(child.group())
+}
+
+/// Partitions conjuncts of `pred` into (those referencing only `cols`,
+/// the rest).
+pub(crate) fn partition_conjuncts(pred: &Expr, cols: &BTreeSet<ColId>) -> (Vec<Expr>, Vec<Expr>) {
+    let mut inside = Vec::new();
+    let mut rest = Vec::new();
+    for c in ruletest_expr::conjuncts(pred) {
+        if ruletest_expr::columns_of(&c).is_subset(cols) {
+            inside.push(c);
+        } else {
+            rest.push(c);
+        }
+    }
+    (inside, rest)
+}
+
+/// True iff every column of `pred` is in `cols`.
+pub(crate) fn pred_within(pred: &Expr, cols: &BTreeSet<ColId>) -> bool {
+    ruletest_expr::columns_of(pred).is_subset(cols)
+}

@@ -1,0 +1,371 @@
+//! Implementation (physical transformation) rules — §2.1: rules that
+//! "transform logical operator trees into hybrid logical/physical trees",
+//! here producing physical alternatives for the cost-based extraction.
+
+use crate::cost::split_equi_conjuncts;
+use crate::pattern::PatternTree;
+use crate::physical::PhysOp;
+use crate::rule::{Bound, PhysCandidate, Rule, RuleCtx};
+use ruletest_expr::{conjoin, conjuncts, try_col_eq_col, BinOp, Expr};
+use ruletest_logical::{JoinKind, OpKind, Operator};
+
+fn any() -> PatternTree {
+    PatternTree::Any
+}
+
+fn get_to_seq_scan(_ctx: &RuleCtx, b: &Bound) -> Vec<PhysCandidate> {
+    let Operator::Get { table, cols } = &b.op else {
+        return vec![];
+    };
+    vec![PhysCandidate {
+        op: PhysOp::SeqScan {
+            table: *table,
+            cols: cols.clone(),
+        },
+        children: vec![],
+    }]
+}
+
+/// `Select(Get)` with a `pk = literal` conjunct becomes a point lookup with
+/// the remaining conjuncts as a residual filter.
+fn select_get_to_index_seek(ctx: &RuleCtx, b: &Bound) -> Vec<PhysCandidate> {
+    let Operator::Select { predicate } = &b.op else {
+        return vec![];
+    };
+    let Some(get) = b.children[0].nested() else {
+        return vec![];
+    };
+    let Operator::Get { table, cols } = &get.op else {
+        return vec![];
+    };
+    let Ok(def) = ctx.db.catalog.table(*table) else {
+        return vec![];
+    };
+    if def.primary_key.len() != 1 {
+        return vec![];
+    }
+    let pk_col = cols[def.primary_key[0]];
+    let mut key = None;
+    let mut residual = Vec::new();
+    for c in conjuncts(predicate) {
+        if key.is_none() {
+            if let Expr::Bin {
+                op: BinOp::Eq,
+                left,
+                right,
+            } = &c
+            {
+                match (left.as_ref(), right.as_ref()) {
+                    (Expr::Col(cc), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(cc))
+                        if *cc == pk_col && !v.is_null() =>
+                    {
+                        key = Some(v.clone());
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        residual.push(c);
+    }
+    let Some(key) = key else {
+        return vec![];
+    };
+    vec![PhysCandidate {
+        op: PhysOp::IndexSeek {
+            table: *table,
+            cols: cols.clone(),
+            key,
+            residual: conjoin(residual),
+        },
+        children: vec![],
+    }]
+}
+
+fn select_to_filter(_ctx: &RuleCtx, b: &Bound) -> Vec<PhysCandidate> {
+    let Operator::Select { predicate } = &b.op else {
+        return vec![];
+    };
+    vec![PhysCandidate {
+        op: PhysOp::Filter {
+            predicate: predicate.clone(),
+        },
+        children: vec![b.children[0].group()],
+    }]
+}
+
+fn project_to_compute(_ctx: &RuleCtx, b: &Bound) -> Vec<PhysCandidate> {
+    let Operator::Project { outputs } = &b.op else {
+        return vec![];
+    };
+    vec![PhysCandidate {
+        op: PhysOp::Compute {
+            outputs: outputs.clone(),
+        },
+        children: vec![b.children[0].group()],
+    }]
+}
+
+/// Nested loops handles every join kind and arbitrary predicates — the
+/// always-available fallback that keeps any mask implementable.
+fn join_to_nl(_ctx: &RuleCtx, b: &Bound) -> Vec<PhysCandidate> {
+    let Operator::Join { kind, predicate } = &b.op else {
+        return vec![];
+    };
+    vec![PhysCandidate {
+        op: PhysOp::NLJoin {
+            kind: *kind,
+            predicate: predicate.clone(),
+        },
+        children: vec![b.children[0].group(), b.children[1].group()],
+    }]
+}
+
+/// Hash join requires at least one cross-side equi conjunct.
+fn join_to_hash(ctx: &RuleCtx, b: &Bound) -> Vec<PhysCandidate> {
+    let Operator::Join { kind, predicate } = &b.op else {
+        return vec![];
+    };
+    let left = ctx.schema(b.children[0].group());
+    let right = ctx.schema(b.children[1].group());
+    let (keys, rest) = split_equi_conjuncts(predicate, left, right);
+    if keys.is_empty() {
+        return vec![];
+    }
+    vec![PhysCandidate {
+        op: PhysOp::HashJoin {
+            kind: *kind,
+            left_keys: keys.iter().map(|(l, _)| *l).collect(),
+            right_keys: keys.iter().map(|(_, r)| *r).collect(),
+            residual: conjoin(rest),
+        },
+        children: vec![b.children[0].group(), b.children[1].group()],
+    }]
+}
+
+/// Merge join: inner joins with at least one equi conjunct; merges on the
+/// first key, everything else becomes the residual.
+fn inner_join_to_merge(ctx: &RuleCtx, b: &Bound) -> Vec<PhysCandidate> {
+    let Operator::Join { kind, predicate } = &b.op else {
+        return vec![];
+    };
+    if *kind != JoinKind::Inner {
+        return vec![];
+    }
+    let left = ctx.schema(b.children[0].group());
+    let right = ctx.schema(b.children[1].group());
+    let (keys, rest) = split_equi_conjuncts(predicate, left, right);
+    let Some(&(lk, rk)) = keys.first() else {
+        return vec![];
+    };
+    let mut residual = rest;
+    for &(l, r) in keys.iter().skip(1) {
+        residual.push(Expr::eq(Expr::col(l), Expr::col(r)));
+    }
+    vec![PhysCandidate {
+        op: PhysOp::MergeJoin {
+            left_key: lk,
+            right_key: rk,
+            residual: conjoin(residual),
+        },
+        children: vec![b.children[0].group(), b.children[1].group()],
+    }]
+}
+
+fn gbagg_to_hash(_ctx: &RuleCtx, b: &Bound) -> Vec<PhysCandidate> {
+    let Operator::GbAgg { group_by, aggs } = &b.op else {
+        return vec![];
+    };
+    vec![PhysCandidate {
+        op: PhysOp::HashAgg {
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        children: vec![b.children[0].group()],
+    }]
+}
+
+fn gbagg_to_stream(_ctx: &RuleCtx, b: &Bound) -> Vec<PhysCandidate> {
+    let Operator::GbAgg { group_by, aggs } = &b.op else {
+        return vec![];
+    };
+    vec![PhysCandidate {
+        op: PhysOp::StreamAgg {
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        children: vec![b.children[0].group()],
+    }]
+}
+
+fn union_to_concat(_ctx: &RuleCtx, b: &Bound) -> Vec<PhysCandidate> {
+    let Operator::UnionAll {
+        outputs,
+        left_cols,
+        right_cols,
+    } = &b.op
+    else {
+        return vec![];
+    };
+    vec![PhysCandidate {
+        op: PhysOp::Concat {
+            outputs: outputs.clone(),
+            left_cols: left_cols.clone(),
+            right_cols: right_cols.clone(),
+        },
+        children: vec![b.children[0].group(), b.children[1].group()],
+    }]
+}
+
+fn distinct_to_hash(_ctx: &RuleCtx, b: &Bound) -> Vec<PhysCandidate> {
+    if !matches!(b.op, Operator::Distinct) {
+        return vec![];
+    }
+    vec![PhysCandidate {
+        op: PhysOp::HashDistinct,
+        children: vec![b.children[0].group()],
+    }]
+}
+
+fn sort_to_sort(_ctx: &RuleCtx, b: &Bound) -> Vec<PhysCandidate> {
+    let Operator::Sort { keys } = &b.op else {
+        return vec![];
+    };
+    vec![PhysCandidate {
+        op: PhysOp::SortOp { keys: keys.clone() },
+        children: vec![b.children[0].group()],
+    }]
+}
+
+fn top_to_topn(_ctx: &RuleCtx, b: &Bound) -> Vec<PhysCandidate> {
+    let Operator::Top { n, keys } = &b.op else {
+        return vec![];
+    };
+    vec![PhysCandidate {
+        op: PhysOp::TopN {
+            n: *n,
+            keys: keys.clone(),
+        },
+        children: vec![b.children[0].group()],
+    }]
+}
+
+/// Semi-join probe via hash when the predicate is a pure key equality —
+/// modeled as a HashJoin with semi kind; kept as a distinct rule so rule
+/// masks can separate the hash and NL semi strategies.
+fn semi_to_hash_probe(ctx: &RuleCtx, b: &Bound) -> Vec<PhysCandidate> {
+    let Operator::Join { kind, predicate } = &b.op else {
+        return vec![];
+    };
+    if !matches!(kind, JoinKind::LeftSemi | JoinKind::LeftAnti) {
+        return vec![];
+    }
+    let left = ctx.schema(b.children[0].group());
+    let right = ctx.schema(b.children[1].group());
+    let (keys, rest) = split_equi_conjuncts(predicate, left, right);
+    if keys.is_empty() || !rest.is_empty() {
+        return vec![];
+    }
+    // Fully keyed: no residual. The general path is join_to_hash; this rule
+    // exists to give the optimizer a choice distinguishable under masking.
+    let _ = try_col_eq_col; // (imported for the equi-key helpers above)
+    vec![PhysCandidate {
+        op: PhysOp::HashJoin {
+            kind: *kind,
+            left_keys: keys.iter().map(|(l, _)| *l).collect(),
+            right_keys: keys.iter().map(|(_, r)| *r).collect(),
+            residual: Expr::true_lit(),
+        },
+        children: vec![b.children[0].group(), b.children[1].group()],
+    }]
+}
+
+/// All implementation rules, in a stable order.
+pub fn implementation_rules() -> Vec<Rule> {
+    vec![
+        Rule::implement(
+            "GetToSeqScan",
+            PatternTree::kind(OpKind::Get, vec![]),
+            "always applicable",
+            get_to_seq_scan,
+        ),
+        Rule::implement(
+            "SelectGetToIndexSeek",
+            PatternTree::kind(OpKind::Select, vec![PatternTree::kind(OpKind::Get, vec![])]),
+            "a conjunct equates the single-column primary key with a literal",
+            select_get_to_index_seek,
+        ),
+        Rule::implement(
+            "SelectToFilter",
+            PatternTree::kind(OpKind::Select, vec![any()]),
+            "always applicable",
+            select_to_filter,
+        ),
+        Rule::implement(
+            "ProjectToCompute",
+            PatternTree::kind(OpKind::Project, vec![any()]),
+            "always applicable",
+            project_to_compute,
+        ),
+        Rule::implement(
+            "JoinToNestedLoops",
+            PatternTree::kind(OpKind::Join, vec![any(), any()]),
+            "always applicable (the fallback implementation)",
+            join_to_nl,
+        ),
+        Rule::implement(
+            "JoinToHashJoin",
+            PatternTree::kind(OpKind::Join, vec![any(), any()]),
+            "at least one cross-side equi conjunct",
+            join_to_hash,
+        ),
+        Rule::implement(
+            "InnerJoinToMergeJoin",
+            PatternTree::join(vec![JoinKind::Inner], any(), any()),
+            "inner join with at least one cross-side equi conjunct",
+            inner_join_to_merge,
+        ),
+        Rule::implement(
+            "SemiJoinToHashProbe",
+            PatternTree::join(vec![JoinKind::LeftSemi, JoinKind::LeftAnti], any(), any()),
+            "pure equi-key semi/anti join",
+            semi_to_hash_probe,
+        ),
+        Rule::implement(
+            "GbAggToHashAgg",
+            PatternTree::kind(OpKind::GbAgg, vec![any()]),
+            "always applicable",
+            gbagg_to_hash,
+        ),
+        Rule::implement(
+            "GbAggToStreamAgg",
+            PatternTree::kind(OpKind::GbAgg, vec![any()]),
+            "always applicable (sorts its input internally)",
+            gbagg_to_stream,
+        ),
+        Rule::implement(
+            "UnionAllToConcat",
+            PatternTree::kind(OpKind::UnionAll, vec![any(), any()]),
+            "always applicable",
+            union_to_concat,
+        ),
+        Rule::implement(
+            "DistinctToHashDistinct",
+            PatternTree::kind(OpKind::Distinct, vec![any()]),
+            "always applicable",
+            distinct_to_hash,
+        ),
+        Rule::implement(
+            "SortToSort",
+            PatternTree::kind(OpKind::Sort, vec![any()]),
+            "always applicable",
+            sort_to_sort,
+        ),
+        Rule::implement(
+            "TopToTopN",
+            PatternTree::kind(OpKind::Top, vec![any()]),
+            "always applicable",
+            top_to_topn,
+        ),
+    ]
+}

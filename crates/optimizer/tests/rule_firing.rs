@@ -1,0 +1,719 @@
+//! Per-rule firing tests: for every exploration rule, a minimal hand-built
+//! tree that exercises it, and — for rules with preconditions beyond their
+//! pattern — a near-miss tree that matches the pattern but must NOT fire.
+//! These pin down each rule's necessary-vs-sufficient boundary (§3.1).
+
+use ruletest_common::ColId;
+use ruletest_expr::{AggCall, AggFunc, BinOp, Expr};
+use ruletest_logical::{IdGen, JoinKind, LogicalTree, SortKey};
+use ruletest_optimizer::Optimizer;
+use ruletest_storage::{tpch_database, TpchConfig};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+fn optimizer() -> &'static Optimizer {
+    static OPT: OnceLock<Optimizer> = OnceLock::new();
+    OPT.get_or_init(|| Optimizer::new(Arc::new(tpch_database(&TpchConfig::default()).unwrap())))
+}
+
+fn get(name: &str, ids: &mut IdGen) -> LogicalTree {
+    let opt = optimizer();
+    LogicalTree::get(opt.database().catalog.table_by_name(name).unwrap(), ids)
+}
+
+fn exercises(tree: &LogicalTree, rule: &str) -> bool {
+    let opt = optimizer();
+    let rid = opt.rule_id(rule).unwrap_or_else(|| panic!("unknown rule {rule}"));
+    let res = opt.optimize(tree).expect("optimization succeeds");
+    res.rule_set.contains(&rid)
+}
+
+/// Like [`exercises`] but with other rules disabled — isolates a
+/// precondition that commutativity or associativity would otherwise
+/// legitimately satisfy through an equivalent expression.
+fn exercises_masked(tree: &LogicalTree, rule: &str, disabled: &[&str]) -> bool {
+    let opt = optimizer();
+    let rid = opt.rule_id(rule).unwrap_or_else(|| panic!("unknown rule {rule}"));
+    let mask: Vec<_> = disabled
+        .iter()
+        .map(|n| opt.rule_id(n).unwrap_or_else(|| panic!("unknown rule {n}")))
+        .collect();
+    let res = opt
+        .optimize_with(tree, &ruletest_optimizer::OptimizerConfig::disabling(&mask))
+        .expect("optimization succeeds");
+    res.rule_set.contains(&rid)
+}
+
+fn assert_fires(tree: &LogicalTree, rule: &str) {
+    assert!(exercises(tree, rule), "{rule} did not fire on\n{}", tree.explain());
+}
+
+fn assert_silent(tree: &LogicalTree, rule: &str) {
+    assert!(!exercises(tree, rule), "{rule} fired unexpectedly on\n{}", tree.explain());
+}
+
+fn eq(a: ColId, b: ColId) -> Expr {
+    Expr::eq(Expr::col(a), Expr::col(b))
+}
+
+/// nation JOIN region ON n_regionkey = r_regionkey.
+fn nation_region_join(ids: &mut IdGen, kind: JoinKind) -> (LogicalTree, ColId, ColId) {
+    let n = get("nation", ids);
+    let r = get("region", ids);
+    let (nk, rk) = (n.output_col(2), r.output_col(0));
+    (LogicalTree::join(kind, n, r, eq(nk, rk)), nk, rk)
+}
+
+/// UNION ALL of two region scans over both columns.
+fn region_union(ids: &mut IdGen) -> (LogicalTree, Vec<ColId>) {
+    let a = get("region", ids);
+    let b = get("region", ids);
+    let (a0, a1, b0, b1) = (a.output_col(0), a.output_col(1), b.output_col(0), b.output_col(1));
+    let outs = vec![ids.fresh(), ids.fresh()];
+    (
+        LogicalTree::union_all(a, b, outs.clone(), vec![a0, a1], vec![b0, b1]),
+        outs,
+    )
+}
+
+// ---------- join rules ----------
+
+#[test]
+fn join_commutes() {
+    let mut ids = IdGen::new();
+    let (j, _, _) = nation_region_join(&mut ids, JoinKind::Inner);
+    assert_fires(&j, "InnerJoinCommute");
+    let mut ids = IdGen::new();
+    let (loj, _, _) = nation_region_join(&mut ids, JoinKind::LeftOuter);
+    assert_fires(&loj, "LojCommute");
+    assert_silent(&loj, "InnerJoinCommute");
+    let mut ids = IdGen::new();
+    let (roj, _, _) = nation_region_join(&mut ids, JoinKind::RightOuter);
+    assert_fires(&roj, "RojCommute");
+    let mut ids = IdGen::new();
+    let (foj, _, _) = nation_region_join(&mut ids, JoinKind::FullOuter);
+    assert_fires(&foj, "FojCommute");
+}
+
+#[test]
+fn join_associates_both_ways() {
+    let mut ids = IdGen::new();
+    let s = get("supplier", &mut ids);
+    let n = get("nation", &mut ids);
+    let r = get("region", &mut ids);
+    let p1 = eq(s.output_col(2), n.output_col(0));
+    let p2 = eq(n.output_col(2), r.output_col(0));
+    let inner = LogicalTree::join(JoinKind::Inner, s, n, p1);
+    let tree = LogicalTree::join(JoinKind::Inner, inner, r, p2);
+    assert_fires(&tree, "InnerJoinAssocLeft");
+    // The rotated form appears in the memo, so the inverse fires too.
+    assert_fires(&tree, "InnerJoinAssocRight");
+}
+
+#[test]
+fn join_loj_assoc_requires_rs_predicate() {
+    // R JOIN (S LOJ T) with the join predicate on R,S: fires.
+    let mut ids = IdGen::new();
+    let r = get("supplier", &mut ids);
+    let s = get("nation", &mut ids);
+    let t = get("region", &mut ids);
+    let (r_nat, s_key, s_reg, t_key) = (
+        r.output_col(2),
+        s.output_col(0),
+        s.output_col(2),
+        t.output_col(0),
+    );
+    let loj = LogicalTree::join(JoinKind::LeftOuter, s, t, eq(s_reg, t_key));
+    let good = LogicalTree::join(JoinKind::Inner, r, loj.clone(), eq(r_nat, s_key));
+    assert_fires(&good, "JoinLojAssoc");
+
+    // Predicate touching T: must not fire.
+    let mut ids = IdGen::new();
+    let r = get("supplier", &mut ids);
+    let s = get("nation", &mut ids);
+    let t = get("region", &mut ids);
+    let (r_nat, s_reg, t_key) = (r.output_col(2), s.output_col(2), t.output_col(0));
+    let loj = LogicalTree::join(JoinKind::LeftOuter, s, t, eq(s_reg, t_key));
+    let bad = LogicalTree::join(JoinKind::Inner, r, loj, eq(r_nat, t_key));
+    assert_silent(&bad, "JoinLojAssoc");
+}
+
+#[test]
+fn join_loj_assoc_inverse_requires_st_predicate() {
+    // (R JOIN S) LOJ T with outer predicate on S,T: fires.
+    let mut ids = IdGen::new();
+    let r = get("supplier", &mut ids);
+    let s = get("nation", &mut ids);
+    let t = get("region", &mut ids);
+    let (r_nat, s_key, s_reg, t_key) = (
+        r.output_col(2),
+        s.output_col(0),
+        s.output_col(2),
+        t.output_col(0),
+    );
+    let inner = LogicalTree::join(JoinKind::Inner, r, s, eq(r_nat, s_key));
+    let good = LogicalTree::join(JoinKind::LeftOuter, inner.clone(), t, eq(s_reg, t_key));
+    assert_fires(&good, "JoinLojAssocInv");
+
+    // Outer predicate touching *both* inner inputs: silent in either
+    // commutation (note: a predicate touching only R would still enable
+    // the rule through the commuted inner join — a legitimate firing).
+    let mut ids = IdGen::new();
+    let r = get("supplier", &mut ids);
+    let s = get("nation", &mut ids);
+    let t = get("region", &mut ids);
+    let (r_nat, s_key) = (r.output_col(2), s.output_col(0));
+    let inner = LogicalTree::join(JoinKind::Inner, r, s, eq(r_nat, s_key));
+    let bad = LogicalTree::join(JoinKind::LeftOuter, inner, t, eq(r_nat, s_key));
+    assert_silent(&bad, "JoinLojAssocInv");
+}
+
+#[test]
+fn join_distributes_over_unions() {
+    let mut ids = IdGen::new();
+    let (union, outs) = region_union(&mut ids);
+    let x = get("nation", &mut ids);
+    let left = LogicalTree::join(
+        JoinKind::Inner,
+        union.clone(),
+        x.clone(),
+        eq(outs[0], x.output_col(2)),
+    );
+    assert_fires(&left, "JoinDistributeUnionLeft");
+
+    let right = LogicalTree::join(JoinKind::Inner, x.clone(), union.clone(), eq(x.output_col(2), outs[0]));
+    assert_fires(&right, "JoinDistributeUnionRight");
+
+    // Right-row-driven kinds do not distribute over a left union.
+    let mut ids = IdGen::new();
+    let (union, outs) = region_union(&mut ids);
+    let x = get("nation", &mut ids);
+    let roj = LogicalTree::join(JoinKind::RightOuter, union, x.clone(), eq(outs[0], x.output_col(2)));
+    assert_silent(&roj, "JoinDistributeUnionLeft");
+}
+
+#[test]
+fn semi_join_to_inner_needs_a_unique_probe_column() {
+    // Probe side region on its PK: fires.
+    let mut ids = IdGen::new();
+    let n = get("nation", &mut ids);
+    let r = get("region", &mut ids);
+    let semi = LogicalTree::join(
+        JoinKind::LeftSemi,
+        n.clone(),
+        r.clone(),
+        eq(n.output_col(2), r.output_col(0)),
+    );
+    assert_fires(&semi, "SemiJoinToInnerOnKey");
+
+    // Probe side nation on a non-unique column: silent.
+    let mut ids = IdGen::new();
+    let r = get("region", &mut ids);
+    let n = get("nation", &mut ids);
+    let semi = LogicalTree::join(
+        JoinKind::LeftSemi,
+        r.clone(),
+        n.clone(),
+        eq(r.output_col(0), n.output_col(2)),
+    );
+    assert_silent(&semi, "SemiJoinToInnerOnKey");
+}
+
+#[test]
+fn anti_join_rewrite_needs_an_equi_conjunct() {
+    let mut ids = IdGen::new();
+    let n = get("nation", &mut ids);
+    let r = get("region", &mut ids);
+    let anti = LogicalTree::join(
+        JoinKind::LeftAnti,
+        n.clone(),
+        r.clone(),
+        eq(n.output_col(2), r.output_col(0)),
+    );
+    assert_fires(&anti, "AntiJoinToLojFilter");
+
+    let mut ids = IdGen::new();
+    let n = get("nation", &mut ids);
+    let r = get("region", &mut ids);
+    let anti_true = LogicalTree::join(JoinKind::LeftAnti, n, r, Expr::true_lit());
+    assert_silent(&anti_true, "AntiJoinToLojFilter");
+}
+
+// ---------- select rules ----------
+
+fn lit_pred(col: ColId) -> Expr {
+    Expr::bin(BinOp::Gt, Expr::col(col), Expr::lit(1i64))
+}
+
+#[test]
+fn select_merge_and_split() {
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let k = t.output_col(0);
+    let nested = LogicalTree::select(LogicalTree::select(t, lit_pred(k)), lit_pred(k));
+    assert_fires(&nested, "SelectMerge");
+
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let k = t.output_col(0);
+    let both = LogicalTree::select(t, Expr::and(lit_pred(k), eq(k, k)));
+    assert_fires(&both, "SelectSplit");
+
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let k = t.output_col(0);
+    let single = LogicalTree::select(t, lit_pred(k));
+    assert_silent(&single, "SelectSplit");
+}
+
+#[test]
+fn select_pushdown_below_inner_join_needs_a_one_sided_conjunct() {
+    let mut ids = IdGen::new();
+    let (j, nk, _) = nation_region_join(&mut ids, JoinKind::Inner);
+    let pushable = LogicalTree::select(j.clone(), lit_pred(nk));
+    assert_fires(&pushable, "SelectPushBelowInnerJoin");
+    assert_fires(&pushable, "SelectIntoInnerJoin");
+
+    // A strictly cross-side conjunct cannot move below either input.
+    let mut ids = IdGen::new();
+    let n = get("nation", &mut ids);
+    let r = get("region", &mut ids);
+    let cross = Expr::bin(
+        BinOp::Lt,
+        Expr::col(n.output_col(0)),
+        Expr::col(r.output_col(0)),
+    );
+    let j = LogicalTree::join(JoinKind::Inner, n.clone(), r, eq(n.output_col(2), ColId(3)));
+    let unpushable = LogicalTree::select(j, cross);
+    assert_silent(&unpushable, "SelectPushBelowInnerJoin");
+}
+
+#[test]
+fn select_pushdown_below_outer_join_only_on_the_preserved_side() {
+    let mut ids = IdGen::new();
+    let (loj, nk, rk) = nation_region_join(&mut ids, JoinKind::LeftOuter);
+    let preserved = LogicalTree::select(loj.clone(), lit_pred(nk));
+    assert_fires(&preserved, "SelectPushBelowOuterJoin");
+
+    let null_supplying = LogicalTree::select(loj, Expr::is_null(Expr::col(rk)));
+    assert_silent(&null_supplying, "SelectPushBelowOuterJoin");
+}
+
+#[test]
+fn select_pushdown_below_semi_sort_distinct_union_project() {
+    let mut ids = IdGen::new();
+    let n = get("nation", &mut ids);
+    let r = get("region", &mut ids);
+    let nk = n.output_col(0);
+    let semi = LogicalTree::join(
+        JoinKind::LeftSemi,
+        n,
+        r,
+        Expr::true_lit(),
+    );
+    assert_fires(
+        &LogicalTree::select(semi, lit_pred(nk)),
+        "SelectPushBelowSemiJoin",
+    );
+
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let k = t.output_col(0);
+    let sorted = LogicalTree::sort(t, vec![SortKey::asc(k)]);
+    assert_fires(&LogicalTree::select(sorted, lit_pred(k)), "SelectPushBelowSort");
+
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let k = t.output_col(0);
+    let d = LogicalTree::distinct(t);
+    assert_fires(&LogicalTree::select(d, lit_pred(k)), "SelectPushBelowDistinct");
+
+    let mut ids = IdGen::new();
+    let (u, outs) = region_union(&mut ids);
+    assert_fires(
+        &LogicalTree::select(u, lit_pred(outs[0])),
+        "SelectPushBelowUnionAll",
+    );
+
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let k = t.output_col(0);
+    let out = ids.fresh();
+    let proj = LogicalTree::project(t, vec![(out, Expr::col(k))]);
+    assert_fires(
+        &LogicalTree::select(proj, lit_pred(out)),
+        "SelectPushBelowProject",
+    );
+}
+
+#[test]
+fn select_pull_above_project_needs_surviving_columns() {
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let k = t.output_col(0);
+    let out = ids.fresh();
+    let sel = LogicalTree::select(t, lit_pred(k));
+    let pullable = LogicalTree::project(sel.clone(), vec![(out, Expr::col(k))]);
+    assert_fires(&pullable, "SelectPullAboveProject");
+
+    // Predicate column does not survive (only a computed expr does).
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let k = t.output_col(0);
+    let out = ids.fresh();
+    let sel = LogicalTree::select(t, lit_pred(k));
+    let blocked = LogicalTree::project(
+        sel,
+        vec![(out, Expr::bin(BinOp::Add, Expr::col(k), Expr::lit(1i64)))],
+    );
+    assert_silent(&blocked, "SelectPullAboveProject");
+}
+
+#[test]
+fn select_pushdown_below_gbagg_only_on_grouping_columns() {
+    let mut ids = IdGen::new();
+    let t = get("supplier", &mut ids);
+    let (nat, acct) = (t.output_col(2), t.output_col(3));
+    let cnt = ids.fresh();
+    let agg = LogicalTree::gbagg(
+        t,
+        vec![nat],
+        vec![AggCall::new(AggFunc::Count, Some(acct), cnt)],
+    );
+    assert_fires(
+        &LogicalTree::select(agg.clone(), lit_pred(nat)),
+        "SelectPushBelowGbAgg",
+    );
+    assert_silent(
+        &LogicalTree::select(agg, lit_pred(cnt)),
+        "SelectPushBelowGbAgg",
+    );
+}
+
+#[test]
+fn outer_join_simplify_needs_null_rejection() {
+    let mut ids = IdGen::new();
+    let (loj, _, rk) = nation_region_join(&mut ids, JoinKind::LeftOuter);
+    let rejecting = LogicalTree::select(loj.clone(), lit_pred(rk));
+    assert_fires(&rejecting, "OuterJoinSimplify");
+
+    let accepting = LogicalTree::select(loj, Expr::is_null(Expr::col(rk)));
+    assert_silent(&accepting, "OuterJoinSimplify");
+}
+
+// ---------- aggregation rules ----------
+
+#[test]
+fn distinct_to_gbagg_and_split() {
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    assert_fires(&LogicalTree::distinct(t), "DistinctToGbAgg");
+
+    let mut ids = IdGen::new();
+    let t = get("supplier", &mut ids);
+    let nat = t.output_col(2);
+    let out = ids.fresh();
+    let agg = LogicalTree::gbagg(
+        t,
+        vec![nat],
+        vec![AggCall::new(AggFunc::CountStar, None, out)],
+    );
+    assert_fires(&agg, "GbAggSplitLocalGlobal");
+}
+
+#[test]
+fn eager_aggregation_respects_argument_sides_and_count_scalar_guard() {
+    // SUM over a left-side column, grouped: left eager push fires.
+    let mut ids = IdGen::new();
+    let s = get("supplier", &mut ids);
+    let n = get("nation", &mut ids);
+    let (s_nat, s_acct, n_key, n_name) =
+        (s.output_col(2), s.output_col(3), n.output_col(0), n.output_col(1));
+    let join = LogicalTree::join(JoinKind::Inner, s, n, eq(s_nat, n_key));
+    let out = ids.fresh();
+    let left_sum = LogicalTree::gbagg(
+        join.clone(),
+        vec![n_name],
+        vec![AggCall::new(AggFunc::Sum, Some(s_acct), out)],
+    );
+    assert_fires(&left_sum, "EagerGbAggPushBelowJoinLeft");
+    // Join commutativity would put the supplier side on the right and
+    // legitimately enable the mirror; with commutativity masked, the side
+    // precondition shows.
+    assert!(!exercises_masked(
+        &left_sum,
+        "EagerGbAggPushBelowJoinRight",
+        &["InnerJoinCommute"]
+    ));
+
+    // MAX over a right-side column: the mirror fires.
+    let out2 = ids.fresh();
+    let right_max = LogicalTree::gbagg(
+        join.clone(),
+        vec![s_nat],
+        vec![AggCall::new(AggFunc::Max, Some(n_name), out2)],
+    );
+    assert_fires(&right_max, "EagerGbAggPushBelowJoinRight");
+    assert!(!exercises_masked(
+        &right_max,
+        "EagerGbAggPushBelowJoinLeft",
+        &["InnerJoinCommute"]
+    ));
+
+    // Scalar COUNT: both sides blocked (empty-join edge case).
+    let out3 = ids.fresh();
+    let scalar_count = LogicalTree::gbagg(
+        join,
+        vec![],
+        vec![AggCall::new(AggFunc::CountStar, None, out3)],
+    );
+    assert_silent(&scalar_count, "EagerGbAggPushBelowJoinLeft");
+    assert_silent(&scalar_count, "EagerGbAggPushBelowJoinRight");
+}
+
+#[test]
+fn gbagg_elimination_needs_a_covering_key() {
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let (pk, name) = (t.output_col(0), t.output_col(1));
+    let out = ids.fresh();
+    let keyed = LogicalTree::gbagg(
+        t.clone(),
+        vec![pk],
+        vec![AggCall::new(AggFunc::Max, Some(name), out)],
+    );
+    assert_fires(&keyed, "GbAggEliminateOnKey");
+
+    // Grouping on a non-key column of nation: silent.
+    let mut ids = IdGen::new();
+    let t = get("nation", &mut ids);
+    let reg = t.output_col(2);
+    let out = ids.fresh();
+    let unkeyed = LogicalTree::gbagg(
+        t,
+        vec![reg],
+        vec![AggCall::new(AggFunc::CountStar, None, out)],
+    );
+    assert_silent(&unkeyed, "GbAggEliminateOnKey");
+
+    // COUNT(col) cannot be rewritten without a conditional: silent.
+    let mut ids = IdGen::new();
+    let t = get("supplier", &mut ids);
+    let (pk, acct) = (t.output_col(0), t.output_col(3));
+    let out = ids.fresh();
+    let counted = LogicalTree::gbagg(
+        t,
+        vec![pk],
+        vec![AggCall::new(AggFunc::Count, Some(acct), out)],
+    );
+    assert_silent(&counted, "GbAggEliminateOnKey");
+}
+
+// ---------- union / project / sort / top rules ----------
+
+#[test]
+fn union_commute_and_assoc() {
+    let mut ids = IdGen::new();
+    let (u, _) = region_union(&mut ids);
+    assert_fires(&u, "UnionAllCommute");
+
+    let mut ids = IdGen::new();
+    let (u, outs) = region_union(&mut ids);
+    let c = get("region", &mut ids);
+    let (c0, c1) = (c.output_col(0), c.output_col(1));
+    let outs2 = vec![ids.fresh(), ids.fresh()];
+    let nested = LogicalTree::union_all(u, c, outs2, outs, vec![c0, c1]);
+    assert_fires(&nested, "UnionAllAssoc");
+}
+
+#[test]
+fn distinct_and_project_push_below_union() {
+    let mut ids = IdGen::new();
+    let (u, _) = region_union(&mut ids);
+    assert_fires(&LogicalTree::distinct(u), "DistinctPushBelowUnionAll");
+
+    let mut ids = IdGen::new();
+    let (u, outs) = region_union(&mut ids);
+    let out = ids.fresh();
+    let proj = LogicalTree::project(u, vec![(out, Expr::col(outs[0]))]);
+    assert_fires(&proj, "ProjectPushBelowUnionAll");
+}
+
+#[test]
+fn project_merge() {
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let k = t.output_col(0);
+    let o1 = ids.fresh();
+    let o2 = ids.fresh();
+    let inner = LogicalTree::project(t, vec![(o1, Expr::col(k))]);
+    let outer = LogicalTree::project(inner, vec![(o2, Expr::col(o1))]);
+    assert_fires(&outer, "ProjectMerge");
+}
+
+#[test]
+fn sort_rules() {
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let k = t.output_col(0);
+    let double_sort = LogicalTree::sort(
+        LogicalTree::sort(t, vec![SortKey::asc(k)]),
+        vec![SortKey::desc(k)],
+    );
+    assert_fires(&double_sort, "SortCollapse");
+
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let k = t.output_col(0);
+    let out = ids.fresh();
+    let agg_over_sort = LogicalTree::gbagg(
+        LogicalTree::sort(t, vec![SortKey::asc(k)]),
+        vec![k],
+        vec![AggCall::new(AggFunc::CountStar, None, out)],
+    );
+    assert_fires(&agg_over_sort, "SortElimBelowGbAgg");
+
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let k = t.output_col(0);
+    let d = LogicalTree::distinct(LogicalTree::sort(t, vec![SortKey::asc(k)]));
+    assert_fires(&d, "SortElimBelowDistinct");
+}
+
+#[test]
+fn top_rules_require_matching_keys() {
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let k = t.output_col(0);
+    let keys = vec![SortKey::asc(k)];
+    let same = LogicalTree::top(LogicalTree::top(t, 10, keys.clone()), 5, keys.clone());
+    assert_fires(&same, "TopTopCollapse");
+
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let (k, name) = (t.output_col(0), t.output_col(1));
+    let diff = LogicalTree::top(
+        LogicalTree::top(t, 10, vec![SortKey::asc(name)]),
+        5,
+        vec![SortKey::asc(k)],
+    );
+    assert_silent(&diff, "TopTopCollapse");
+
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let k = t.output_col(0);
+    let absorb = LogicalTree::top(
+        LogicalTree::sort(t, vec![SortKey::desc(k)]),
+        3,
+        vec![SortKey::asc(k)],
+    );
+    assert_fires(&absorb, "TopSortAbsorb");
+}
+
+// ---------- implementation rules ----------
+
+#[test]
+fn index_seek_needs_a_single_column_pk_equality() {
+    let mut ids = IdGen::new();
+    let t = get("region", &mut ids);
+    let pk = t.output_col(0);
+    let seekable = LogicalTree::select(t, Expr::eq(Expr::col(pk), Expr::lit(1i64)));
+    assert_fires(&seekable, "SelectGetToIndexSeek");
+
+    // Non-key column equality: silent.
+    let mut ids = IdGen::new();
+    let t = get("nation", &mut ids);
+    let reg = t.output_col(2);
+    let unseekable = LogicalTree::select(t, Expr::eq(Expr::col(reg), Expr::lit(1i64)));
+    assert_silent(&unseekable, "SelectGetToIndexSeek");
+
+    // Composite-PK table: silent.
+    let mut ids = IdGen::new();
+    let t = get("lineitem", &mut ids);
+    let ok = t.output_col(0);
+    let composite = LogicalTree::select(t, Expr::eq(Expr::col(ok), Expr::lit(1i64)));
+    assert_silent(&composite, "SelectGetToIndexSeek");
+}
+
+#[test]
+fn hash_and_merge_joins_need_equi_conjuncts() {
+    let mut ids = IdGen::new();
+    let (j, _, _) = nation_region_join(&mut ids, JoinKind::Inner);
+    assert_fires(&j, "JoinToHashJoin");
+    assert_fires(&j, "InnerJoinToMergeJoin");
+    assert_fires(&j, "JoinToNestedLoops");
+
+    let mut ids = IdGen::new();
+    let n = get("nation", &mut ids);
+    let r = get("region", &mut ids);
+    let cross = LogicalTree::join(JoinKind::Inner, n, r, Expr::true_lit());
+    assert_silent(&cross, "JoinToHashJoin");
+    assert_silent(&cross, "InnerJoinToMergeJoin");
+    assert_fires(&cross, "JoinToNestedLoops");
+}
+
+#[test]
+fn merge_join_is_inner_only() {
+    let mut ids = IdGen::new();
+    let (loj, _, _) = nation_region_join(&mut ids, JoinKind::LeftOuter);
+    assert_silent(&loj, "InnerJoinToMergeJoin");
+    assert_fires(&loj, "JoinToHashJoin");
+}
+
+#[test]
+fn every_exploration_rule_has_a_firing_witness_somewhere_in_this_file() {
+    // Meta-test: collect the rules asserted above and make sure the file
+    // covers the complete exploration catalog (prevents silent drift when
+    // rules are added).
+    let opt = optimizer();
+    let covered: Vec<&str> = vec![
+        "InnerJoinCommute",
+        "InnerJoinAssocLeft",
+        "InnerJoinAssocRight",
+        "LojCommute",
+        "RojCommute",
+        "FojCommute",
+        "JoinLojAssoc",
+        "JoinLojAssocInv",
+        "JoinDistributeUnionLeft",
+        "JoinDistributeUnionRight",
+        "SemiJoinToInnerOnKey",
+        "AntiJoinToLojFilter",
+        "SelectMerge",
+        "SelectSplit",
+        "SelectPushBelowInnerJoin",
+        "SelectPushBelowOuterJoin",
+        "SelectPushBelowSemiJoin",
+        "SelectPushBelowProject",
+        "SelectPullAboveProject",
+        "SelectPushBelowUnionAll",
+        "SelectPushBelowGbAgg",
+        "SelectPushBelowSort",
+        "SelectPushBelowDistinct",
+        "SelectIntoInnerJoin",
+        "OuterJoinSimplify",
+        "DistinctToGbAgg",
+        "GbAggSplitLocalGlobal",
+        "EagerGbAggPushBelowJoinLeft",
+        "EagerGbAggPushBelowJoinRight",
+        "GbAggEliminateOnKey",
+        "UnionAllCommute",
+        "UnionAllAssoc",
+        "DistinctPushBelowUnionAll",
+        "ProjectMerge",
+        "ProjectPushBelowUnionAll",
+        "SortCollapse",
+        "SortElimBelowGbAgg",
+        "SortElimBelowDistinct",
+        "TopTopCollapse",
+        "TopSortAbsorb",
+    ];
+    for rid in opt.exploration_rule_ids() {
+        let name = opt.rule(rid).name;
+        assert!(
+            covered.contains(&name),
+            "exploration rule {name} has no firing test in rule_firing.rs"
+        );
+    }
+    assert_eq!(covered.len(), opt.exploration_rule_ids().len());
+}

@@ -1,0 +1,294 @@
+//! Logical tree -> SQL text.
+//!
+//! Every operator becomes a derived table; every column is aliased by its
+//! column id (`c17`), so generated SQL is unambiguous under self-joins and
+//! arbitrary transformations, and parses back to the identical tree.
+
+use ruletest_common::{ColId, Result};
+use ruletest_expr::{AggCall, BinOp, Expr};
+use ruletest_logical::{JoinKind, LogicalTree, Operator, SortKey};
+use ruletest_storage::Catalog;
+
+/// Renders a scalar expression in SQL syntax (columns as `c<id>`).
+pub fn expr_sql(e: &Expr) -> String {
+    match e {
+        Expr::Col(c) => format!("c{}", c.0),
+        Expr::Lit(v) => v.to_sql_literal(),
+        Expr::Bin { op, left, right } => {
+            format!("({} {} {})", expr_sql(left), op_sql(*op), expr_sql(right))
+        }
+        Expr::Not(inner) => format!("(NOT {})", expr_sql(inner)),
+        Expr::IsNull(inner) => format!("({} IS NULL)", expr_sql(inner)),
+    }
+}
+
+fn op_sql(op: BinOp) -> &'static str {
+    op.sql()
+}
+
+fn col(c: ColId) -> String {
+    format!("c{}", c.0)
+}
+
+fn order_by(keys: &[SortKey]) -> String {
+    let parts: Vec<String> = keys
+        .iter()
+        .map(|k| {
+            if k.descending {
+                format!("{} DESC", col(k.col))
+            } else {
+                col(k.col)
+            }
+        })
+        .collect();
+    format!("ORDER BY {}", parts.join(", "))
+}
+
+fn agg_sql(call: &AggCall) -> String {
+    let rendered = match call.arg {
+        Some(a) => call.render(&col(a)),
+        None => call.render(""),
+    };
+    format!("{} AS {}", rendered, col(call.output))
+}
+
+/// Generates a complete SQL statement for `tree`.
+pub fn to_sql(catalog: &Catalog, tree: &LogicalTree) -> Result<String> {
+    let mut counter = 0usize;
+    render(catalog, tree, &mut counter)
+}
+
+fn fresh_alias(counter: &mut usize) -> String {
+    let a = format!("t{counter}");
+    *counter += 1;
+    a
+}
+
+fn derived(catalog: &Catalog, node: &LogicalTree, counter: &mut usize) -> Result<String> {
+    let inner = render(catalog, node, counter)?;
+    let alias = fresh_alias(counter);
+    Ok(format!("({inner}) {alias}"))
+}
+
+fn render(catalog: &Catalog, tree: &LogicalTree, counter: &mut usize) -> Result<String> {
+    match &tree.op {
+        Operator::Get { table, cols } => {
+            let def = catalog.table(*table)?;
+            let items: Vec<String> = def
+                .columns
+                .iter()
+                .zip(cols)
+                .map(|(cd, id)| format!("{} AS {}", cd.name, col(*id)))
+                .collect();
+            Ok(format!("SELECT {} FROM {}", items.join(", "), def.name))
+        }
+        Operator::Select { predicate } => {
+            let from = derived(catalog, &tree.children[0], counter)?;
+            Ok(format!(
+                "SELECT * FROM {from} WHERE {}",
+                expr_sql(predicate)
+            ))
+        }
+        Operator::Project { outputs } => {
+            let from = derived(catalog, &tree.children[0], counter)?;
+            let items: Vec<String> = outputs
+                .iter()
+                .map(|(id, e)| format!("{} AS {}", expr_sql(e), col(*id)))
+                .collect();
+            Ok(format!("SELECT {} FROM {from}", items.join(", ")))
+        }
+        Operator::Join { kind, predicate } => {
+            let left = derived(catalog, &tree.children[0], counter)?;
+            let right = derived(catalog, &tree.children[1], counter)?;
+            match kind {
+                JoinKind::LeftSemi | JoinKind::LeftAnti => {
+                    let not = if *kind == JoinKind::LeftAnti { "NOT " } else { "" };
+                    Ok(format!(
+                        "SELECT * FROM {left} WHERE {not}EXISTS (SELECT 1 FROM {right} WHERE {})",
+                        expr_sql(predicate)
+                    ))
+                }
+                _ => {
+                    let kw = match kind {
+                        JoinKind::Inner => "INNER JOIN",
+                        JoinKind::LeftOuter => "LEFT OUTER JOIN",
+                        JoinKind::RightOuter => "RIGHT OUTER JOIN",
+                        JoinKind::FullOuter => "FULL OUTER JOIN",
+                        _ => unreachable!(),
+                    };
+                    Ok(format!(
+                        "SELECT * FROM {left} {kw} {right} ON {}",
+                        expr_sql(predicate)
+                    ))
+                }
+            }
+        }
+        Operator::GbAgg { group_by, aggs } => {
+            let from = derived(catalog, &tree.children[0], counter)?;
+            let mut items: Vec<String> = group_by.iter().map(|g| col(*g)).collect();
+            items.extend(aggs.iter().map(agg_sql));
+            let select = if items.is_empty() {
+                // Degenerate scalar aggregation with no outputs; still valid.
+                "COUNT(*) AS c_unused".to_string()
+            } else {
+                items.join(", ")
+            };
+            if group_by.is_empty() {
+                Ok(format!("SELECT {select} FROM {from}"))
+            } else {
+                let keys: Vec<String> = group_by.iter().map(|g| col(*g)).collect();
+                Ok(format!(
+                    "SELECT {select} FROM {from} GROUP BY {}",
+                    keys.join(", ")
+                ))
+            }
+        }
+        Operator::UnionAll {
+            outputs,
+            left_cols,
+            right_cols,
+        } => {
+            let left = derived(catalog, &tree.children[0], counter)?;
+            let right = derived(catalog, &tree.children[1], counter)?;
+            let litems: Vec<String> = left_cols
+                .iter()
+                .zip(outputs)
+                .map(|(l, o)| format!("{} AS {}", col(*l), col(*o)))
+                .collect();
+            let ritems: Vec<String> = right_cols
+                .iter()
+                .zip(outputs)
+                .map(|(r, o)| format!("{} AS {}", col(*r), col(*o)))
+                .collect();
+            Ok(format!(
+                "SELECT {} FROM {left} UNION ALL SELECT {} FROM {right}",
+                litems.join(", "),
+                ritems.join(", ")
+            ))
+        }
+        Operator::Distinct => {
+            let from = derived(catalog, &tree.children[0], counter)?;
+            Ok(format!("SELECT DISTINCT * FROM {from}"))
+        }
+        Operator::Sort { keys } => {
+            let from = derived(catalog, &tree.children[0], counter)?;
+            Ok(format!("SELECT * FROM {from} {}", order_by(keys)))
+        }
+        Operator::Top { n, keys } => {
+            let from = derived(catalog, &tree.children[0], counter)?;
+            if keys.is_empty() {
+                Ok(format!("SELECT * FROM {from} LIMIT {n}"))
+            } else {
+                Ok(format!("SELECT * FROM {from} {} LIMIT {n}", order_by(keys)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ruletest_expr::{AggFunc, Expr};
+    use ruletest_logical::IdGen;
+    use ruletest_storage::tpch_catalog;
+
+    fn get(cat: &Catalog, name: &str, ids: &mut IdGen) -> LogicalTree {
+        LogicalTree::get(cat.table_by_name(name).unwrap(), ids)
+    }
+
+    #[test]
+    fn get_renders_aliased_columns() {
+        let cat = tpch_catalog();
+        let mut ids = IdGen::new();
+        let t = get(&cat, "region", &mut ids);
+        let sql = to_sql(&cat, &t).unwrap();
+        assert_eq!(
+            sql,
+            "SELECT r_regionkey AS c0, r_name AS c1 FROM region"
+        );
+    }
+
+    #[test]
+    fn select_and_join_nest_derived_tables() {
+        let cat = tpch_catalog();
+        let mut ids = IdGen::new();
+        let l = get(&cat, "region", &mut ids);
+        let r = get(&cat, "nation", &mut ids);
+        let pred = Expr::eq(Expr::col(l.output_col(0)), Expr::col(r.output_col(2)));
+        let j = LogicalTree::join(JoinKind::LeftOuter, l, r, pred);
+        let q = LogicalTree::select(j, Expr::true_lit());
+        let sql = to_sql(&cat, &q).unwrap();
+        assert!(sql.contains("LEFT OUTER JOIN"));
+        assert!(sql.contains("ON (c0 = c4)"));
+        assert!(sql.ends_with("WHERE TRUE"));
+    }
+
+    #[test]
+    fn semi_join_renders_exists() {
+        let cat = tpch_catalog();
+        let mut ids = IdGen::new();
+        let l = get(&cat, "nation", &mut ids);
+        let r = get(&cat, "region", &mut ids);
+        let pred = Expr::eq(Expr::col(l.output_col(2)), Expr::col(r.output_col(0)));
+        let semi = LogicalTree::join(JoinKind::LeftSemi, l.clone(), r.clone(), pred.clone());
+        let sql = to_sql(&cat, &semi).unwrap();
+        assert!(sql.contains("WHERE EXISTS (SELECT 1 FROM"));
+        let anti = LogicalTree::join(JoinKind::LeftAnti, l, r, pred);
+        let sql = to_sql(&cat, &anti).unwrap();
+        assert!(sql.contains("WHERE NOT EXISTS"));
+    }
+
+    #[test]
+    fn gbagg_renders_group_by_and_aggs() {
+        let cat = tpch_catalog();
+        let mut ids = IdGen::new();
+        let t = get(&cat, "supplier", &mut ids);
+        let nat = t.output_col(2);
+        let acct = t.output_col(3);
+        let c1 = ids.fresh();
+        let c2 = ids.fresh();
+        let agg = LogicalTree::gbagg(
+            t,
+            vec![nat],
+            vec![
+                AggCall::new(AggFunc::CountStar, None, c1),
+                AggCall::new(AggFunc::Sum, Some(acct), c2),
+            ],
+        );
+        let sql = to_sql(&cat, &agg).unwrap();
+        assert!(sql.contains("COUNT(*) AS c4"));
+        assert!(sql.contains("SUM(c3) AS c5"));
+        assert!(sql.ends_with("GROUP BY c2"));
+    }
+
+    #[test]
+    fn union_distinct_sort_top_render() {
+        let cat = tpch_catalog();
+        let mut ids = IdGen::new();
+        let a = get(&cat, "region", &mut ids);
+        let b = get(&cat, "region", &mut ids);
+        let (a0, a1) = (a.output_col(0), a.output_col(1));
+        let (b0, b1) = (b.output_col(0), b.output_col(1));
+        let outs = vec![ids.fresh(), ids.fresh()];
+        let u = LogicalTree::union_all(a, b, outs.clone(), vec![a0, a1], vec![b0, b1]);
+        let d = LogicalTree::distinct(u);
+        let top = LogicalTree::top(d, 5, vec![SortKey::desc(outs[0])]);
+        let sql = to_sql(&cat, &top).unwrap();
+        assert!(sql.contains("UNION ALL"));
+        assert!(sql.contains("SELECT DISTINCT *"));
+        assert!(sql.contains("ORDER BY c4 DESC"));
+        assert!(sql.ends_with("LIMIT 5"));
+    }
+
+    #[test]
+    fn expr_rendering() {
+        let e = Expr::and(
+            Expr::eq(Expr::col(ColId(3)), Expr::lit("O'Brien")),
+            Expr::not(Expr::is_null(Expr::col(ColId(4)))),
+        );
+        assert_eq!(
+            expr_sql(&e),
+            "((c3 = 'O''Brien') AND (NOT (c4 IS NULL)))"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! SQL text generation and parsing for logical query trees.
+//!
+//! `to_sql` is the "Generate SQL" module of the paper's architecture
+//! (§2.3, Figure 2; functionality modeled on [9]): it turns any logical
+//! query tree into an executable SQL statement in a small, explicit
+//! dialect where every column is aliased `c<id>`. The parser reads the
+//! same dialect (plus ordinary catalog-resolved SQL over base tables)
+//! back into logical trees, giving the framework an end-to-end
+//! tree -> SQL -> tree round trip.
+//!
+//! Dialect notes: `SEMI`/`ANTI` joins are spelled as `WHERE [NOT] EXISTS`
+//! subqueries; `UNION` (distinct) parses as `Distinct(UNION ALL)`;
+//! `ORDER BY` inside derived tables is permitted; `LIMIT n` with an
+//! `ORDER BY` forms a `Top`.
+
+//! # Example
+//!
+//! ```
+//! use ruletest_storage::tpch_catalog;
+//! use ruletest_sql::{parse_sql, to_sql};
+//!
+//! let catalog = tpch_catalog();
+//! let tree = parse_sql(&catalog, "SELECT r_name FROM region WHERE r_regionkey = 1").unwrap();
+//! let sql = to_sql(&catalog, &tree).unwrap();
+//! let reparsed = parse_sql(&catalog, &sql).unwrap();
+//! assert_eq!(tree, reparsed); // exact structural round trip
+//! ```
+
+pub mod gen;
+pub mod parser;
+pub mod token;
+
+pub use gen::to_sql;
+pub use parser::parse_sql;

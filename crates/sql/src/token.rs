@@ -1,0 +1,161 @@
+//! SQL tokenizer.
+
+use ruletest_common::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are matched
+    /// case-insensitively; identifiers keep their original case).
+    Ident(String),
+    Number(i64),
+    Str(String),
+    /// `= <> < <= > >= + - * ( ) , .`
+    Symbol(&'static str),
+    Eof,
+}
+
+impl Token {
+    /// True iff this is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    pub fn is_symbol(&self, sym: &str) -> bool {
+        matches!(self, Token::Symbol(s) if *s == sym)
+    }
+}
+
+/// Tokenizes SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(Token::Ident(input[start..i].to_string()));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n: i64 = input[start..i]
+                .parse()
+                .map_err(|_| Error::parse(format!("bad number at byte {start}")))?;
+            out.push(Token::Number(n));
+        } else if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(Error::parse("unterminated string literal"));
+                }
+                if bytes[i] == b'\'' {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                        s.push('\'');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+            }
+            out.push(Token::Str(s));
+        } else {
+            let two = if i + 1 < bytes.len() {
+                &input[i..i + 2]
+            } else {
+                ""
+            };
+            let sym: &'static str = match two {
+                "<=" => "<=",
+                ">=" => ">=",
+                "<>" => "<>",
+                _ => match c {
+                    '=' => "=",
+                    '<' => "<",
+                    '>' => ">",
+                    '+' => "+",
+                    '-' => "-",
+                    '*' => "*",
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    other => {
+                        return Err(Error::parse(format!(
+                            "unexpected character '{other}' at byte {i}"
+                        )))
+                    }
+                },
+            };
+            i += sym.len();
+            out.push(Token::Symbol(sym));
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_mixed_sql() {
+        let toks = tokenize("SELECT a, b FROM t WHERE x <= 10 AND y = 'it''s'").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.iter().any(|t| t.is_symbol("<=")));
+        assert!(toks.contains(&Token::Number(10)));
+        assert!(toks.contains(&Token::Str("it's".to_string())));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = tokenize("select SeLeCt SELECT").unwrap();
+        assert!(toks[..3].iter().all(|t| t.is_kw("SELECT")));
+    }
+
+    #[test]
+    fn two_char_symbols_win_over_one() {
+        let toks = tokenize("a<>b<=c>=d<e>f").unwrap();
+        let syms: Vec<&str> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec!["<>", "<=", ">=", "<", ">"]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(tokenize("SELECT @").is_err());
+    }
+
+    #[test]
+    fn negative_numbers_are_minus_then_number() {
+        let toks = tokenize("-5").unwrap();
+        assert!(toks[0].is_symbol("-"));
+        assert_eq!(toks[1], Token::Number(5));
+    }
+}

@@ -1,0 +1,21 @@
+//! Catalog, schema, in-memory storage, and synthetic test data.
+//!
+//! The paper (§2.3, §6.1) assumes a *given, fixed* test database — in their
+//! case TPC-H on SQL Server. This crate supplies the equivalent substrate:
+//! a TPC-H-shaped schema with primary keys, foreign keys, and nullable
+//! columns (the schema properties that rule preconditions depend on), plus a
+//! deterministic seeded data generator and per-column statistics consumed by
+//! the optimizer's cardinality model.
+
+pub mod catalog;
+pub mod datagen;
+pub mod ssb;
+pub mod stats;
+pub mod table;
+pub mod tpch;
+
+pub use catalog::{Catalog, ColumnDef, ForeignKey, TableDef};
+pub use stats::{ColumnStats, TableStats};
+pub use table::{Database, Table};
+pub use ssb::{ssb_catalog, ssb_database, SsbConfig};
+pub use tpch::{tpch_catalog, tpch_database, TpchConfig};

@@ -1,0 +1,139 @@
+//! Per-table and per-column statistics.
+//!
+//! These feed the optimizer's cardinality estimator. They are computed
+//! exactly (the test databases are small); a production system would sample.
+
+use crate::catalog::TableDef;
+use ruletest_common::{Row, Value};
+use std::collections::HashSet;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub ndv: u64,
+    /// Number of NULLs.
+    pub null_count: u64,
+    /// Minimum / maximum non-null value (None when all values are NULL or
+    /// the table is empty).
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+}
+
+impl ColumnStats {
+    /// Fraction of rows that are NULL in this column.
+    pub fn null_fraction(&self, row_count: u64) -> f64 {
+        if row_count == 0 {
+            0.0
+        } else {
+            self.null_count as f64 / row_count as f64
+        }
+    }
+}
+
+/// Statistics for a whole table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    pub row_count: u64,
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Exact single-pass computation over materialized rows.
+    pub fn compute(def: &TableDef, rows: &[Row]) -> TableStats {
+        let ncols = def.columns.len();
+        let mut distinct: Vec<HashSet<&Value>> = vec![HashSet::new(); ncols];
+        let mut nulls = vec![0u64; ncols];
+        let mut mins: Vec<Option<&Value>> = vec![None; ncols];
+        let mut maxs: Vec<Option<&Value>> = vec![None; ncols];
+        for row in rows {
+            for (c, v) in row.iter().enumerate() {
+                if v.is_null() {
+                    nulls[c] += 1;
+                    continue;
+                }
+                distinct[c].insert(v);
+                match &mins[c] {
+                    Some(m) if v.total_cmp(m).is_ge() => {}
+                    _ => mins[c] = Some(v),
+                }
+                match &maxs[c] {
+                    Some(m) if v.total_cmp(m).is_le() => {}
+                    _ => maxs[c] = Some(v),
+                }
+            }
+        }
+        let columns = (0..ncols)
+            .map(|c| ColumnStats {
+                ndv: distinct[c].len() as u64,
+                null_count: nulls[c],
+                min: mins[c].cloned(),
+                max: maxs[c].cloned(),
+            })
+            .collect();
+        TableStats {
+            row_count: rows.len() as u64,
+            columns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ColumnDef, TableDef};
+    use ruletest_common::{DataType, TableId};
+
+    fn def() -> TableDef {
+        TableDef {
+            id: TableId(0),
+            name: "t".into(),
+            columns: vec![
+                ColumnDef::new("a", DataType::Int, false),
+                ColumnDef::new("b", DataType::Str, true),
+            ],
+            primary_key: vec![0],
+            unique_keys: vec![],
+            foreign_keys: vec![],
+        }
+    }
+
+    #[test]
+    fn computes_ndv_nulls_min_max() {
+        let rows = vec![
+            vec![Value::Int(3), Value::Str("x".into())],
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(3), Value::Str("y".into())],
+        ];
+        let s = TableStats::compute(&def(), &rows);
+        assert_eq!(s.row_count, 3);
+        assert_eq!(s.columns[0].ndv, 2);
+        assert_eq!(s.columns[0].null_count, 0);
+        assert_eq!(s.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(3)));
+        assert_eq!(s.columns[1].ndv, 2);
+        assert_eq!(s.columns[1].null_count, 1);
+        assert_eq!(s.columns[1].min, Some(Value::Str("x".into())));
+    }
+
+    #[test]
+    fn empty_table() {
+        let s = TableStats::compute(&def(), &[]);
+        assert_eq!(s.row_count, 0);
+        assert_eq!(s.columns[0].ndv, 0);
+        assert_eq!(s.columns[0].min, None);
+        assert_eq!(s.columns[0].null_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn null_fraction() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(2), Value::Null],
+            vec![Value::Int(3), Value::Str("z".into())],
+            vec![Value::Int(4), Value::Str("z".into())],
+        ];
+        let s = TableStats::compute(&def(), &rows);
+        assert!((s.columns[1].null_fraction(4) - 0.5).abs() < 1e-12);
+    }
+}

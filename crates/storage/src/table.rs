@@ -1,0 +1,169 @@
+//! In-memory tables and the database handle.
+
+use crate::catalog::Catalog;
+use crate::stats::TableStats;
+use ruletest_common::{Error, Result, Row, TableId, Value};
+use std::collections::HashMap;
+
+/// A materialized base table: its rows plus precomputed statistics and a
+/// hash index over the primary key (used by the `IndexSeek` physical
+/// operator).
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub id: TableId,
+    pub rows: Vec<Row>,
+    pub stats: TableStats,
+    /// Primary-key hash index: PK value tuple -> row offsets. Keys with any
+    /// NULL component are not indexed (our shipped schemas have non-null
+    /// keys; the guard is for user-supplied data).
+    pk_index: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl Table {
+    /// Builds a table from rows, validating arity and computing stats.
+    pub fn from_rows(catalog: &Catalog, id: TableId, rows: Vec<Row>) -> Result<Table> {
+        let def = catalog.table(id)?;
+        let ncols = def.columns.len();
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != ncols {
+                return Err(Error::invalid(format!(
+                    "row {i} of {} has {} values, expected {ncols}",
+                    def.name,
+                    row.len()
+                )));
+            }
+        }
+        let stats = TableStats::compute(def, &rows);
+        let mut pk_index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (off, row) in rows.iter().enumerate() {
+            let key: Vec<Value> = def.primary_key.iter().map(|&o| row[o].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            pk_index.entry(key).or_default().push(off);
+        }
+        Ok(Table {
+            id,
+            rows,
+            stats,
+            pk_index,
+        })
+    }
+
+    /// Looks up row offsets by primary-key value tuple.
+    pub fn pk_lookup(&self, key: &[Value]) -> &[usize] {
+        self.pk_index.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// A catalog plus materialized tables — the "given test database" of §2.3.
+#[derive(Debug, Clone)]
+pub struct Database {
+    pub catalog: Catalog,
+    tables: HashMap<TableId, Table>,
+}
+
+impl Database {
+    pub fn new(catalog: Catalog) -> Self {
+        Self {
+            catalog,
+            tables: HashMap::new(),
+        }
+    }
+
+    /// Materializes a table's data (replacing any previous contents).
+    pub fn load_table(&mut self, id: TableId, rows: Vec<Row>) -> Result<()> {
+        let table = Table::from_rows(&self.catalog, id, rows)?;
+        self.tables.insert(id, table);
+        Ok(())
+    }
+
+    pub fn table(&self, id: TableId) -> Result<&Table> {
+        self.tables
+            .get(&id)
+            .ok_or_else(|| Error::not_found(format!("table data for {id}")))
+    }
+
+    /// Statistics for a table; required by the optimizer's cost model.
+    pub fn stats(&self, id: TableId) -> Result<&TableStats> {
+        Ok(&self.table(id)?.stats)
+    }
+
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::row_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ColumnDef, TableDef};
+    use ruletest_common::DataType;
+
+    fn db_with_one_table() -> Database {
+        let mut cat = Catalog::new();
+        cat.add_table(TableDef {
+            id: TableId(0),
+            name: "t".into(),
+            columns: vec![
+                ColumnDef::new("k", DataType::Int, false),
+                ColumnDef::new("v", DataType::Str, true),
+            ],
+            primary_key: vec![0],
+            unique_keys: vec![],
+            foreign_keys: vec![],
+        })
+        .unwrap();
+        Database::new(cat)
+    }
+
+    #[test]
+    fn load_and_read_back() {
+        let mut db = db_with_one_table();
+        db.load_table(
+            TableId(0),
+            vec![
+                vec![Value::Int(1), Value::Str("a".into())],
+                vec![Value::Int(2), Value::Null],
+            ],
+        )
+        .unwrap();
+        let t = db.table(TableId(0)).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(db.total_rows(), 2);
+        assert_eq!(db.stats(TableId(0)).unwrap().row_count, 2);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut db = db_with_one_table();
+        let err = db.load_table(TableId(0), vec![vec![Value::Int(1)]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn pk_index_lookup() {
+        let mut db = db_with_one_table();
+        db.load_table(
+            TableId(0),
+            vec![
+                vec![Value::Int(10), Value::Null],
+                vec![Value::Int(20), Value::Str("x".into())],
+            ],
+        )
+        .unwrap();
+        let t = db.table(TableId(0)).unwrap();
+        assert_eq!(t.pk_lookup(&[Value::Int(20)]), &[1]);
+        assert!(t.pk_lookup(&[Value::Int(99)]).is_empty());
+    }
+
+    #[test]
+    fn missing_table_data_errors() {
+        let db = db_with_one_table();
+        assert!(db.table(TableId(0)).is_err());
+    }
+}

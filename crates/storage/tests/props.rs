@@ -1,0 +1,112 @@
+//! Property tests for the test-database substrate: the invariants the
+//! generator must hold for *any* seed and scale, because rule
+//! preconditions (keys, FKs, nullability) depend on them.
+
+use proptest::prelude::*;
+use ruletest_common::Value;
+use ruletest_storage::{tpch_database, TpchConfig};
+use std::collections::HashSet;
+
+fn config(seed: u64, factor: usize, null_p: f64) -> TpchConfig {
+    let mut cfg = TpchConfig::scaled(seed, factor);
+    cfg.null_probability = null_p;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Primary keys are unique and non-null at every seed/scale.
+    #[test]
+    fn primary_keys_hold(seed in any::<u64>(), factor in 1usize..4, null_p in 0.0f64..0.5) {
+        let db = tpch_database(&config(seed, factor, null_p)).unwrap();
+        for def in db.catalog.tables().to_vec() {
+            let t = db.table(def.id).unwrap();
+            let mut seen = HashSet::new();
+            for row in &t.rows {
+                let key: Vec<Value> =
+                    def.primary_key.iter().map(|&c| row[c].clone()).collect();
+                prop_assert!(!key.iter().any(Value::is_null), "{}: NULL PK", def.name);
+                prop_assert!(seen.insert(key), "{}: duplicate PK", def.name);
+            }
+        }
+    }
+
+    /// Every non-null foreign key resolves to a parent row.
+    #[test]
+    fn foreign_keys_resolve(seed in any::<u64>(), factor in 1usize..3) {
+        let db = tpch_database(&config(seed, factor, 0.15)).unwrap();
+        for def in db.catalog.tables().to_vec() {
+            let child = db.table(def.id).unwrap();
+            for fk in &def.foreign_keys {
+                let parent = db.table(fk.ref_table).unwrap();
+                let parent_keys: HashSet<Vec<Value>> = parent
+                    .rows
+                    .iter()
+                    .map(|r| fk.ref_columns.iter().map(|&c| r[c].clone()).collect())
+                    .collect();
+                for row in &child.rows {
+                    let key: Vec<Value> =
+                        fk.columns.iter().map(|&c| row[c].clone()).collect();
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    prop_assert!(parent_keys.contains(&key), "{}: dangling FK", def.name);
+                }
+            }
+        }
+    }
+
+    /// Statistics agree with the data they were computed from.
+    #[test]
+    fn statistics_are_exact(seed in any::<u64>()) {
+        let db = tpch_database(&config(seed, 1, 0.2)).unwrap();
+        for def in db.catalog.tables().to_vec() {
+            let t = db.table(def.id).unwrap();
+            prop_assert_eq!(t.stats.row_count as usize, t.rows.len());
+            for (c, stats) in t.stats.columns.iter().enumerate() {
+                let nulls = t.rows.iter().filter(|r| r[c].is_null()).count();
+                prop_assert_eq!(stats.null_count as usize, nulls);
+                let distinct: HashSet<&Value> = t
+                    .rows
+                    .iter()
+                    .map(|r| &r[c])
+                    .filter(|v| !v.is_null())
+                    .collect();
+                prop_assert_eq!(stats.ndv as usize, distinct.len());
+                if let Some(min) = &stats.min {
+                    prop_assert!(distinct.iter().all(|v| min.total_cmp(v).is_le()));
+                    prop_assert!(distinct.contains(min));
+                }
+            }
+        }
+    }
+
+    /// The generator is a pure function of its configuration.
+    #[test]
+    fn generation_is_pure(seed in any::<u64>()) {
+        let a = tpch_database(&config(seed, 1, 0.1)).unwrap();
+        let b = tpch_database(&config(seed, 1, 0.1)).unwrap();
+        for def in a.catalog.tables().to_vec() {
+            prop_assert_eq!(&a.table(def.id).unwrap().rows, &b.table(def.id).unwrap().rows);
+        }
+    }
+
+    /// The PK hash index answers point lookups consistently with a scan.
+    #[test]
+    fn pk_index_matches_scan(seed in any::<u64>(), probe in 0i64..50) {
+        let db = tpch_database(&config(seed, 1, 0.1)).unwrap();
+        let def = db.catalog.table_by_name("orders").unwrap().clone();
+        let t = db.table(def.id).unwrap();
+        let key = vec![Value::Int(probe)];
+        let via_index: HashSet<usize> = t.pk_lookup(&key).iter().copied().collect();
+        let via_scan: HashSet<usize> = t
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r[0] == Value::Int(probe))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(via_index, via_scan);
+    }
+}

@@ -1,0 +1,69 @@
+//! SQL playground: parse hand-written SQL against the TPC-H catalog,
+//! optimize it, explain the plan, execute it, and show which
+//! transformation rules fired.
+//!
+//! Run with: `cargo run --release --example sql_playground`
+//! or pass your own statement:
+//! `cargo run --release --example sql_playground -- "SELECT r_name FROM region"`
+
+use ruletest::core::{Framework, FrameworkConfig};
+use ruletest::executor::execute;
+use ruletest::sql::parse_sql;
+
+fn main() {
+    let fw = Framework::new(&FrameworkConfig::default()).expect("framework");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let queries: Vec<String> = if args.is_empty() {
+        vec![
+            "SELECT n_name, COUNT(*) AS suppliers, MAX(s_acctbal) AS best \
+             FROM supplier s JOIN nation n ON s.s_nationkey = n.n_nationkey \
+             WHERE s_acctbal > 0 GROUP BY n_name ORDER BY suppliers DESC LIMIT 5"
+                .into(),
+            "SELECT c_name FROM customer c WHERE NOT EXISTS \
+             (SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey)"
+                .into(),
+            "SELECT r_name FROM region LEFT OUTER JOIN nation \
+             ON r_regionkey = n_regionkey WHERE n_name = 'NATION_03'"
+                .into(),
+        ]
+    } else {
+        vec![args.join(" ")]
+    };
+
+    for sql in queries {
+        println!("SQL> {sql}\n");
+        let tree = match parse_sql(&fw.db.catalog, &sql) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("  parse error: {e}\n");
+                continue;
+            }
+        };
+        println!("-- logical tree --\n{}", tree.explain());
+        let res = match fw.optimizer.optimize(&tree) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("  optimizer error: {e}\n");
+                continue;
+            }
+        };
+        println!("-- physical plan (cost {:.1}) --\n{}", res.cost, res.plan.explain());
+        let fired: Vec<&str> = res
+            .rule_set
+            .iter()
+            .map(|r| fw.optimizer.rule(*r).name)
+            .collect();
+        println!("-- rules exercised --\n  {}\n", fired.join(", "));
+        match execute(&fw.db, &res.plan) {
+            Ok(rows) => {
+                println!("-- results ({} rows, first 10) --", rows.len());
+                for row in rows.iter().take(10) {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("  ({})", cells.join(", "));
+                }
+            }
+            Err(e) => println!("  execution error: {e}"),
+        }
+        println!("{}", "=".repeat(72));
+    }
+}

@@ -1,0 +1,302 @@
+//! `ruletest` — command-line front end for the rule-testing framework.
+//!
+//! ```text
+//! ruletest rules                         list the optimizer's rule catalog
+//! ruletest pattern <RULE>                print a rule's pattern as XML (§3.1 API)
+//! ruletest gen <RULE> [opts]             generate a query exercising the rule
+//! ruletest pair <RULE_A> <RULE_B> [opts] generate a query exercising a rule pair
+//! ruletest relevant <RULE> [opts]        find a query where the rule changes the plan (§7)
+//! ruletest dependency <R1> <R2> [opts]   find a query where R2 fires on R1's output (§7)
+//! ruletest sql "<SELECT ...>"            parse, optimize, explain, and run SQL
+//! ruletest audit [--rules N] [--k K]     compression + correctness campaign
+//! ruletest impact [--rules N]            workload-level rule performance impact (§1's third dimension)
+//!
+//! common options: --seed N   --pad N   --random   --trials N
+//! ```
+
+use ruletest::core::compress::{baseline, smc, topk, Instance};
+use ruletest::core::correctness::execute_solution;
+use ruletest::core::generate::dependency::find_dependency_query;
+use ruletest::core::generate::relevant::find_relevant_query;
+use ruletest::core::{
+    build_graph, generate_suite, singleton_targets, Framework, FrameworkConfig, GenConfig,
+    Strategy,
+};
+use ruletest::executor::{execute, ExecConfig};
+use ruletest::optimizer::RuleKind;
+use ruletest::sql::parse_sql;
+use std::process::ExitCode;
+
+struct Opts {
+    seed: u64,
+    pad: usize,
+    trials: usize,
+    random: bool,
+    rules: usize,
+    k: usize,
+    positional: Vec<String>,
+}
+
+fn parse_args() -> (String, Opts) {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| "help".to_string());
+    let mut opts = Opts {
+        seed: 42,
+        pad: 0,
+        trials: 500,
+        random: false,
+        rules: 8,
+        k: 3,
+        positional: Vec::new(),
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => opts.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(42),
+            "--pad" => opts.pad = args.next().and_then(|s| s.parse().ok()).unwrap_or(0),
+            "--trials" => opts.trials = args.next().and_then(|s| s.parse().ok()).unwrap_or(500),
+            "--rules" => opts.rules = args.next().and_then(|s| s.parse().ok()).unwrap_or(8),
+            "--k" => opts.k = args.next().and_then(|s| s.parse().ok()).unwrap_or(3),
+            "--random" => opts.random = true,
+            other => opts.positional.push(other.to_string()),
+        }
+    }
+    (cmd, opts)
+}
+
+fn main() -> ExitCode {
+    let (cmd, opts) = parse_args();
+    let fw = match Framework::new(&FrameworkConfig::default()) {
+        Ok(fw) => fw,
+        Err(e) => {
+            eprintln!("framework construction failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let strategy = if opts.random {
+        Strategy::Random
+    } else {
+        Strategy::Pattern
+    };
+    let gen_cfg = GenConfig {
+        seed: opts.seed,
+        pad_ops: opts.pad,
+        max_trials: opts.trials,
+        ..Default::default()
+    };
+    let rule_by_name = |name: &str| {
+        fw.optimizer.rule_id(name).ok_or_else(|| {
+            format!("unknown rule '{name}' — see `ruletest rules` for the catalog")
+        })
+    };
+
+    let result: Result<(), String> = match cmd.as_str() {
+        "rules" => {
+            println!("{:<32} {:<15} precondition", "rule", "kind");
+            for i in 0..fw.optimizer.num_rules() {
+                let rid = ruletest::common::RuleId(i as u16);
+                let rule = fw.optimizer.rule(rid);
+                let kind = match rule.kind {
+                    RuleKind::Exploration => "exploration",
+                    RuleKind::Implementation => "implementation",
+                };
+                println!("{:<32} {:<15} {}", rule.name, kind, rule.precondition);
+            }
+            Ok(())
+        }
+        "pattern" => opts
+            .positional
+            .first()
+            .ok_or_else(|| "usage: ruletest pattern <RULE>".to_string())
+            .and_then(|name| rule_by_name(name))
+            .map(|rid| print!("{}", fw.optimizer.rule_pattern(rid).to_xml())),
+        "gen" => opts
+            .positional
+            .first()
+            .ok_or_else(|| "usage: ruletest gen <RULE>".to_string())
+            .and_then(|name| rule_by_name(name))
+            .and_then(|rid| {
+                fw.find_query_for_rule(rid, strategy, &gen_cfg)
+                    .map_err(|e| e.to_string())
+            })
+            .map(|out| {
+                println!(
+                    "-- found in {} trials ({} operators, {:.1}ms)",
+                    out.trials,
+                    out.ops,
+                    out.elapsed.as_secs_f64() * 1e3
+                );
+                println!("{}", out.sql);
+            }),
+        "pair" => {
+            if opts.positional.len() < 2 {
+                Err("usage: ruletest pair <RULE_A> <RULE_B>".to_string())
+            } else {
+                rule_by_name(&opts.positional[0])
+                    .and_then(|a| rule_by_name(&opts.positional[1]).map(|b| (a, b)))
+                    .and_then(|pair| {
+                        fw.find_query_for_pair(pair, strategy, &gen_cfg)
+                            .map_err(|e| e.to_string())
+                    })
+                    .map(|out| {
+                        println!("-- found in {} trials ({} operators)", out.trials, out.ops);
+                        println!("{}", out.sql);
+                    })
+            }
+        }
+        "relevant" => opts
+            .positional
+            .first()
+            .ok_or_else(|| "usage: ruletest relevant <RULE>".to_string())
+            .and_then(|name| rule_by_name(name))
+            .and_then(|rid| {
+                find_relevant_query(&fw, rid, strategy, &gen_cfg).map_err(|e| e.to_string())
+            })
+            .map(|(out, discarded)| {
+                println!(
+                    "-- relevant query found ({} trials, {} exercising-but-irrelevant discarded)",
+                    out.trials, discarded
+                );
+                println!("{}", out.sql);
+            }),
+        "dependency" => {
+            if opts.positional.len() < 2 {
+                Err("usage: ruletest dependency <RULE_A> <RULE_B>".to_string())
+            } else {
+                rule_by_name(&opts.positional[0])
+                    .and_then(|a| rule_by_name(&opts.positional[1]).map(|b| (a, b)))
+                    .and_then(|(a, b)| {
+                        find_dependency_query(&fw, a, b, strategy, &gen_cfg)
+                            .map_err(|e| e.to_string())
+                    })
+                    .map(|(out, discarded)| {
+                        println!(
+                            "-- dependency witness found ({} trials, {} co-occurring-only discarded)",
+                            out.trials, discarded
+                        );
+                        println!("{}", out.sql);
+                    })
+            }
+        }
+        "sql" => opts
+            .positional
+            .first()
+            .ok_or_else(|| "usage: ruletest sql \"SELECT ...\"".to_string())
+            .and_then(|text| run_sql(&fw, text)),
+        "audit" => run_audit(&fw, &opts),
+        "impact" => run_impact(&fw, &opts),
+        _ => {
+            eprintln!(
+                "usage: ruletest <rules|pattern|gen|pair|relevant|sql|audit> [options]\n\
+                 see the module docs (`ruletest --help` equivalent) in src/bin/ruletest.rs"
+            );
+            Ok(())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_sql(fw: &Framework, text: &str) -> Result<(), String> {
+    let tree = parse_sql(&fw.db.catalog, text).map_err(|e| e.to_string())?;
+    let res = fw.optimizer.optimize(&tree).map_err(|e| e.to_string())?;
+    println!("-- plan (cost {:.1}) --\n{}", res.cost, res.plan.explain());
+    let fired: Vec<&str> = res
+        .rule_set
+        .iter()
+        .map(|r| fw.optimizer.rule(*r).name)
+        .collect();
+    println!("-- rules exercised: {}", fired.join(", "));
+    let rows = execute(&fw.db, &res.plan).map_err(|e| e.to_string())?;
+    println!("-- {} rows --", rows.len());
+    for row in rows.iter().take(20) {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("({})", cells.join(", "));
+    }
+    if rows.len() > 20 {
+        println!("... {} more", rows.len() - 20);
+    }
+    Ok(())
+}
+
+fn run_impact(fw: &Framework, opts: &Opts) -> Result<(), String> {
+    use ruletest::core::generate::random::random_tree;
+    let mut rng = ruletest::common::Rng::new(opts.seed);
+    let workload: Vec<_> = (0..20)
+        .map(|_| {
+            let mut ids = ruletest::logical::IdGen::new();
+            random_tree(&fw.db, &mut rng, &mut ids, 7).tree
+        })
+        .collect();
+    let report = ruletest::core::rule_impact(fw, &workload).map_err(|e| e.to_string())?;
+    println!(
+        "{:<32} {:>9} {:>8} {:>10}",
+        "rule", "exercised", "relevant", "inflation"
+    );
+    for r in report.iter().take(opts.rules.max(10)) {
+        println!(
+            "{:<32} {:>9} {:>8} {:>9.2}x",
+            r.rule_name,
+            r.exercised,
+            r.relevant,
+            r.inflation()
+        );
+    }
+    Ok(())
+}
+
+fn run_audit(fw: &Framework, opts: &Opts) -> Result<(), String> {
+    println!(
+        "auditing {} rules with k={} queries each...",
+        opts.rules, opts.k
+    );
+    let suite = generate_suite(
+        fw,
+        singleton_targets(fw, opts.rules),
+        opts.k,
+        Strategy::Pattern,
+        &GenConfig {
+            seed: opts.seed,
+            pad_ops: 2,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let graph = build_graph(fw, &suite).map_err(|e| e.to_string())?;
+    let inst = Instance::from_graph(&graph);
+    println!(
+        "suite: {} queries, {} edges ({} optimizer calls)",
+        suite.queries.len(),
+        graph.edges.len(),
+        graph.optimizer_calls
+    );
+    let b = baseline(&inst).map_err(|e| e.to_string())?;
+    let s = smc(&inst).map_err(|e| e.to_string())?;
+    let t = topk(&inst).map_err(|e| e.to_string())?;
+    println!("compression (estimated execution cost):");
+    println!("  BASELINE {:>12.1}", b.total_cost(&inst));
+    println!("  SMC      {:>12.1}", s.total_cost(&inst));
+    println!("  TOPK     {:>12.1}", t.total_cost(&inst));
+    let report = execute_solution(fw, &suite, &inst, &t, &ExecConfig::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "executed TOPK suite: {} validations, {} executions, {} skipped-identical, {} bugs",
+        report.validations,
+        report.executions,
+        report.skipped_identical,
+        report.bugs.len()
+    );
+    for bug in &report.bugs {
+        println!("BUG in {}: {}\n  {}", bug.target_label, bug.diff_summary, bug.sql);
+    }
+    if report.passed() {
+        println!("all rules validated clean.");
+        Ok(())
+    } else {
+        Err(format!("{} correctness bugs found", report.bugs.len()))
+    }
+}

@@ -1,0 +1,48 @@
+//! # ruletest — A Framework for Testing Query Transformation Rules
+//!
+//! A complete, from-scratch reproduction of *"A Framework for Testing
+//! Query Transformation Rules"* (Elmongui, Narasayya, Ramamurthy —
+//! SIGMOD 2009), including every substrate the paper's framework runs on:
+//!
+//! * [`storage`] — a TPC-H-shaped test database with keys, foreign keys,
+//!   nullable columns, deterministic data generation, and statistics;
+//! * [`expr`] / [`logical`] — scalar expressions with three-valued logic
+//!   and logical query trees;
+//! * [`optimizer`] — a Cascades-style transformation-rule optimizer (40
+//!   exploration rules, 14 implementation rules) with the three testing
+//!   extensions the paper requires: rule tracing (`RuleSet(q)`), rule
+//!   masking (`Plan(q, ¬R)`), and rule-pattern export (§3.1's XML API);
+//! * [`executor`] — a physical-plan interpreter for correctness
+//!   validation;
+//! * [`sql`] — the Generate SQL module plus a parser back to logical
+//!   trees;
+//! * [`core`] — the paper's contribution: pattern-based query generation
+//!   (§3), test suite compression (§4–5: BASELINE / SetMultiCover /
+//!   TopKIndependent / exact / bipartite matching), monotonicity-pruned
+//!   bipartite-graph construction (§5.3.1), correctness execution (§2.3),
+//!   and fault injection.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ruletest::core::{Framework, FrameworkConfig, GenConfig, Strategy};
+//!
+//! let fw = Framework::new(&FrameworkConfig::default()).unwrap();
+//! let rule = fw.optimizer.rule_id("InnerJoinCommute").unwrap();
+//!
+//! // §3.1: a SQL query guaranteed to have exercised the rule.
+//! let out = fw
+//!     .find_query_for_rule(rule, Strategy::Pattern, &GenConfig::default())
+//!     .unwrap();
+//! assert!(out.trials <= 4);
+//! println!("{}", out.sql);
+//! ```
+
+pub use ruletest_common as common;
+pub use ruletest_core as core;
+pub use ruletest_executor as executor;
+pub use ruletest_expr as expr;
+pub use ruletest_logical as logical;
+pub use ruletest_optimizer as optimizer;
+pub use ruletest_sql as sql;
+pub use ruletest_storage as storage;

@@ -1,0 +1,161 @@
+//! Property-based tests (proptest) over the whole stack.
+//!
+//! Trees are generated through the framework's own seeded generator (one
+//! `u64` seed is the proptest input), which keeps shrinking meaningful
+//! while exercising realistic query shapes.
+
+use proptest::prelude::*;
+use ruletest_common::{diff_multisets, multisets_equal, RuleId, Rng, Value};
+use ruletest_core::generate::random::random_tree;
+use ruletest_core::{Framework, FrameworkConfig};
+use ruletest_executor::{execute_with, ExecConfig};
+use ruletest_logical::IdGen;
+use ruletest_optimizer::{OptimizerConfig, RuleMask};
+use ruletest_sql::{parse_sql, to_sql};
+use std::sync::OnceLock;
+
+fn fw() -> &'static Framework {
+    static FW: OnceLock<Framework> = OnceLock::new();
+    FW.get_or_init(|| Framework::new(&FrameworkConfig::default()).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    /// Any generated tree renders to SQL that parses back to the identical
+    /// tree.
+    #[test]
+    fn sql_round_trip_is_exact(seed in any::<u64>(), budget in 1usize..9) {
+        let fw = fw();
+        let mut rng = Rng::new(seed);
+        let mut ids = IdGen::new();
+        let built = random_tree(&fw.db, &mut rng, &mut ids, budget);
+        let sql = to_sql(&fw.db.catalog, &built.tree).unwrap();
+        let parsed = parse_sql(&fw.db.catalog, &sql).unwrap();
+        prop_assert_eq!(parsed, built.tree, "SQL: {}", sql);
+    }
+
+    /// Optimizing under an arbitrary exploration-rule mask never changes
+    /// executed results (the paper's core correctness premise, as a
+    /// property over random queries and random masks).
+    #[test]
+    fn random_masks_preserve_results(seed in any::<u64>(), mask_bits in any::<u64>()) {
+        let fw = fw();
+        let mut rng = Rng::new(seed);
+        let mut ids = IdGen::new();
+        let built = random_tree(&fw.db, &mut rng, &mut ids, 5);
+        let exploration = fw.optimizer.exploration_rule_ids();
+        let disabled: Vec<RuleId> = exploration
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask_bits >> (i % 64) & 1 == 1)
+            .map(|(_, r)| *r)
+            .collect();
+        let base = fw.optimizer.optimize(&built.tree).unwrap();
+        let masked = fw
+            .optimizer
+            .optimize_with(&built.tree, &OptimizerConfig {
+                mask: RuleMask::disabling(&disabled),
+                ..Default::default()
+            })
+            .unwrap();
+        if !base.truncated && !masked.truncated {
+            prop_assert!(masked.cost >= base.cost - 1e-9, "monotonicity");
+        }
+        let exec = ExecConfig::default();
+        if let (Ok(a), Ok(b)) = (
+            execute_with(&fw.db, &base.plan, &exec),
+            execute_with(&fw.db, &masked.plan, &exec),
+        ) {
+            prop_assert!(
+                multisets_equal(&a, &b),
+                "mask {:?} changed results of\n{}",
+                disabled.len(),
+                built.tree.explain()
+            );
+        }
+    }
+
+    /// Optimization is deterministic: same tree, same plan, same cost.
+    #[test]
+    fn optimization_is_deterministic(seed in any::<u64>()) {
+        let fw = fw();
+        let mut rng = Rng::new(seed);
+        let mut ids = IdGen::new();
+        let built = random_tree(&fw.db, &mut rng, &mut ids, 5);
+        let a = fw.optimizer.optimize(&built.tree).unwrap();
+        let b = fw.optimizer.optimize(&built.tree).unwrap();
+        prop_assert!(a.plan.same_shape(&b.plan));
+        prop_assert_eq!(a.cost, b.cost);
+        prop_assert_eq!(a.rule_set, b.rule_set);
+    }
+}
+
+proptest! {
+    /// Multiset comparison laws over arbitrary row sets.
+    #[test]
+    fn multiset_laws(rows in prop::collection::vec(
+        prop::collection::vec(-3i64..3, 2),
+        0..12,
+    ), perm_seed in any::<u64>()) {
+        let rows: Vec<Vec<Value>> = rows
+            .into_iter()
+            .map(|r| r.into_iter().map(Value::Int).collect())
+            .collect();
+        // Reflexive.
+        prop_assert!(multisets_equal(&rows, &rows));
+        prop_assert!(diff_multisets(&rows, &rows).is_empty());
+        // Permutation-invariant.
+        let mut shuffled = rows.clone();
+        Rng::new(perm_seed).shuffle(&mut shuffled);
+        prop_assert!(multisets_equal(&rows, &shuffled));
+        // Dropping a row breaks equality.
+        if !rows.is_empty() {
+            let fewer = &rows[1..];
+            prop_assert!(!multisets_equal(&rows, fewer));
+            let d = diff_multisets(&rows, fewer);
+            prop_assert!(!d.is_empty());
+            prop_assert!(d.only_right.is_empty());
+        }
+    }
+
+    /// `Value::total_cmp` is a total order (antisymmetric + transitive on
+    /// sampled triples).
+    #[test]
+    fn value_total_order(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Rule masks behave like sets.
+    #[test]
+    fn rule_mask_set_semantics(ids in prop::collection::btree_set(0u16..200, 0..20)) {
+        let rules: Vec<RuleId> = ids.iter().map(|&i| RuleId(i)).collect();
+        let mask = RuleMask::disabling(&rules);
+        prop_assert_eq!(mask.disabled_count(), rules.len());
+        for r in &rules {
+            prop_assert!(mask.is_disabled(*r));
+        }
+        prop_assert_eq!(mask.disabled_rules(), rules.clone());
+        let mut cleared = mask.clone();
+        for r in &rules {
+            cleared.enable(*r);
+        }
+        prop_assert!(cleared.is_empty());
+    }
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-50i64..50).prop_map(Value::Int),
+        "[a-c]{0,3}".prop_map(Value::Str),
+    ]
+}

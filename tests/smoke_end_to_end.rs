@@ -1,0 +1,77 @@
+//! End-to-end smoke test: optimize and execute a query with every single
+//! exploration rule disabled in turn; the result multiset must not change.
+
+use ruletest_common::multisets_equal;
+use ruletest_executor::execute;
+use ruletest_expr::{AggCall, AggFunc, Expr};
+use ruletest_logical::{IdGen, JoinKind, LogicalTree};
+use ruletest_optimizer::{Optimizer, OptimizerConfig};
+use ruletest_storage::{tpch_database, TpchConfig};
+use std::sync::Arc;
+
+#[test]
+fn every_rule_mask_preserves_results_on_a_representative_query() {
+    let db = Arc::new(tpch_database(&TpchConfig::default()).unwrap());
+    let opt = Optimizer::new(db.clone());
+    let cat = &db.catalog;
+    let mut ids = IdGen::new();
+
+    // SELECT n.name, COUNT(*), MAX(s.acctbal) FROM supplier s
+    //   JOIN nation n ON s.nationkey = n.nationkey
+    //   LEFT OUTER JOIN region r ON n.regionkey = r.regionkey  -- via tree
+    // WHERE s.acctbal > 0 GROUP BY n.name
+    let s = LogicalTree::get(cat.table_by_name("supplier").unwrap(), &mut ids);
+    let n = LogicalTree::get(cat.table_by_name("nation").unwrap(), &mut ids);
+    let r = LogicalTree::get(cat.table_by_name("region").unwrap(), &mut ids);
+    let (s_nation, s_acct) = (s.output_col(2), s.output_col(3));
+    let (n_key, n_name, n_region) = (n.output_col(0), n.output_col(1), n.output_col(2));
+    let r_key = r.output_col(0);
+
+    let join1 = LogicalTree::join(
+        JoinKind::Inner,
+        s,
+        n,
+        Expr::eq(Expr::col(s_nation), Expr::col(n_key)),
+    );
+    let join2 = LogicalTree::join(
+        JoinKind::LeftOuter,
+        join1,
+        r,
+        Expr::eq(Expr::col(n_region), Expr::col(r_key)),
+    );
+    let filtered = LogicalTree::select(
+        join2,
+        Expr::bin(ruletest_expr::BinOp::Gt, Expr::col(s_acct), Expr::lit(0i64)),
+    );
+    let cnt = ids.fresh();
+    let mx = ids.fresh();
+    let query = LogicalTree::gbagg(
+        filtered,
+        vec![n_name],
+        vec![
+            AggCall::new(AggFunc::CountStar, None, cnt),
+            AggCall::new(AggFunc::Max, Some(s_acct), mx),
+        ],
+    );
+
+    let base = opt.optimize(&query).unwrap();
+    let base_rows = execute(&db, &base.plan).unwrap();
+    assert!(!base_rows.is_empty());
+
+    for rid in opt.exploration_rule_ids() {
+        let masked = opt
+            .optimize_with(&query, &OptimizerConfig::disabling(&[rid]))
+            .unwrap();
+        assert!(
+            masked.cost >= base.cost - 1e-9,
+            "cost monotonicity violated by {}",
+            opt.rule(rid).name
+        );
+        let rows = execute(&db, &masked.plan).unwrap();
+        assert!(
+            multisets_equal(&base_rows, &rows),
+            "disabling {} changed the result",
+            opt.rule(rid).name
+        );
+    }
+}
