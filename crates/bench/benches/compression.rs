@@ -1,9 +1,10 @@
 //! Microbenchmarks for the test-suite compression algorithms (§5) on
-//! synthetic bipartite instances of growing size.
+//! synthetic bipartite instances of growing size. Runs on the
+//! dependency-free std::time harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ruletest_core::compress::{matching, smc, topk, Instance};
+use ruletest_bench::harness;
 use ruletest_common::Rng;
+use ruletest_core::compress::{matching, smc, topk, Instance};
 use std::collections::HashMap;
 
 /// A synthetic instance: `targets` rules, `k` per rule, with dedicated
@@ -12,9 +13,7 @@ use std::collections::HashMap;
 fn synth(targets: usize, k: usize, seed: u64) -> Instance {
     let mut rng = Rng::new(seed);
     let nq = targets * k;
-    let node_cost: Vec<f64> = (0..nq)
-        .map(|_| 10.0 + rng.gen_below(1000) as f64)
-        .collect();
+    let node_cost: Vec<f64> = (0..nq).map(|_| 10.0 + rng.gen_below(1000) as f64).collect();
     let mut adjacency = vec![Vec::new(); targets];
     let mut edge_cost = HashMap::new();
     let mut generated_for = vec![0usize; nq];
@@ -23,7 +22,10 @@ fn synth(targets: usize, k: usize, seed: u64) -> Instance {
             let q = t * k + slot;
             generated_for[q] = t;
             adjacency[t].push(q);
-            edge_cost.insert((t, q), node_cost[q] * (1.0 + rng.gen_below(300) as f64 / 100.0));
+            edge_cost.insert(
+                (t, q),
+                node_cost[q] * (1.0 + rng.gen_below(300) as f64 / 100.0),
+            );
         }
     }
     // Cross coverage: each query additionally covers ~25% of other targets.
@@ -31,8 +33,10 @@ fn synth(targets: usize, k: usize, seed: u64) -> Instance {
         for t in 0..targets {
             if generated_for[q] != t && rng.gen_bool(0.25) {
                 adjacency[t].push(q);
-                edge_cost
-                    .insert((t, q), node_cost[q] * (1.0 + rng.gen_below(300) as f64 / 100.0));
+                edge_cost.insert(
+                    (t, q),
+                    node_cost[q] * (1.0 + rng.gen_below(300) as f64 / 100.0),
+                );
             }
         }
     }
@@ -45,24 +49,21 @@ fn synth(targets: usize, k: usize, seed: u64) -> Instance {
     }
 }
 
-fn bench_compression(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compression");
+fn main() {
+    let mut group = harness::group("compression");
     for &targets in &[10usize, 30, 100] {
         let inst = synth(targets, 10, 42);
-        group.bench_with_input(BenchmarkId::new("smc", targets), &inst, |b, inst| {
-            b.iter(|| smc(inst).unwrap().total_cost(inst))
+        group.bench(&format!("smc/{targets}"), || {
+            smc(&inst).unwrap().total_cost(&inst)
         });
-        group.bench_with_input(BenchmarkId::new("topk", targets), &inst, |b, inst| {
-            b.iter(|| topk(inst).unwrap().total_cost(inst))
+        group.bench(&format!("topk/{targets}"), || {
+            topk(&inst).unwrap().total_cost(&inst)
         });
     }
     // The Hungarian solver on the no-sharing variant.
     let inst = synth(12, 4, 7);
-    group.bench_function("matching/12x4", |b| {
-        b.iter(|| matching(&inst).unwrap().total_cost(&inst))
+    group.bench("matching/12x4", || {
+        matching(&inst).unwrap().total_cost(&inst)
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_compression);
-criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Microbenchmarks for the execution substrate: join algorithms and
-//! aggregation at a larger scale factor.
+//! aggregation at a larger scale factor. Runs on the dependency-free
+//! std::time harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ruletest_bench::harness;
 use ruletest_executor::execute;
 use ruletest_expr::{AggCall, AggFunc, Expr};
 use ruletest_logical::{IdGen, JoinKind, LogicalTree};
@@ -9,7 +10,7 @@ use ruletest_optimizer::{Optimizer, OptimizerConfig};
 use ruletest_storage::{tpch_database, TpchConfig};
 use std::sync::Arc;
 
-fn bench_executor(c: &mut Criterion) {
+fn main() {
     // Scale factor 4: ~1200 lineitem rows.
     let db = Arc::new(tpch_database(&TpchConfig::scaled(7, 4)).unwrap());
     let opt = Optimizer::new(db.clone());
@@ -22,7 +23,11 @@ fn bench_executor(c: &mut Criterion) {
         let pred = Expr::eq(Expr::col(l.output_col(0)), Expr::col(o.output_col(0)));
         let join = LogicalTree::join(JoinKind::Inner, l, o, pred);
         let out = ids.fresh();
-        LogicalTree::gbagg(join, vec![], vec![AggCall::new(AggFunc::CountStar, None, out)])
+        LogicalTree::gbagg(
+            join,
+            vec![],
+            vec![AggCall::new(AggFunc::CountStar, None, out)],
+        )
     };
 
     let q = join_query();
@@ -38,15 +43,10 @@ fn bench_executor(c: &mut Criterion) {
         .unwrap()
         .plan;
 
-    let mut group = c.benchmark_group("executor");
-    group.bench_function("join/best-plan", |b| {
-        b.iter(|| execute(&db, &hash_plan).unwrap().len())
-    });
-    group.bench_function("join/nl-only-plan", |b| {
-        b.iter(|| execute(&db, &nl_plan).unwrap().len())
+    let mut group = harness::group("executor");
+    group.bench("join/best-plan", || execute(&db, &hash_plan).unwrap().len());
+    group.bench("join/nl-only-plan", || {
+        execute(&db, &nl_plan).unwrap().len()
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_executor);
-criterion_main!(benches);

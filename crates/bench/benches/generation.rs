@@ -1,13 +1,13 @@
 //! Microbenchmarks for query generation (the machinery behind Figures
 //! 8–10): pattern instantiation vs. stochastic search, singletons and
-//! pairs.
+//! pairs. Runs on the dependency-free std::time harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ruletest_bench::harness;
 use ruletest_core::{Framework, FrameworkConfig, GenConfig, Strategy};
 
-fn bench_generation(c: &mut Criterion) {
+fn main() {
     let fw = Framework::new(&FrameworkConfig::default()).unwrap();
-    let mut group = c.benchmark_group("generation");
+    let mut group = harness::group("generation");
     group.sample_size(20);
 
     // A common rule (cheap for both strategies) and a rare one. The rare
@@ -23,52 +23,41 @@ fn bench_generation(c: &mut Criterion) {
     ] {
         let rule = fw.optimizer.rule_id(rule_name).unwrap();
         for &strategy in strategies {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), rule_name),
-                &rule,
-                |b, &rule| {
-                    let mut seed = 0u64;
-                    b.iter(|| {
-                        seed += 1;
-                        fw.find_query_for_rule(
-                            rule,
-                            strategy,
-                            &GenConfig {
-                                seed,
-                                max_trials: 3_000,
-                                ..Default::default()
-                            },
-                        )
-                        .expect("generation succeeds")
-                        .trials
-                    })
-                },
-            );
+            let mut seed = 0u64;
+            group.bench(&format!("{}/{rule_name}", strategy.name()), || {
+                seed += 1;
+                fw.find_query_for_rule(
+                    rule,
+                    strategy,
+                    &GenConfig {
+                        seed,
+                        max_trials: 3_000,
+                        ..Default::default()
+                    },
+                )
+                .expect("generation succeeds")
+                .trials
+            });
         }
     }
 
     // Pair composition.
     let a = fw.optimizer.rule_id("SelectMerge").unwrap();
     let b_rule = fw.optimizer.rule_id("InnerJoinCommute").unwrap();
-    group.bench_function("PATTERN/pair", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            fw.find_query_for_pair(
-                (a, b_rule),
-                Strategy::Pattern,
-                &GenConfig {
-                    seed,
-                    max_trials: 500,
-                    ..Default::default()
-                },
-            )
-            .expect("pair generation")
-            .trials
-        })
+    let mut seed = 0u64;
+    group.bench("PATTERN/pair", || {
+        seed += 1;
+        fw.find_query_for_pair(
+            (a, b_rule),
+            Strategy::Pattern,
+            &GenConfig {
+                seed,
+                max_trials: 500,
+                ..Default::default()
+            },
+        )
+        .expect("pair generation")
+        .trials
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_generation);
-criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Microbenchmarks for the optimizer substrate: full optimization of
-//! representative query shapes, with and without rule masks.
+//! representative query shapes, with and without rule masks. Runs on the
+//! dependency-free std::time harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ruletest_bench::harness;
 use ruletest_expr::{AggCall, AggFunc, Expr};
 use ruletest_logical::{IdGen, JoinKind, LogicalTree};
 use ruletest_optimizer::{Optimizer, OptimizerConfig};
@@ -33,23 +34,20 @@ fn star_query(opt: &Optimizer, joins: usize) -> LogicalTree {
     )
 }
 
-fn bench_optimizer(c: &mut Criterion) {
+fn main() {
     let db = Arc::new(tpch_database(&TpchConfig::default()).unwrap());
     let opt = Optimizer::new(db);
-    let mut group = c.benchmark_group("optimizer");
+    let mut group = harness::group("optimizer");
     for joins in [1usize, 2, 3] {
         let q = star_query(&opt, joins);
-        group.bench_function(format!("optimize/{joins}-join"), |b| {
-            b.iter(|| opt.optimize(&q).unwrap().cost)
+        group.bench(&format!("optimize/{joins}-join"), || {
+            opt.optimize(&q).unwrap().cost
         });
     }
     let q = star_query(&opt, 2);
     let masked = OptimizerConfig::disabling(&[opt.rule_id("JoinToHashJoin").unwrap()]);
-    group.bench_function("optimize/2-join-masked", |b| {
-        b.iter(|| opt.optimize_with(&q, &masked).unwrap().cost)
+    group.bench("optimize/2-join-masked", || {
+        opt.optimize_with(&q, &masked).unwrap().cost
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_optimizer);
-criterion_main!(benches);

@@ -58,11 +58,11 @@ fn composition_ablation(fw: &Framework) -> FigureTable {
         "Ablation: pair-composition candidate schemes (total trials, 66 pairs, capped at 150)",
         &["scheme", "total trials", "pairs found", "pairs capped"],
     );
-    let schemes: Vec<(&str, Box<dyn Fn(&PatternTree, &PatternTree) -> Vec<PatternTree>>)> = vec![
-        (
-            "singles only",
-            Box::new(|a, b| vec![a.clone(), b.clone()]),
-        ),
+    let schemes: Vec<(
+        &str,
+        Box<dyn Fn(&PatternTree, &PatternTree) -> Vec<PatternTree>>,
+    )> = vec![
+        ("singles only", Box::new(|a, b| vec![a.clone(), b.clone()])),
         (
             "root composition only",
             Box::new(|a, b| {
@@ -133,7 +133,12 @@ fn padding_ablation(fw: &Framework) -> FigureTable {
     let rule = fw.optimizer.rule_id("EagerGbAggPushBelowJoinLeft").unwrap();
     let mut t = FigureTable::new(
         "Ablation: operator-count padding of pattern queries (§2.3 constraint)",
-        &["pad ops", "avg trials", "avg query ops", "avg optimize exprs"],
+        &[
+            "pad ops",
+            "avg trials",
+            "avg query ops",
+            "avg optimize exprs",
+        ],
     );
     for pad in [0usize, 2, 4, 6, 8] {
         let mut trials = 0usize;
@@ -152,7 +157,11 @@ fn padding_ablation(fw: &Framework) -> FigureTable {
             };
             trials += out.trials;
             ops += out.ops;
-            exprs += fw.optimizer.optimize(&out.query).map(|r| r.exprs).unwrap_or(0);
+            exprs += fw
+                .optimizer
+                .optimize(&out.query)
+                .map(|r| r.exprs)
+                .unwrap_or(0);
         }
         t.row(vec![
             pad.to_string(),

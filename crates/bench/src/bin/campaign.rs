@@ -1,0 +1,145 @@
+//! Campaign-engine benchmark: the full pipeline (suite generation →
+//! pruned bipartite graph → Top-K compression → correctness execution)
+//! at 1 thread vs. N threads, verifying byte-identical results and
+//! reporting the wall-clock speedup plus invocation-cache statistics.
+//!
+//! ```text
+//! campaign [--threads N] [--rules N] [--k K] [--seed S]
+//! ```
+
+use ruletest_common::Parallelism;
+use ruletest_core::compress::topk;
+use ruletest_core::correctness::execute_solution;
+use ruletest_core::{
+    build_graph_pruned, generate_suite, singleton_targets, CorrectnessReport, Framework,
+    FrameworkConfig, GenConfig, Instance, Strategy, TestSuite,
+};
+use ruletest_executor::ExecConfig;
+use ruletest_storage::tpch_database;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct CampaignOutcome {
+    suite_sql: Vec<String>,
+    edges: Vec<((usize, usize), u64)>,
+    report: CorrectnessReport,
+    elapsed_s: f64,
+    invocations: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+fn run(
+    db: Arc<ruletest_storage::Database>,
+    threads: usize,
+    rules: usize,
+    k: usize,
+    seed: u64,
+) -> CampaignOutcome {
+    let fw = Framework::over_database(db).with_parallelism(Parallelism { threads, seed });
+    let t0 = Instant::now();
+    let targets = singleton_targets(&fw, rules);
+    let suite: TestSuite = generate_suite(
+        &fw,
+        targets,
+        k,
+        Strategy::Pattern,
+        &GenConfig {
+            seed,
+            pad_ops: 1,
+            ..Default::default()
+        },
+    )
+    .expect("suite generation");
+    let graph = build_graph_pruned(&fw, &suite).expect("graph construction");
+    let inst = Instance::from_graph(&graph);
+    let sol = topk(&inst).expect("compression");
+    let report =
+        execute_solution(&fw, &suite, &inst, &sol, &ExecConfig::default()).expect("execution");
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let mut edges: Vec<((usize, usize), u64)> = graph
+        .edges
+        .iter()
+        .map(|(&e, &c)| (e, c.to_bits()))
+        .collect();
+    edges.sort();
+    let stats = fw.optimizer.cache_stats();
+    CampaignOutcome {
+        suite_sql: suite.queries.iter().map(|q| q.sql.clone()).collect(),
+        edges,
+        report,
+        elapsed_s,
+        invocations: fw.optimizer.invocation_count(),
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+    }
+}
+
+fn main() {
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(4);
+    let mut rules = 12usize;
+    let mut k = 3usize;
+    let mut seed = 0xCA_4A16Eu64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut num = |name: &str| -> u64 {
+            args.next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a number"))
+        };
+        match a.as_str() {
+            "--threads" => threads = num("--threads") as usize,
+            "--rules" => rules = num("--rules") as usize,
+            "--k" => k = num("--k") as usize,
+            "--seed" => seed = num("--seed"),
+            other => panic!("unknown argument {other}"),
+        }
+    }
+
+    println!("campaign benchmark: {rules} rules, k={k}, seed={seed:#x}");
+    let db = Arc::new(tpch_database(&FrameworkConfig::default().db).expect("tpch"));
+
+    let single = run(db.clone(), 1, rules, k, seed);
+    println!(
+        "  1 thread : {:.2}s ({} optimizer invocations, cache {}h/{}m)",
+        single.elapsed_s, single.invocations, single.cache_hits, single.cache_misses
+    );
+    let multi = run(db, threads, rules, k, seed);
+    println!(
+        "  {threads} threads: {:.2}s ({} optimizer invocations, cache {}h/{}m)",
+        multi.elapsed_s, multi.invocations, multi.cache_hits, multi.cache_misses
+    );
+
+    // Determinism: the parallel campaign must reproduce the sequential
+    // one bit for bit.
+    assert_eq!(single.suite_sql, multi.suite_sql, "suite SQL diverged");
+    assert_eq!(single.edges, multi.edges, "graph edge costs diverged");
+    assert_eq!(
+        (
+            single.report.validations,
+            single.report.executions,
+            single.report.skipped_identical,
+            single.report.skipped_expensive,
+            single.report.estimated_cost.to_bits(),
+            single.report.bugs.len(),
+        ),
+        (
+            multi.report.validations,
+            multi.report.executions,
+            multi.report.skipped_identical,
+            multi.report.skipped_expensive,
+            multi.report.estimated_cost.to_bits(),
+            multi.report.bugs.len(),
+        ),
+        "correctness report diverged"
+    );
+    println!("  results identical across thread counts ✓");
+    println!(
+        "  speedup: {:.2}x at {threads} threads",
+        single.elapsed_s / multi.elapsed_s
+    );
+}

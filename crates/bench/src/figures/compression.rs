@@ -3,7 +3,9 @@
 use super::{fmt_cost, ReproConfig};
 use crate::table::FigureTable;
 use ruletest_core::compress::{baseline, smc, topk, Instance};
-use ruletest_core::{build_graph, generate_suite, generate_suite_lenient, pair_targets, singleton_targets};
+use ruletest_core::{
+    build_graph, generate_suite, generate_suite_lenient, pair_targets, singleton_targets,
+};
 use ruletest_core::{Framework, GenConfig, Strategy, TestSuite};
 
 fn suite_cfg(seed: u64) -> GenConfig {
@@ -131,7 +133,11 @@ pub fn fig12(cfg: &ReproConfig) -> FigureTable {
 pub fn fig13(cfg: &ReproConfig) -> FigureTable {
     let fw = cfg.framework_scaled(8);
     let n = if cfg.quick { 5 } else { 6 };
-    let ks: &[usize] = if cfg.quick { &[1, 2, 5] } else { &[1, 2, 5, 10] };
+    let ks: &[usize] = if cfg.quick {
+        &[1, 2, 5]
+    } else {
+        &[1, 2, 5, 10]
+    };
     let mut t = FigureTable::new(
         "Figure 13: Impact of the test suite size on solution quality (rule pairs)",
         &["k", "BASELINE", "SMC", "TOPK", "SMC/TOPK"],

@@ -110,7 +110,10 @@ pub fn fig9_and_10(cfg: &ReproConfig) -> (FigureTable, FigureTable) {
         let mut max_trials = [0usize; 2];
         let mut time = [Duration::ZERO; 2];
         for (pi, pair) in pairs.iter().enumerate() {
-            for (si, strategy) in [Strategy::Random, Strategy::Pattern].into_iter().enumerate() {
+            for (si, strategy) in [Strategy::Random, Strategy::Pattern]
+                .into_iter()
+                .enumerate()
+            {
                 let cap = if strategy == Strategy::Random {
                     RANDOM_CAP_PAIR
                 } else {

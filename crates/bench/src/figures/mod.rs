@@ -48,6 +48,7 @@ impl ReproConfig {
     pub fn framework_scaled(&self, factor: usize) -> Framework {
         let cfg = FrameworkConfig {
             db: TpchConfig::scaled(0xC0FFEE, factor),
+            ..Default::default()
         };
         Framework::new(&cfg).expect("framework construction")
     }

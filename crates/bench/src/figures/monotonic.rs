@@ -91,6 +91,8 @@ pub fn fig14(cfg: &ReproConfig) -> FigureTable {
             }
         ));
     }
-    t.note("paper: monotonicity saves a factor of 6x–9x of optimizer calls without affecting quality");
+    t.note(
+        "paper: monotonicity saves a factor of 6x–9x of optimizer calls without affecting quality",
+    );
     t
 }

@@ -8,6 +8,7 @@
 //! records paper-vs-measured values for each figure.
 
 pub mod figures;
+pub mod harness;
 pub mod table;
 
 pub use table::FigureTable;

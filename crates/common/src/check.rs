@@ -1,0 +1,732 @@
+//! Minimal in-repo property-based testing.
+//!
+//! The workspace must build and test with **zero external dependencies**
+//! (offline, registry-free), so this module replaces `proptest` for the
+//! handful of property tests the repo carries. It provides:
+//!
+//! * a [`Gen`] trait — a value generator over the workspace's own
+//!   deterministic [`Rng`], with optional shrinking;
+//! * combinators (`vecs`, `pairs`, `options`, `one_of`, ranges, …);
+//! * a [`forall`] runner plus the [`forall!`]/[`ensure!`] macros, which
+//!   run `cases` random cases and, on failure, greedily shrink the
+//!   counterexample (numeric halving, vector halving) before panicking
+//!   with the minimal case.
+//!
+//! Failures reproduce exactly: the panic message names the `CheckConfig`
+//! seed, and every case is derived from it deterministically.
+
+use crate::Rng;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How many cases to run and where the randomness comes from.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    pub cases: u32,
+    pub seed: u64,
+    /// Upper bound on property re-runs spent shrinking a failure.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            seed: 0x5EED_CA5E,
+            max_shrink_steps: 512,
+        }
+    }
+}
+
+impl CheckConfig {
+    /// Default configuration with an explicit case count.
+    pub fn cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// A random value generator with optional shrinking.
+///
+/// `shrink` returns *simpler candidates* for a failing value; the runner
+/// keeps any candidate that still fails and iterates to a local minimum.
+pub trait Gen {
+    type Value: Clone + Debug;
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+impl<G: Gen + ?Sized> Gen for &G {
+    type Value = G::Value;
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+impl<V: Clone + Debug> Gen for Box<dyn Gen<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut Rng) -> V {
+        (**self).generate(rng)
+    }
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
+    }
+}
+
+/// Runs `prop` on `cfg.cases` generated values; on failure, shrinks and
+/// panics with the minimal counterexample.
+pub fn forall<G: Gen>(cfg: &CheckConfig, gen: &G, prop: impl Fn(G::Value) -> Result<(), String>) {
+    let mut rng = Rng::new(cfg.seed);
+    for case in 0..cfg.cases {
+        let mut case_rng = rng.fork(case as u64);
+        let value = gen.generate(&mut case_rng);
+        if let Err(msg) = run_guarded(&prop, value.clone()) {
+            let (min, min_msg, steps) = shrink_failure(cfg, gen, &prop, value, msg);
+            panic!(
+                "property failed (case {}/{}, seed {:#x}; minimized in {} step(s))\n\
+                 minimal counterexample: {:#?}\n{}",
+                case + 1,
+                cfg.cases,
+                cfg.seed,
+                steps,
+                min,
+                min_msg
+            );
+        }
+    }
+}
+
+/// A property panic (e.g. a failing `unwrap`) counts as a failure and is
+/// shrunk like any other.
+fn run_guarded<V>(prop: &impl Fn(V) -> Result<(), String>, value: V) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        Err(payload) => Err(format!("property panicked: {}", panic_text(&payload))),
+    }
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+/// (Takes the box, not `&dyn Any`: coercing `&Box<dyn Any>` would downcast
+/// against the box itself and always miss.)
+fn panic_text(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Greedy coordinate descent: adopt the first shrink candidate that still
+/// fails, restart from it, stop at a local minimum or the step budget.
+fn shrink_failure<G: Gen>(
+    cfg: &CheckConfig,
+    gen: &G,
+    prop: &impl Fn(G::Value) -> Result<(), String>,
+    value: G::Value,
+    msg: String,
+) -> (G::Value, String, u32) {
+    let mut current = value;
+    let mut current_msg = msg;
+    let mut steps = 0u32;
+    'outer: while steps < cfg.max_shrink_steps {
+        for candidate in gen.shrink(&current) {
+            steps += 1;
+            if let Err(m) = run_guarded(prop, candidate.clone()) {
+                current = candidate;
+                current_msg = m;
+                continue 'outer;
+            }
+            if steps >= cfg.max_shrink_steps {
+                break;
+            }
+        }
+        break;
+    }
+    (current, current_msg, steps)
+}
+
+/// Property form of `assert!`: early-returns `Err` from the property body.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!(
+                "ensure!({}) failed at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Property form of `assert_eq!`.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return Err(format!(
+                "ensure_eq! failed at {}:{}\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                left,
+                right
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Property form of `assert_ne!`.
+#[macro_export]
+macro_rules! ensure_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err(format!(
+                "ensure_ne! failed at {}:{}\n  both: {:?}",
+                file!(),
+                line!(),
+                left
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return Err(format!("{}\n  both: {:?}", format!($($fmt)+), left));
+        }
+    }};
+}
+
+/// `forall!(cfg; a in gen_a, b in gen_b => { ... Ok(()) })` — the sugar
+/// the ported property tests use. The body is a `Result<(), String>`
+/// expression; use `ensure!`/`ensure_eq!` inside it.
+#[macro_export]
+macro_rules! forall {
+    ($cfg:expr; $($name:ident in $g:expr),+ $(,)? => $body:expr) => {
+        $crate::check::forall(&$cfg, &($($g,)+), |($($name,)+)| $body)
+    };
+}
+
+// ---- Tuple generators (used by the `forall!` macro) ----
+
+macro_rules! impl_gen_tuple {
+    ($(($($G:ident / $v:ident / $i:tt),+);)+) => {$(
+        impl<$($G: Gen),+> Gen for ($($G,)+) {
+            type Value = ($($G::Value,)+);
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$i.shrink(&value.$i) {
+                        let mut next = value.clone();
+                        next.$i = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_gen_tuple! {
+    (A/a/0);
+    (A/a/0, B/b/1);
+    (A/a/0, B/b/1, C/c/2);
+    (A/a/0, B/b/1, C/c/2, D/d/3);
+    (A/a/0, B/b/1, C/c/2, D/d/3, E/e/4);
+    (A/a/0, B/b/1, C/c/2, D/d/3, E/e/4, F/f/5);
+}
+
+/// The concrete generators. Import as `use ruletest_common::check::gen;`.
+pub mod gen {
+    use super::{Gen, Rng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Any `u64` (uniform). Shrinks by halving toward zero.
+    pub fn u64s() -> U64Any {
+        U64Any
+    }
+
+    #[derive(Clone, Copy)]
+    pub struct U64Any;
+    impl Gen for U64Any {
+        type Value = u64;
+        fn generate(&self, rng: &mut Rng) -> u64 {
+            rng.next_u64()
+        }
+        fn shrink(&self, v: &u64) -> Vec<u64> {
+            shrink_u64(*v)
+        }
+    }
+
+    fn shrink_u64(v: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if v > 0 {
+            out.push(0);
+            // Approach v from below geometrically so boundary-style
+            // failures (`v >= N`) shrink to N in O(log v) adopted steps.
+            for k in 1..=4u32 {
+                let cand = v - (v >> k).max(1);
+                out.push(cand);
+            }
+            out.push(v - 1);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// `i64` in `[range.start, range.end)`. Shrinks toward zero when the
+    /// range contains it, else toward the range start.
+    pub fn i64s(range: Range<i64>) -> I64Range {
+        assert!(range.start < range.end, "i64s: empty range");
+        I64Range { range }
+    }
+
+    #[derive(Clone)]
+    pub struct I64Range {
+        range: Range<i64>,
+    }
+    impl Gen for I64Range {
+        type Value = i64;
+        fn generate(&self, rng: &mut Rng) -> i64 {
+            rng.gen_range_i64(self.range.start, self.range.end - 1)
+        }
+        fn shrink(&self, v: &i64) -> Vec<i64> {
+            let pivot = if self.range.contains(&0) {
+                0
+            } else {
+                self.range.start
+            };
+            let mut out = Vec::new();
+            if *v != pivot {
+                out.push(pivot);
+                let mid = pivot + (v - pivot) / 2;
+                if mid != *v {
+                    out.push(mid);
+                }
+                out.push(v - (v - pivot).signum());
+            }
+            out.dedup();
+            out
+        }
+    }
+
+    /// `usize` in `[range.start, range.end)`. Shrinks toward the start.
+    pub fn usizes(range: Range<usize>) -> UsizeRange {
+        assert!(range.start < range.end, "usizes: empty range");
+        UsizeRange { range }
+    }
+
+    #[derive(Clone)]
+    pub struct UsizeRange {
+        range: Range<usize>,
+    }
+    impl Gen for UsizeRange {
+        type Value = usize;
+        fn generate(&self, rng: &mut Rng) -> usize {
+            self.range.start + rng.gen_index(self.range.end - self.range.start)
+        }
+        fn shrink(&self, v: &usize) -> Vec<usize> {
+            let lo = self.range.start;
+            let mut out = Vec::new();
+            if *v > lo {
+                out.push(lo);
+                let mid = lo + (v - lo) / 2;
+                if mid != *v {
+                    out.push(mid);
+                }
+                out.push(v - 1);
+            }
+            out.dedup();
+            out
+        }
+    }
+
+    /// `f64` uniform in `[range.start, range.end)`. Shrinks toward the
+    /// start.
+    pub fn f64s(range: Range<f64>) -> F64Range {
+        assert!(range.start < range.end, "f64s: empty range");
+        F64Range { range }
+    }
+
+    #[derive(Clone)]
+    pub struct F64Range {
+        range: Range<f64>,
+    }
+    impl Gen for F64Range {
+        type Value = f64;
+        fn generate(&self, rng: &mut Rng) -> f64 {
+            let unit = rng.next_u64() as f64 / (u64::MAX as f64 + 1.0);
+            self.range.start + unit * (self.range.end - self.range.start)
+        }
+        fn shrink(&self, v: &f64) -> Vec<f64> {
+            if *v > self.range.start {
+                vec![self.range.start, (self.range.start + v) / 2.0]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    /// Fair coin. `true` shrinks to `false`.
+    pub fn bools() -> BoolAny {
+        BoolAny
+    }
+
+    #[derive(Clone, Copy)]
+    pub struct BoolAny;
+    impl Gen for BoolAny {
+        type Value = bool;
+        fn generate(&self, rng: &mut Rng) -> bool {
+            rng.gen_bool(0.5)
+        }
+        fn shrink(&self, v: &bool) -> Vec<bool> {
+            if *v {
+                vec![false]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    /// `Vec<T>` with length uniform in `[range.start, range.end)`.
+    /// Shrinks by halving the length (keeping either half), dropping the
+    /// last element, and shrinking each element in place.
+    pub fn vecs<G: Gen>(inner: G, range: Range<usize>) -> VecGen<G> {
+        assert!(range.start < range.end, "vecs: empty range");
+        VecGen { inner, range }
+    }
+
+    #[derive(Clone)]
+    pub struct VecGen<G> {
+        inner: G,
+        range: Range<usize>,
+    }
+    impl<G: Gen> Gen for VecGen<G> {
+        type Value = Vec<G::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<G::Value> {
+            let len = self.range.start + rng.gen_index(self.range.end - self.range.start);
+            (0..len).map(|_| self.inner.generate(rng)).collect()
+        }
+        fn shrink(&self, v: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+            let lo = self.range.start;
+            let mut out: Vec<Vec<G::Value>> = Vec::new();
+            if v.len() > lo {
+                let half = (v.len() / 2).max(lo);
+                if half < v.len() {
+                    out.push(v[..half].to_vec());
+                    out.push(v[v.len() - half..].to_vec());
+                }
+                out.push(v[..v.len() - 1].to_vec());
+            }
+            for (i, elem) in v.iter().enumerate() {
+                for cand in self.inner.shrink(elem).into_iter().take(2) {
+                    let mut next = v.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+
+    /// `(A, B)` pairs; shrinks coordinate-wise.
+    pub fn pairs<A: Gen, B: Gen>(a: A, b: B) -> (A, B) {
+        (a, b)
+    }
+
+    /// `Option<T>`: `Some` with probability `p_some`. `Some(v)` shrinks to
+    /// `None` and to `Some(shrunk v)`.
+    pub fn options<G: Gen>(inner: G, p_some: f64) -> OptionGen<G> {
+        OptionGen { inner, p_some }
+    }
+
+    #[derive(Clone)]
+    pub struct OptionGen<G> {
+        inner: G,
+        p_some: f64,
+    }
+    impl<G: Gen> Gen for OptionGen<G> {
+        type Value = Option<G::Value>;
+        fn generate(&self, rng: &mut Rng) -> Option<G::Value> {
+            if rng.gen_bool(self.p_some) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+        fn shrink(&self, v: &Option<G::Value>) -> Vec<Option<G::Value>> {
+            match v {
+                None => vec![],
+                Some(inner) => {
+                    let mut out = vec![None];
+                    out.extend(self.inner.shrink(inner).into_iter().map(Some));
+                    out
+                }
+            }
+        }
+    }
+
+    /// ASCII strings over `alphabet` with length uniform in
+    /// `[range.start, range.end)`. Shrinks by halving the length.
+    pub fn strings(alphabet: &'static str, range: Range<usize>) -> StrGen {
+        assert!(range.start < range.end, "strings: empty range");
+        assert!(!alphabet.is_empty(), "strings: empty alphabet");
+        StrGen { alphabet, range }
+    }
+
+    #[derive(Clone)]
+    pub struct StrGen {
+        alphabet: &'static str,
+        range: Range<usize>,
+    }
+    impl Gen for StrGen {
+        type Value = String;
+        fn generate(&self, rng: &mut Rng) -> String {
+            let chars: Vec<char> = self.alphabet.chars().collect();
+            let len = self.range.start + rng.gen_index(self.range.end - self.range.start);
+            (0..len).map(|_| *rng.pick(&chars)).collect()
+        }
+        fn shrink(&self, v: &String) -> Vec<String> {
+            let lo = self.range.start;
+            let mut out = Vec::new();
+            if v.chars().count() > lo {
+                let half: String = v.chars().take((v.chars().count() / 2).max(lo)).collect();
+                if half.len() < v.len() {
+                    out.push(half);
+                }
+                let mut minus_one: Vec<char> = v.chars().collect();
+                minus_one.pop();
+                out.push(minus_one.into_iter().collect());
+            }
+            out
+        }
+    }
+
+    /// A constant. Never shrinks.
+    pub fn just<V: Clone + Debug>(value: V) -> JustGen<V> {
+        JustGen { value }
+    }
+
+    #[derive(Clone)]
+    pub struct JustGen<V> {
+        value: V,
+    }
+    impl<V: Clone + Debug> Gen for JustGen<V> {
+        type Value = V;
+        fn generate(&self, _rng: &mut Rng) -> V {
+            self.value.clone()
+        }
+    }
+
+    /// An arbitrary closure generator. Never shrinks — prefer composing
+    /// the primitive generators when shrinking matters.
+    pub fn from_fn<V: Clone + Debug, F: Fn(&mut Rng) -> V>(f: F) -> FnGen<F> {
+        FnGen { f }
+    }
+
+    #[derive(Clone)]
+    pub struct FnGen<F> {
+        f: F,
+    }
+    impl<V: Clone + Debug, F: Fn(&mut Rng) -> V> Gen for FnGen<F> {
+        type Value = V;
+        fn generate(&self, rng: &mut Rng) -> V {
+            (self.f)(rng)
+        }
+    }
+
+    /// Uniform choice among boxed generators of a common value type.
+    /// Shrink candidates are pooled from every branch (a candidate that
+    /// no branch could have produced is harmless — it is only kept if the
+    /// property still fails on it).
+    pub fn one_of<V: Clone + Debug>(gens: Vec<Box<dyn Gen<Value = V>>>) -> OneOfGen<V> {
+        assert!(!gens.is_empty(), "one_of: no generators");
+        OneOfGen { gens }
+    }
+
+    pub struct OneOfGen<V> {
+        gens: Vec<Box<dyn Gen<Value = V>>>,
+    }
+    impl<V: Clone + Debug> Gen for OneOfGen<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut Rng) -> V {
+            let i = rng.gen_index(self.gens.len());
+            self.gens[i].generate(rng)
+        }
+        fn shrink(&self, v: &V) -> Vec<V> {
+            let mut out = Vec::new();
+            for g in &self.gens {
+                out.extend(g.shrink(v).into_iter().take(2));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::catch_unwind;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let cfg = CheckConfig::cases(37);
+        let calls = AtomicU32::new(0);
+        forall(&cfg, &(gen::u64s(),), |(_v,)| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn failures_shrink_to_the_boundary() {
+        // Property: v < 1000. Fails for v >= 1000; halving must land on a
+        // small counterexample (locally minimal: 1000 exactly, since 999
+        // passes).
+        let cfg = CheckConfig {
+            cases: 200,
+            ..CheckConfig::default()
+        };
+        let result = catch_unwind(|| {
+            forall(&cfg, &(gen::u64s(),), |(v,)| {
+                if v >= 1000 {
+                    Err(format!("too big: {v}"))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = panic_text(&result.expect_err("property must fail"));
+        assert!(
+            msg.contains("minimal counterexample"),
+            "missing shrink report: {msg}"
+        );
+        assert!(msg.contains("1000"), "did not shrink to 1000: {msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_reduces_length() {
+        let cfg = CheckConfig::default();
+        let result = catch_unwind(|| {
+            forall(&cfg, &(gen::vecs(gen::i64s(0..100), 0..30),), |(v,)| {
+                if v.len() >= 5 {
+                    Err("long".to_string())
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = panic_text(&result.expect_err("property must fail"));
+        // The minimal failing vector has exactly 5 elements; its debug
+        // print in the panic lists 5 entries. Check the header is there
+        // and that no 6-element vector survived by counting commas is
+        // brittle — instead re-run the shrinker directly.
+        assert!(msg.contains("minimal counterexample"), "{msg}");
+        let gen = (gen::vecs(gen::i64s(0..100), 0..30),);
+        let prop = |(v,): (Vec<i64>,)| {
+            if v.len() >= 5 {
+                Err("long".to_string())
+            } else {
+                Ok(())
+            }
+        };
+        let start = (vec![7i64; 29],);
+        let (min, _, _) = shrink_failure(&cfg, &gen, &prop, start, "long".into());
+        assert_eq!(min.0.len(), 5, "shrunk to {:?}", min.0);
+    }
+
+    #[test]
+    fn panics_inside_properties_are_failures() {
+        let cfg = CheckConfig::cases(8);
+        let result = catch_unwind(|| {
+            forall(&cfg, &(gen::bools(),), |(_b,)| -> Result<(), String> {
+                panic!("boom");
+            });
+        });
+        let msg = panic_text(&result.expect_err("must fail"));
+        assert!(msg.contains("property panicked"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn same_config_generates_same_cases() {
+        let cfg = CheckConfig::default();
+        let collect = || {
+            let mut seen = Vec::new();
+            let seen_cell = std::cell::RefCell::new(&mut seen);
+            forall(&cfg, &(gen::u64s(), gen::usizes(1..9)), |(a, b)| {
+                seen_cell.borrow_mut().push((a, b));
+                Ok(())
+            });
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn tuple_shrinking_is_coordinate_wise() {
+        let g = (gen::usizes(0..100), gen::usizes(0..100));
+        let cands = g.shrink(&(10, 20));
+        assert!(cands.iter().any(|&(a, b)| a < 10 && b == 20));
+        assert!(cands.iter().any(|&(a, b)| a == 10 && b < 20));
+    }
+
+    #[test]
+    fn option_and_string_generators_cover_their_domains() {
+        let mut rng = Rng::new(1);
+        let og = gen::options(gen::i64s(0..4), 0.5);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match og.generate(&mut rng) {
+                Some(v) => {
+                    assert!((0..4).contains(&v));
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0);
+        let sg = gen::strings("ab", 0..4);
+        for _ in 0..100 {
+            let s = sg.generate(&mut rng);
+            assert!(s.len() < 4);
+            assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        }
+    }
+}

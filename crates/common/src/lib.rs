@@ -5,14 +5,17 @@
 //! error types, and multiset-based result comparison that every other crate
 //! builds on.
 
+pub mod check;
 pub mod error;
 pub mod ids;
 pub mod multiset;
+pub mod pool;
 pub mod rng;
 pub mod value;
 
 pub use error::{Error, Result};
 pub use ids::{ColId, RuleId, TableId};
 pub use multiset::{diff_multisets, multisets_equal, ResultDiff};
+pub use pool::{par_map, try_par_map, Parallelism, ThreadPool};
 pub use rng::Rng;
 pub use value::{DataType, Row, Value};

@@ -1,0 +1,337 @@
+//! Hand-rolled parallel execution primitives (no external dependencies).
+//!
+//! The campaign loop — per-rule query generation, bipartite-graph edge
+//! probing, and `Plan(q)` vs `Plan(q, ¬R)` correctness executions — is
+//! embarrassingly parallel *across targets/queries* while each item's
+//! computation stays a pure function of its inputs. Two primitives cover
+//! it:
+//!
+//! * [`par_map`] — a scoped, work-stealing parallel map built on
+//!   `std::thread::scope` and an atomic item counter. Results come back
+//!   **in item order**, so a campaign's output is byte-identical for any
+//!   thread count (determinism is delegated to the per-item seeds; see
+//!   [`Parallelism`]).
+//! * [`ThreadPool`] — a small persistent channel-fed pool for
+//!   fire-and-forget `'static` jobs. Panicking jobs are caught and
+//!   counted; the pool never deadlocks on shutdown.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Campaign-level parallelism configuration.
+///
+/// `seed` is the campaign master seed: parallel stages derive each item's
+/// RNG stream from `(seed, item index)` only, never from scheduling order,
+/// which is what makes results reproducible at any `threads` value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads for parallel stages (1 = fully sequential).
+    pub threads: usize,
+    /// Master seed parallel stages derive per-item streams from.
+    pub seed: u64,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self {
+            threads: thread::available_parallelism().map_or(1, |n| n.get()),
+            seed: 42,
+        }
+    }
+}
+
+impl Parallelism {
+    /// Sequential execution (the reference the determinism tests compare
+    /// against).
+    pub fn single() -> Self {
+        Self {
+            threads: 1,
+            ..Self::default()
+        }
+    }
+
+    /// `threads` workers with the default seed.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+/// Applies `f` to every item on up to `threads` workers and returns the
+/// results **in item order**.
+///
+/// Work distribution is a shared atomic cursor (item-granularity
+/// stealing): an idle worker grabs the next unclaimed index, so uneven
+/// item costs balance automatically. If `f` panics on any item, all
+/// workers finish their in-flight items, and the panic resumes on the
+/// caller thread (lowest failing index wins — also deterministic).
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<thread::Result<R>>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let slots = Mutex::new(slots);
+
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let out = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+                slots.lock().expect("pool slots poisoned").as_mut_slice()[i] = Some(out);
+            });
+        }
+    });
+
+    let slots = slots.into_inner().expect("pool slots poisoned");
+    let mut out = Vec::with_capacity(items.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        match slot.unwrap_or_else(|| panic!("par_map item {i} was never executed")) {
+            Ok(r) => out.push(r),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Like [`par_map`] but for fallible item functions: returns the first
+/// error by item order, or all results.
+pub fn try_par_map<T, R, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let results = par_map(threads, items, f);
+    results.into_iter().collect()
+}
+
+enum Job {
+    Run(Box<dyn FnOnce() + Send + 'static>),
+    Shutdown,
+}
+
+/// A small persistent thread pool fed by an mpsc channel.
+///
+/// Jobs are `'static` fire-and-forget closures; a panicking job is caught
+/// inside the worker (the worker survives and keeps draining the queue)
+/// and counted in [`ThreadPool::panicked_jobs`]. Dropping the pool sends
+/// one shutdown message per worker and joins them — pending jobs finish
+/// first, and shutdown completes even when jobs panicked.
+pub struct ThreadPool {
+    sender: mpsc::Sender<Job>,
+    workers: Vec<thread::JoinHandle<()>>,
+    panicked: Arc<AtomicUsize>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let panicked = Arc::new(AtomicUsize::new(0));
+        let workers = (0..threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let panicked = Arc::clone(&panicked);
+                thread::spawn(move || loop {
+                    // Hold the lock only while receiving, never while
+                    // running a job.
+                    let job = {
+                        let rx = receiver.lock().expect("pool receiver poisoned");
+                        rx.recv()
+                    };
+                    match job {
+                        Ok(Job::Run(job)) => {
+                            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                panicked.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(Job::Shutdown) | Err(_) => break,
+                    }
+                })
+            })
+            .collect();
+        Self {
+            sender,
+            workers,
+            panicked,
+        }
+    }
+
+    /// Enqueues a job. Panics if the pool is shut down (impossible while
+    /// the pool value is alive).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .send(Job::Run(Box::new(job)))
+            .expect("thread pool has shut down");
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs that panicked so far.
+    pub fn panicked_jobs(&self) -> usize {
+        self.panicked.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for _ in &self.workers {
+            // Workers exit on Shutdown or on a closed channel; either way
+            // the join below cannot deadlock.
+            let _ = self.sender.send(Job::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<u64> = (0..257).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = par_map(threads, &items, |i, &v| {
+                assert_eq!(i as u64, v);
+                v * v
+            });
+            let expected: Vec<u64> = items.iter().map(|v| v * v).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(8, &empty, |_, &v| v).is_empty());
+        assert_eq!(par_map(8, &[7u32], |_, &v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_actually_uses_multiple_threads() {
+        let items: Vec<u32> = (0..64).collect();
+        let concurrent = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        par_map(4, &items, |_, _| {
+            let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            thread::sleep(Duration::from_millis(2));
+            concurrent.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "no overlap observed across 64 sleeping items"
+        );
+    }
+
+    #[test]
+    fn par_map_propagates_panics_without_deadlock() {
+        let items: Vec<u32> = (0..32).collect();
+        let executed = Arc::new(AtomicU64::new(0));
+        let executed_in = Arc::clone(&executed);
+        let result = std::panic::catch_unwind(move || {
+            par_map(4, &items, |i, _| {
+                executed_in.fetch_add(1, Ordering::Relaxed);
+                if i == 5 {
+                    panic!("item 5 exploded");
+                }
+                i
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .unwrap_or_default();
+        assert!(msg.contains("item 5 exploded"), "payload: {msg}");
+        // The panic did not stop the cursor: every item was claimed.
+        assert_eq!(executed.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn try_par_map_returns_first_error_by_index() {
+        let items: Vec<u32> = (0..100).collect();
+        let r: Result<Vec<u32>, String> = try_par_map(4, &items, |i, &v| {
+            if i == 41 || i == 97 {
+                Err(format!("bad {i}"))
+            } else {
+                Ok(v)
+            }
+        });
+        assert_eq!(r.unwrap_err(), "bad 41");
+    }
+
+    #[test]
+    fn pool_runs_jobs_and_shuts_down() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(3);
+            assert_eq!(pool.threads(), 3);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Drop waits for the queue to drain.
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn pool_survives_panicking_jobs_and_never_deadlocks_on_drop() {
+        let done = Arc::new(AtomicU64::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for i in 0..20 {
+                let done = Arc::clone(&done);
+                pool.submit(move || {
+                    if i % 3 == 0 {
+                        panic!("job {i} panicked");
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Give the workers a moment so the panic counter below is
+            // meaningful even if drop is instant.
+            thread::sleep(Duration::from_millis(20));
+            assert!(pool.panicked_jobs() > 0, "panics must be observed");
+        } // drop: must join cleanly despite panicked jobs
+        assert_eq!(done.load(Ordering::Relaxed), 13, "non-panicking jobs ran");
+    }
+
+    #[test]
+    fn parallelism_config_defaults() {
+        assert_eq!(Parallelism::single().threads, 1);
+        assert_eq!(Parallelism::with_threads(0).threads, 1);
+        assert!(Parallelism::default().threads >= 1);
+        assert_eq!(Parallelism::default().seed, 42);
+    }
+}

@@ -64,7 +64,17 @@ fn search(
         return; // infeasible branch
     }
     let mut subset: Vec<usize> = Vec::with_capacity(inst.k);
-    enumerate_subsets(inst, t, adj, 0, &mut subset, cost_so_far, partial, used, best);
+    enumerate_subsets(
+        inst,
+        t,
+        adj,
+        0,
+        &mut subset,
+        cost_so_far,
+        partial,
+        used,
+        best,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -111,7 +121,17 @@ fn enumerate_subsets(
     }
     for i in start..adj.len() {
         subset.push(adj[i]);
-        enumerate_subsets(inst, t, adj, i + 1, subset, cost_so_far, partial, used, best);
+        enumerate_subsets(
+            inst,
+            t,
+            adj,
+            i + 1,
+            subset,
+            cost_so_far,
+            partial,
+            used,
+            best,
+        );
         subset.pop();
     }
 }

@@ -99,7 +99,10 @@ mod tests {
         let actual = sol.total_cost(&inst);
         assert!(lo <= actual + 1e-9);
         assert!(actual <= hi + 1e-9);
-        assert!(hi <= 2.0 * lo + 1e-9, "Cost(q) <= Cost(q,¬R) gives hi <= 2·lo");
+        assert!(
+            hi <= 2.0 * lo + 1e-9,
+            "Cost(q) <= Cost(q,¬R) gives hi <= 2·lo"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use crate::compress::{Instance, Solution};
 use crate::framework::Framework;
 use crate::suite::{RuleTarget, TestSuite};
-use ruletest_common::{diff_multisets, Error, Result, Row};
+use ruletest_common::{diff_multisets, try_par_map, Error, Result, Row};
 use ruletest_executor::{execute_with, ExecConfig};
 use ruletest_optimizer::OptimizerConfig;
 use std::collections::HashMap;
@@ -48,7 +48,19 @@ impl CorrectnessReport {
     }
 }
 
+/// What one `(target, query)` validation produced, before the ordered
+/// merge into the report.
+enum Validation {
+    Identical,
+    Expensive,
+    Clean,
+    Bug(BugReport),
+}
+
 /// Executes a compressed test suite against the framework's optimizer.
+/// Plan-pair executions run concurrently on the campaign pool; outcomes
+/// are merged in assignment order, so the report (bug order, counters,
+/// cost sums) is byte-identical at any thread count.
 pub fn execute_solution(
     fw: &Framework,
     suite: &TestSuite,
@@ -59,58 +71,83 @@ pub fn execute_solution(
     let start = Instant::now();
     let mut report = CorrectnessReport::default();
     // Base results, one execution per distinct query (the node-cost-sharing
-    // observation of §4.1).
-    let mut base_results: HashMap<usize, Option<Vec<Row>>> = HashMap::new();
-    for &q in &sol.used_queries() {
-        let res = fw.optimizer.optimize(&suite.queries[q].tree)?;
-        report.estimated_cost += res.cost;
-        match execute_with(&fw.db, &res.plan, exec_config) {
-            Ok(rows) => {
-                report.executions += 1;
-                base_results.insert(q, Some(rows));
-            }
-            Err(Error::Unsupported(_)) => {
-                base_results.insert(q, None);
-            }
+    // observation of §4.1). Each query is independent; results merge in
+    // `used_queries` order so the floating-point cost sum is reproducible.
+    let used: Vec<usize> = sol.used_queries().into_iter().collect();
+    let base_items = try_par_map(fw.parallelism.threads, &used, |_, &q| {
+        let res = fw.optimizer.optimize_cached(&suite.queries[q].tree)?;
+        let rows = match execute_with(&fw.db, &res.plan, exec_config) {
+            Ok(rows) => Some(rows),
+            Err(Error::Unsupported(_)) => None,
             Err(e) => return Err(e),
+        };
+        Ok((q, res.cost, rows))
+    })?;
+    let mut base_results: HashMap<usize, Option<Vec<Row>>> = HashMap::new();
+    for (q, cost, rows) in base_items {
+        report.estimated_cost += cost;
+        if rows.is_some() {
+            report.executions += 1;
         }
+        base_results.insert(q, rows);
     }
 
-    for (t, qs) in sol.assignment.iter().enumerate() {
+    // Every (target, query) assignment is an independent plan-pair
+    // validation against the read-only test database.
+    let pairs: Vec<(usize, usize)> = sol
+        .assignment
+        .iter()
+        .enumerate()
+        .flat_map(|(t, qs)| qs.iter().map(move |&q| (t, q)))
+        .collect();
+    let validated = try_par_map(fw.parallelism.threads, &pairs, |_, &(t, q)| {
         let target = suite.targets[t];
         let rules = target.rules();
-        for &q in qs {
-            report.validations += 1;
-            let base = fw.optimizer.optimize(&suite.queries[q].tree)?;
-            let masked = fw
-                .optimizer
-                .optimize_with(&suite.queries[q].tree, &OptimizerConfig::disabling(&rules))?;
-            report.estimated_cost += masked.cost;
-            if base.plan.same_shape(&masked.plan) {
-                report.skipped_identical += 1;
-                continue;
-            }
-            let Some(Some(expected)) = base_results.get(&q) else {
-                report.skipped_expensive += 1;
-                continue;
-            };
-            match execute_with(&fw.db, &masked.plan, exec_config) {
-                Ok(actual) => {
-                    report.executions += 1;
-                    let diff = diff_multisets(expected, &actual);
-                    if !diff.is_empty() {
-                        report.bugs.push(BugReport {
+        // Both optimizations are near-guaranteed invocation-cache hits:
+        // the base plan was computed for the base-results stage, the
+        // masked plan during graph construction.
+        let base = fw.optimizer.optimize_cached(&suite.queries[q].tree)?;
+        let masked = fw
+            .optimizer
+            .optimize_with_cached(&suite.queries[q].tree, &OptimizerConfig::disabling(&rules))?;
+        let cost = masked.cost;
+        if base.plan.same_shape(&masked.plan) {
+            return Ok((cost, Validation::Identical));
+        }
+        let Some(Some(expected)) = base_results.get(&q) else {
+            return Ok((cost, Validation::Expensive));
+        };
+        match execute_with(&fw.db, &masked.plan, exec_config) {
+            Ok(actual) => {
+                let diff = diff_multisets(expected, &actual);
+                if diff.is_empty() {
+                    Ok((cost, Validation::Clean))
+                } else {
+                    Ok((
+                        cost,
+                        Validation::Bug(BugReport {
                             target,
                             target_label: target.label(&fw.optimizer),
                             sql: suite.queries[q].sql.clone(),
                             diff_summary: diff.summary(),
-                        });
-                    }
+                        }),
+                    ))
                 }
-                Err(Error::Unsupported(_)) => {
-                    report.skipped_expensive += 1;
-                }
-                Err(e) => return Err(e),
+            }
+            Err(Error::Unsupported(_)) => Ok((cost, Validation::Expensive)),
+            Err(e) => Err(e),
+        }
+    })?;
+    for (cost, outcome) in validated {
+        report.validations += 1;
+        report.estimated_cost += cost;
+        match outcome {
+            Validation::Identical => report.skipped_identical += 1,
+            Validation::Expensive => report.skipped_expensive += 1,
+            Validation::Clean => report.executions += 1,
+            Validation::Bug(bug) => {
+                report.executions += 1;
+                report.bugs.push(bug);
             }
         }
     }

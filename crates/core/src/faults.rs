@@ -8,9 +8,7 @@
 
 use ruletest_expr::{conjoin, Expr};
 use ruletest_logical::{JoinKind, OpKind, Operator};
-use ruletest_optimizer::{
-    Bound, NewChild, NewTree, Optimizer, PatternTree, Rule,
-};
+use ruletest_optimizer::{Bound, NewChild, NewTree, Optimizer, PatternTree, Rule};
 use ruletest_storage::Database;
 use std::sync::Arc;
 
@@ -92,10 +90,7 @@ pub fn buggy_optimizer(db: Arc<Database>, fault: Fault) -> Optimizer {
     Optimizer::new_with_overrides(db, vec![fault.rule()])
 }
 
-fn buggy_outer_simplify(
-    _ctx: &ruletest_optimizer::rule::RuleCtx,
-    b: &Bound,
-) -> Vec<NewTree> {
+fn buggy_outer_simplify(_ctx: &ruletest_optimizer::rule::RuleCtx, b: &Bound) -> Vec<NewTree> {
     let Operator::Select { predicate } = &b.op else {
         return vec![];
     };
@@ -123,17 +118,18 @@ fn buggy_outer_simplify(
     )]
 }
 
-fn buggy_push_below_null_side(
-    ctx: &ruletest_optimizer::rule::RuleCtx,
-    b: &Bound,
-) -> Vec<NewTree> {
+fn buggy_push_below_null_side(ctx: &ruletest_optimizer::rule::RuleCtx, b: &Bound) -> Vec<NewTree> {
     let Operator::Select { predicate } = &b.op else {
         return vec![];
     };
     let Some(join) = b.children[0].nested() else {
         return vec![];
     };
-    let Operator::Join { kind, predicate: jp } = &join.op else {
+    let Operator::Join {
+        kind,
+        predicate: jp,
+    } = &join.op
+    else {
         return vec![];
     };
     // BUG: partitions conjuncts onto the RIGHT (null-supplying) side of a
@@ -187,7 +183,11 @@ fn buggy_select_into_outer_join(
     let Some(join) = b.children[0].nested() else {
         return vec![];
     };
-    let Operator::Join { kind, predicate: jp } = &join.op else {
+    let Operator::Join {
+        kind,
+        predicate: jp,
+    } = &join.op
+    else {
         return vec![];
     };
     // BUG: valid for inner joins only; for a LEFT OUTER JOIN, rows failing
@@ -251,8 +251,7 @@ mod tests {
                 if base.plan.same_shape(&masked.plan) {
                     continue;
                 }
-                let (Ok(a), Ok(b)) = (execute(&db, &base.plan), execute(&db, &masked.plan))
-                else {
+                let (Ok(a), Ok(b)) = (execute(&db, &base.plan), execute(&db, &masked.plan)) else {
                     continue;
                 };
                 if !multisets_equal(&a, &b) {

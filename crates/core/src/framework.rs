@@ -5,7 +5,7 @@ use crate::generate::pairs::compose_patterns;
 use crate::generate::pattern::{instantiate_pattern, pad_above};
 use crate::generate::random::random_tree;
 use crate::generate::{GenConfig, GenOutcome, Strategy};
-use ruletest_common::{Error, Result, Rng, RuleId};
+use ruletest_common::{par_map, Error, Parallelism, Result, Rng, RuleId};
 use ruletest_logical::{IdGen, LogicalTree};
 use ruletest_optimizer::{Optimizer, PatternTree};
 use ruletest_sql::to_sql;
@@ -18,6 +18,10 @@ use std::time::Instant;
 pub struct FrameworkConfig {
     /// The fixed test database (§2.3 assumes one is given).
     pub db: TpchConfig,
+    /// Worker threads + master seed for the parallel campaign stages
+    /// (suite generation, graph construction, correctness execution).
+    /// Results are byte-identical at any thread count.
+    pub parallelism: Parallelism,
 }
 
 /// The rule-testing framework: owns the test database and the instrumented
@@ -25,6 +29,8 @@ pub struct FrameworkConfig {
 pub struct Framework {
     pub db: Arc<Database>,
     pub optimizer: Arc<Optimizer>,
+    /// Campaign parallelism; see [`FrameworkConfig::parallelism`].
+    pub parallelism: Parallelism,
 }
 
 impl Framework {
@@ -32,7 +38,11 @@ impl Framework {
     pub fn new(config: &FrameworkConfig) -> Result<Framework> {
         let db = Arc::new(tpch_database(&config.db)?);
         let optimizer = Arc::new(Optimizer::new(db.clone()));
-        Ok(Framework { db, optimizer })
+        Ok(Framework {
+            db,
+            optimizer,
+            parallelism: config.parallelism,
+        })
     }
 
     /// Builds the framework around an existing (possibly fault-injected)
@@ -41,6 +51,7 @@ impl Framework {
         Framework {
             db: optimizer.database().clone(),
             optimizer,
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -49,7 +60,17 @@ impl Framework {
     /// star-schema run in `tests/other_schema.rs`.
     pub fn over_database(db: Arc<Database>) -> Framework {
         let optimizer = Arc::new(Optimizer::new(db.clone()));
-        Framework { db, optimizer }
+        Framework {
+            db,
+            optimizer,
+            parallelism: Parallelism::default(),
+        }
+    }
+
+    /// Replaces the parallelism configuration (builder style).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Framework {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Generates a SQL query that exercises `rule` (§3.1). The efficiency
@@ -82,6 +103,11 @@ impl Framework {
         cfg: &GenConfig,
     ) -> Result<GenOutcome> {
         let start = Instant::now();
+        if targets.is_empty() {
+            return Err(Error::unsupported(
+                "generation needs at least one target rule",
+            ));
+        }
         let mut rng = Rng::new(cfg.seed);
         // PATTERN: the candidate composite patterns, smallest first.
         let candidates: Vec<PatternTree> = match (strategy, targets) {
@@ -118,6 +144,15 @@ impl Framework {
                 acc
             }
         };
+        // Composition can come up empty for incompatible pattern shapes;
+        // without this guard the round-robin `% candidates.len()` below
+        // divides by zero.
+        if matches!(strategy, Strategy::Pattern) && candidates.is_empty() {
+            return Err(Error::unsupported(format!(
+                "no composite pattern candidates for {:?}",
+                targets
+            )));
+        }
 
         for trial in 1..=cfg.max_trials {
             let mut ids = IdGen::new();
@@ -133,7 +168,7 @@ impl Framework {
             let Some(built) = built else {
                 continue; // counted as a trial: an instantiation attempt failed
             };
-            let Ok(res) = self.optimizer.optimize(&built.tree) else {
+            let Ok(res) = self.optimizer.optimize_cached(&built.tree) else {
                 continue;
             };
             if targets.iter().all(|t| res.rule_set.contains(t)) {
@@ -157,6 +192,27 @@ impl Framework {
             cfg.max_trials,
             strategy.name()
         )))
+    }
+
+    /// Per-rule generation fanned out across the worker pool: one
+    /// generation problem per target rule, each with an independent RNG
+    /// stream derived from `(cfg.seed, rule index)` so the output is
+    /// byte-identical at any thread count. Results come back in rule
+    /// order; per-rule failures stay per-rule instead of aborting the
+    /// whole campaign.
+    pub fn find_queries_for_rules(
+        &self,
+        rules: &[RuleId],
+        strategy: Strategy,
+        cfg: &GenConfig,
+    ) -> Vec<Result<GenOutcome>> {
+        par_map(self.parallelism.threads, rules, |i, rule| {
+            let sub = GenConfig {
+                seed: cfg.seed.wrapping_add((i as u64) << 32),
+                ..cfg.clone()
+            };
+            self.find_query_for_rule(*rule, strategy, &sub)
+        })
     }
 
     /// Convenience: optimize a tree with all rules enabled.
@@ -205,7 +261,9 @@ mod tests {
         let pat = fw
             .find_query_for_rule(rule, Strategy::Pattern, &cfg)
             .unwrap();
-        let rnd = fw.find_query_for_rule(rule, Strategy::Random, &cfg).unwrap();
+        let rnd = fw
+            .find_query_for_rule(rule, Strategy::Random, &cfg)
+            .unwrap();
         assert!(
             pat.trials < rnd.trials,
             "pattern {} vs random {}",
@@ -242,6 +300,18 @@ mod tests {
             .find_query_for_rule(rule, Strategy::Pattern, &cfg)
             .unwrap();
         assert!(big.ops > small.ops);
+    }
+
+    #[test]
+    fn empty_target_list_is_a_clean_error() {
+        // Regression: an empty composite-candidate list used to reach the
+        // round-robin `trial % candidates.len()` and panic with a
+        // mod-by-zero instead of reporting an unsupported request.
+        let fw = framework();
+        for strategy in [Strategy::Pattern, Strategy::Random] {
+            let r = fw.find_query_for_rules(&[], strategy, &GenConfig::default());
+            assert!(matches!(r, Err(Error::Unsupported(_))), "{strategy:?}");
+        }
     }
 
     #[test]

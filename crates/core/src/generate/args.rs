@@ -19,8 +19,21 @@ use std::collections::HashMap;
 /// string equality predicates are sometimes selective rather than always
 /// empty.
 const STR_POOL: &[&str] = &[
-    "ASIA", "EUROPE", "AMERICA", "AUTOMOBILE", "BUILDING", "Brand#11", "Brand#21", "A", "N",
-    "R", "F", "O", "1-URGENT", "5-LOW", "NATION_03",
+    "ASIA",
+    "EUROPE",
+    "AMERICA",
+    "AUTOMOBILE",
+    "BUILDING",
+    "Brand#11",
+    "Brand#21",
+    "A",
+    "N",
+    "R",
+    "F",
+    "O",
+    "1-URGENT",
+    "5-LOW",
+    "NATION_03",
 ];
 
 /// A tree under construction, carrying its derived schema and the mapping
@@ -36,7 +49,11 @@ pub struct Built {
 
 impl Built {
     /// Wraps and validates a finished subtree.
-    pub fn new(db: &Database, tree: LogicalTree, base_cols: HashMap<ColId, (TableId, usize)>) -> Option<Built> {
+    pub fn new(
+        db: &Database,
+        tree: LogicalTree,
+        base_cols: HashMap<ColId, (TableId, usize)>,
+    ) -> Option<Built> {
         let schema = derive_schema(&db.catalog, &tree).ok()?;
         let base_cols = base_cols
             .into_iter()
@@ -146,7 +163,11 @@ impl<'a> ArgGen<'a> {
             ]),
             _ => *rng.pick(&[BinOp::Eq, BinOp::Ne]),
         };
-        Expr::bin(op, Expr::col(c.id), Expr::Lit(self.random_literal(rng, c.data_type)))
+        Expr::bin(
+            op,
+            Expr::col(c.id),
+            Expr::Lit(self.random_literal(rng, c.data_type)),
+        )
     }
 
     /// A filter predicate: 1–3 conjuncts, occasionally an OR.
@@ -378,9 +399,7 @@ mod tests {
         // Nation's key column should be recognized.
         let def = db.catalog.table_by_name("nation").unwrap();
         let tree = LogicalTree::get(def, &mut ids);
-        let base_cols = (0..3)
-            .map(|o| (tree.output_col(o), (def.id, o)))
-            .collect();
+        let base_cols = (0..3).map(|o| (tree.output_col(o), (def.id, o))).collect();
         let b = Built::new(&db, tree, base_cols).unwrap();
         assert!(b.is_key_col(&db, b.tree.output_col(0)));
         assert!(!b.is_key_col(&db, b.tree.output_col(2)));

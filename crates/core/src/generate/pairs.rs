@@ -44,7 +44,10 @@ pub fn compose_patterns(a: &PatternTree, b: &PatternTree) -> Vec<PatternTree> {
         a.clone(),
         b.clone(),
     ));
-    out.push(PatternTree::kind(OpKind::UnionAll, vec![a.clone(), b.clone()]));
+    out.push(PatternTree::kind(
+        OpKind::UnionAll,
+        vec![a.clone(), b.clone()],
+    ));
     // Scheme 2: substitute one pattern into each circle of the other.
     for path in a.placeholder_paths() {
         out.push(substitute_at(a, &path, b));

@@ -68,14 +68,18 @@ fn build_op(
             let right = kids.pop()?;
             let left = kids.pop()?;
             let kind = *rng.pick(kinds);
-            let require_equi = matches!(kind, JoinKind::LeftSemi | JoinKind::LeftAnti)
-                || rng.gen_bool(0.8);
+            let require_equi =
+                matches!(kind, JoinKind::LeftSemi | JoinKind::LeftAnti) || rng.gen_bool(0.8);
             let pred = gen.join_predicate(rng, &left, &right, require_equi);
             let mut base = left.base_cols.clone();
             if kind.emits_both_sides() {
                 base.extend(right.base_cols.clone());
             }
-            Built::new(db, LogicalTree::join(kind, left.tree, right.tree, pred), base)
+            Built::new(
+                db,
+                LogicalTree::join(kind, left.tree, right.tree, pred),
+                base,
+            )
         }
         OpMatcher::Kind(kind) => match kind {
             OpKind::Get => Some(gen.random_get(rng, ids)),
@@ -99,7 +103,11 @@ fn build_op(
                 if kind.emits_both_sides() {
                     base.extend(right.base_cols.clone());
                 }
-                Built::new(db, LogicalTree::join(kind, left.tree, right.tree, pred), base)
+                Built::new(
+                    db,
+                    LogicalTree::join(kind, left.tree, right.tree, pred),
+                    base,
+                )
             }
             OpKind::GbAgg => {
                 let child = kids.pop()?;

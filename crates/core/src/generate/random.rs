@@ -47,8 +47,7 @@ fn build(db: &Database, gen: &ArgGen, rng: &mut Rng, ids: &mut IdGen, budget: us
             match gen.union_alignment(rng, ids, &left, &right) {
                 Some((outs, lc, rc)) => {
                     let tree = LogicalTree::union_all(left.tree, right.tree, outs, lc, rc);
-                    Built::new(db, tree, HashMap::new())
-                        .unwrap_or_else(|| gen.random_get(rng, ids))
+                    Built::new(db, tree, HashMap::new()).unwrap_or_else(|| gen.random_get(rng, ids))
                 }
                 None => left,
             }
@@ -203,7 +202,9 @@ mod tests {
             });
         }
         use ruletest_logical::OpKind::*;
-        for kind in [Get, Select, Project, Join, GbAgg, UnionAll, Distinct, Sort, Top] {
+        for kind in [
+            Get, Select, Project, Join, GbAgg, UnionAll, Distinct, Sort, Top,
+        ] {
             assert!(seen.contains(&kind), "never generated {kind}");
         }
     }

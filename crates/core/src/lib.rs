@@ -18,4 +18,7 @@ pub use correctness::{BugReport, CorrectnessReport};
 pub use framework::{Framework, FrameworkConfig};
 pub use generate::{GenConfig, GenOutcome, Strategy};
 pub use perf::{rule_impact, RuleImpact};
-pub use suite::{build_graph, build_graph_pruned, generate_suite, generate_suite_lenient, pair_targets, singleton_targets, BipartiteGraph, RuleTarget, SuiteQuery, TestSuite};
+pub use suite::{
+    build_graph, build_graph_pruned, generate_suite, generate_suite_lenient, pair_targets,
+    singleton_targets, BipartiteGraph, RuleTarget, SuiteQuery, TestSuite,
+};

@@ -7,10 +7,11 @@
 
 use super::{RuleTarget, TestSuite};
 use crate::framework::Framework;
-use ruletest_common::Result;
+use ruletest_common::{try_par_map, Result};
 use ruletest_optimizer::OptimizerConfig;
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// A fully materialized bipartite graph (Figure 4 / Figure 7).
 #[derive(Debug, Clone)]
@@ -32,12 +33,13 @@ pub struct BipartiteGraph {
 }
 
 /// Demand-driven edge-cost computation with caching and invocation
-/// counting.
+/// counting. Thread-safe: campaign workers probing different targets
+/// share one oracle.
 pub struct EdgeOracle<'a> {
     fw: &'a Framework,
     suite: &'a TestSuite,
-    cache: RefCell<HashMap<(usize, usize), f64>>,
-    calls: Cell<u64>,
+    cache: Mutex<HashMap<(usize, usize), f64>>,
+    calls: AtomicU64,
 }
 
 impl<'a> EdgeOracle<'a> {
@@ -45,34 +47,41 @@ impl<'a> EdgeOracle<'a> {
         Self {
             fw,
             suite,
-            cache: RefCell::new(HashMap::new()),
-            calls: Cell::new(0),
+            cache: Mutex::new(HashMap::new()),
+            calls: AtomicU64::new(0),
         }
     }
 
-    /// `Cost(q, ¬R)` for query `q` and target `t` — one optimizer
-    /// invocation per cache miss.
+    /// `Cost(q, ¬R)` for query `q` and target `t` — one edge-cost
+    /// computation (the Figure 14 invocation metric) per cache miss. The
+    /// underlying optimizer call goes through the invocation cache, so
+    /// repeated `(tree, mask)` pairs across graph builds cost nothing; the
+    /// counter still reports the logical per-edge invocations §5.3.1
+    /// prunes.
     pub fn edge_cost(&self, t: usize, q: usize) -> Result<f64> {
-        if let Some(&c) = self.cache.borrow().get(&(t, q)) {
+        if let Some(&c) = self.cache.lock().expect("edge cache poisoned").get(&(t, q)) {
             return Ok(c);
         }
         let rules = self.suite.targets[t].rules();
-        let res = self.fw.optimizer.optimize_with(
+        let res = self.fw.optimizer.optimize_with_cached(
             &self.suite.queries[q].tree,
             &OptimizerConfig::disabling(&rules),
         )?;
-        self.calls.set(self.calls.get() + 1);
-        self.cache.borrow_mut().insert((t, q), res.cost);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("edge cache poisoned")
+            .insert((t, q), res.cost);
         Ok(res.cost)
     }
 
     pub fn calls(&self) -> u64 {
-        self.calls.get()
+        self.calls.load(Ordering::Relaxed)
     }
 
     fn into_edges(self) -> (HashMap<(usize, usize), f64>, u64) {
-        let calls = self.calls.get();
-        (self.cache.into_inner(), calls)
+        let calls = self.calls.load(Ordering::Relaxed);
+        (self.cache.into_inner().expect("edge cache poisoned"), calls)
     }
 }
 
@@ -90,11 +99,16 @@ fn skeleton(suite: &TestSuite) -> (Vec<f64>, Vec<Vec<usize>>, Vec<usize>) {
 pub fn build_graph(fw: &Framework, suite: &TestSuite) -> Result<BipartiteGraph> {
     let (node_cost, adjacency, generated_for) = skeleton(suite);
     let oracle = EdgeOracle::new(fw, suite);
-    for (t, adj) in adjacency.iter().enumerate() {
-        for &q in adj {
+    // One worker per target: every (t, q) edge belongs to exactly one
+    // target, so workers never race on an edge, and edge costs are pure,
+    // so the resulting map is identical at any thread count.
+    let indexed: Vec<usize> = (0..adjacency.len()).collect();
+    try_par_map(fw.parallelism.threads, &indexed, |_, &t| {
+        for &q in &adjacency[t] {
             oracle.edge_cost(t, q)?;
         }
-    }
+        Ok(())
+    })?;
     let (edges, optimizer_calls) = oracle.into_edges();
     Ok(BipartiteGraph {
         targets: suite.targets.clone(),
@@ -117,7 +131,12 @@ pub fn build_graph(fw: &Framework, suite: &TestSuite) -> Result<BipartiteGraph> 
 pub fn build_graph_pruned(fw: &Framework, suite: &TestSuite) -> Result<BipartiteGraph> {
     let (node_cost, adjacency, generated_for) = skeleton(suite);
     let oracle = EdgeOracle::new(fw, suite);
-    for (t, adj) in adjacency.iter().enumerate() {
+    // The §5.3.1 scan is sequential *within* a target (each edge decides
+    // whether to keep scanning), but targets are independent — the
+    // parallel campaign fans out across them with the pruning intact.
+    let indexed: Vec<usize> = (0..adjacency.len()).collect();
+    try_par_map(fw.parallelism.threads, &indexed, |_, &t| {
+        let adj = &adjacency[t];
         let mut by_node_cost = adj.clone();
         by_node_cost.sort_by(|&a, &b| {
             node_cost[a]
@@ -142,7 +161,8 @@ pub fn build_graph_pruned(fw: &Framework, suite: &TestSuite) -> Result<Bipartite
                 heap.push(ordered::F64(c));
             }
         }
-    }
+        Ok(())
+    })?;
     let (edges, optimizer_calls) = oracle.into_edges();
     Ok(BipartiteGraph {
         targets: suite.targets.clone(),
@@ -183,14 +203,8 @@ mod tests {
     fn small_suite() -> (Framework, TestSuite) {
         let fw = Framework::new(&FrameworkConfig::default()).unwrap();
         let targets = singleton_targets(&fw, 4);
-        let suite = generate_suite(
-            &fw,
-            targets,
-            2,
-            Strategy::Pattern,
-            &GenConfig::default(),
-        )
-        .unwrap();
+        let suite =
+            generate_suite(&fw, targets, 2, Strategy::Pattern, &GenConfig::default()).unwrap();
         (fw, suite)
     }
 

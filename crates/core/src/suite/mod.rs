@@ -10,7 +10,7 @@ pub mod graph;
 
 use crate::framework::Framework;
 use crate::generate::{GenConfig, Strategy};
-use ruletest_common::{Error, Result, RuleId};
+use ruletest_common::{par_map, try_par_map, Error, Result, RuleId};
 use ruletest_logical::LogicalTree;
 use std::collections::BTreeSet;
 
@@ -95,15 +95,21 @@ pub fn generate_suite_lenient(
     strategy: Strategy,
     cfg: &GenConfig,
 ) -> Result<(TestSuite, Vec<RuleTarget>)> {
+    // Each target is an independent generation problem with its own seed
+    // stream, so the fan-out is embarrassingly parallel; merging in target
+    // order keeps the output identical to the sequential build.
+    let per_target = par_map(fw.parallelism.threads, &targets, |_, target| {
+        queries_for_target(fw, *target, 0, k, strategy, cfg)
+    });
     let mut kept = Vec::new();
     let mut queries = Vec::new();
     let mut skipped = Vec::new();
-    for target in targets {
-        match generate_suite(fw, vec![target], k, strategy, cfg) {
+    for (target, result) in targets.into_iter().zip(per_target) {
+        match result {
             Ok(mini) => {
                 let ti = kept.len();
                 kept.push(target);
-                queries.extend(mini.queries.into_iter().map(|mut q| {
+                queries.extend(mini.into_iter().map(|mut q| {
                     q.generated_for = ti;
                     q
                 }));
@@ -130,63 +136,82 @@ pub fn generate_suite(
     strategy: Strategy,
     cfg: &GenConfig,
 ) -> Result<TestSuite> {
-    let mut queries = Vec::new();
-    for (ti, target) in targets.iter().enumerate() {
-        let mut found = 0usize;
-        let mut attempt = 0u64;
-        while found < k {
-            if attempt > (k as u64) * 12 {
-                return Err(Error::unsupported(format!(
-                    "could not find {k} distinct queries for target {ti}"
-                )));
-            }
-            let sub_cfg = GenConfig {
-                seed: cfg
-                    .seed
-                    .wrapping_add((ti as u64) << 32)
-                    .wrapping_add(attempt.wrapping_mul(0x9E37_79B9)),
-                ..cfg.clone()
-            };
-            attempt += 1;
-            let out = match &target.rules()[..] {
-                [r] => fw.find_query_for_rule(*r, strategy, &sub_cfg),
-                [a, b] => fw.find_query_for_pair((*a, *b), strategy, &sub_cfg),
-                rs => fw.find_query_for_rules(rs, strategy, &sub_cfg),
-            };
-            let Ok(out) = out else {
-                continue;
-            };
-            // Distinctness by SQL text.
-            if queries
-                .iter()
-                .any(|q: &SuiteQuery| q.generated_for == ti && q.sql == out.sql)
-            {
-                continue;
-            }
-            let res = fw.optimizer.optimize(&out.query)?;
-            // A truncated search is not "well behaved": Cost(q) <= Cost(q, ¬R)
-            // — the §5.2/§5.3.1 invariant — only holds when exploration
-            // reaches its fixpoint. Reject such queries (the paper's
-            // substrate prunes heuristically too, but its invariant
-            // discussion assumes well-behaved costing).
-            if res.truncated {
-                continue;
-            }
-            queries.push(SuiteQuery {
-                tree: out.query,
-                sql: out.sql,
-                rule_set: res.rule_set,
-                cost: res.cost,
-                generated_for: ti,
-            });
-            found += 1;
-        }
-    }
+    // Per-target seed streams depend only on (cfg.seed, target index), and
+    // distinctness is checked within a target, so targets can be generated
+    // concurrently; collecting in target order makes the suite
+    // byte-identical at any thread count.
+    let per_target = try_par_map(
+        fw.parallelism.threads,
+        &targets.iter().copied().enumerate().collect::<Vec<_>>(),
+        |_, &(ti, target)| queries_for_target(fw, target, ti, k, strategy, cfg),
+    )?;
     Ok(TestSuite {
         targets,
         k,
-        queries,
+        queries: per_target.into_iter().flatten().collect(),
     })
+}
+
+/// Finds `k` distinct untruncated queries for one target — the unit of
+/// work the suite builders fan out over. `ti` feeds both the seed stream
+/// and the `generated_for` tags of the returned queries.
+fn queries_for_target(
+    fw: &Framework,
+    target: RuleTarget,
+    ti: usize,
+    k: usize,
+    strategy: Strategy,
+    cfg: &GenConfig,
+) -> Result<Vec<SuiteQuery>> {
+    let mut queries: Vec<SuiteQuery> = Vec::new();
+    let mut attempt = 0u64;
+    while queries.len() < k {
+        if attempt > (k as u64) * 12 {
+            return Err(Error::unsupported(format!(
+                "could not find {k} distinct queries for target {ti}"
+            )));
+        }
+        let sub_cfg = GenConfig {
+            seed: cfg
+                .seed
+                .wrapping_add((ti as u64) << 32)
+                .wrapping_add(attempt.wrapping_mul(0x9E37_79B9)),
+            ..cfg.clone()
+        };
+        attempt += 1;
+        let out = match &target.rules()[..] {
+            [r] => fw.find_query_for_rule(*r, strategy, &sub_cfg),
+            [a, b] => fw.find_query_for_pair((*a, *b), strategy, &sub_cfg),
+            rs => fw.find_query_for_rules(rs, strategy, &sub_cfg),
+        };
+        let Ok(out) = out else {
+            continue;
+        };
+        // Distinctness by SQL text.
+        if queries.iter().any(|q| q.sql == out.sql) {
+            continue;
+        }
+        // The generation trial already optimized this exact tree, so the
+        // re-check below is a guaranteed cache hit rather than a repeat
+        // invocation.
+        let res = fw.optimizer.optimize_cached(&out.query)?;
+        // A truncated search is not "well behaved": Cost(q) <= Cost(q, ¬R)
+        // — the §5.2/§5.3.1 invariant — only holds when exploration
+        // reaches its fixpoint. Reject such queries (the paper's
+        // substrate prunes heuristically too, but its invariant
+        // discussion assumes well-behaved costing).
+        if res.truncated {
+            continue;
+        }
+        queries.push(SuiteQuery {
+            tree: out.query,
+            sql: out.sql,
+            rule_set: res.rule_set.clone(),
+            cost: res.cost,
+            generated_for: ti,
+        });
+    }
+    Ok(queries)
 }
 
 /// All singleton targets for the first `n` exploration rules.
@@ -246,14 +271,8 @@ mod tests {
     fn generate_small_suite_with_cross_coverage() {
         let fw = fw();
         let targets = singleton_targets(&fw, 4);
-        let suite = generate_suite(
-            &fw,
-            targets,
-            2,
-            Strategy::Pattern,
-            &GenConfig::default(),
-        )
-        .unwrap();
+        let suite =
+            generate_suite(&fw, targets, 2, Strategy::Pattern, &GenConfig::default()).unwrap();
         assert_eq!(suite.queries.len(), 8, "k queries per target");
         for t in 0..suite.targets.len() {
             let cov = suite.covering(t);

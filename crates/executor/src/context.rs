@@ -58,7 +58,10 @@ pub(crate) fn eval_row(
     row: &Row,
 ) -> Value {
     ruletest_expr::eval(expr, &mut |c| {
-        row[*map.get(&c).unwrap_or_else(|| panic!("unresolved column {c}"))].clone()
+        row[*map
+            .get(&c)
+            .unwrap_or_else(|| panic!("unresolved column {c}"))]
+        .clone()
     })
 }
 
@@ -224,11 +227,7 @@ mod tests {
     fn budget_exhaustion_is_a_clean_error() {
         let db = tiny_db();
         let plan = scan_t0();
-        let err = execute_with(
-            &db,
-            &plan,
-            &ExecConfig { work_budget: 1 },
-        );
+        let err = execute_with(&db, &plan, &ExecConfig { work_budget: 1 });
         assert!(matches!(err, Err(Error::Unsupported(_))));
     }
 

@@ -115,19 +115,17 @@ mod tests {
     use ruletest_expr::{AggCall, AggFunc};
     use ruletest_optimizer::PhysOp;
 
-    fn agg_plan(hash: bool, group_by: Vec<ColId>, aggs: Vec<AggCall>) -> ruletest_optimizer::PhysicalPlan {
+    fn agg_plan(
+        hash: bool,
+        group_by: Vec<ColId>,
+        aggs: Vec<AggCall>,
+    ) -> ruletest_optimizer::PhysicalPlan {
         let mut schema: Vec<_> = group_by.iter().map(|c| int_col(c.0)).collect();
         schema.extend(aggs.iter().map(|a| int_col(a.output.0)));
         let op = if hash {
-            PhysOp::HashAgg {
-                group_by,
-                aggs,
-            }
+            PhysOp::HashAgg { group_by, aggs }
         } else {
-            PhysOp::StreamAgg {
-                group_by,
-                aggs,
-            }
+            PhysOp::StreamAgg { group_by, aggs }
         };
         plan(op, vec![scan_t1()], schema)
     }

@@ -47,8 +47,17 @@ pub(crate) fn exec(ctx: &mut Ctx, plan: &PhysicalPlan) -> Result<Vec<Row>> {
             right_keys,
             residual,
         } => hash_join(
-            ctx, *kind, left_keys, right_keys, residual, &left_rows, &right_rows, &lmap, &rmap,
-            &combined, lwidth,
+            ctx,
+            *kind,
+            left_keys,
+            right_keys,
+            residual,
+            &left_rows,
+            &right_rows,
+            &lmap,
+            &rmap,
+            &combined,
+            lwidth,
         ),
         PhysOp::MergeJoin {
             left_key,
@@ -282,11 +291,11 @@ fn merge_join(
 mod tests {
     use crate::context::execute;
     use crate::context::testkit::*;
+    use ruletest_common::multisets_equal;
     use ruletest_common::{ColId, Value};
     use ruletest_expr::Expr;
     use ruletest_logical::JoinKind;
     use ruletest_optimizer::PhysOp;
-    use ruletest_common::multisets_equal;
 
     fn join_schema() -> Vec<ruletest_logical::ColumnInfo> {
         vec![int_col(0), str_col(1), int_col(2), int_col(3)]

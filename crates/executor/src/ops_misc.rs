@@ -57,7 +57,10 @@ pub(crate) fn exec_other(ctx: &mut Ctx, plan: &PhysicalPlan) -> Result<Vec<Row>>
             ctx.charge(input.len() as u64 + 1)?;
             let mut seen = std::collections::HashSet::new();
             // SQL DISTINCT treats NULLs as equal — Value's Eq does too.
-            Ok(input.into_iter().filter(|r| seen.insert(r.clone())).collect())
+            Ok(input
+                .into_iter()
+                .filter(|r| seen.insert(r.clone()))
+                .collect())
         }
         PhysOp::SortOp { keys } => {
             let mut input = exec_node(ctx, &plan.children[0])?;
@@ -187,11 +190,7 @@ mod tests {
             vec![scan_t0()],
             vec![int_col(10)],
         );
-        let p = plan(
-            PhysOp::HashDistinct,
-            vec![project_b],
-            vec![int_col(10)],
-        );
+        let p = plan(PhysOp::HashDistinct, vec![project_b], vec![int_col(10)]);
         let rows = execute(&db, &p).unwrap();
         assert_eq!(rows.len(), 2); // true / false
     }

@@ -38,8 +38,8 @@ pub(crate) fn exec(ctx: &mut Ctx, plan: &PhysicalPlan) -> Result<Vec<Row>> {
 
 #[cfg(test)]
 mod tests {
-    use crate::context::testkit::*;
     use crate::context::execute;
+    use crate::context::testkit::*;
     use ruletest_common::{ColId, TableId, Value};
     use ruletest_expr::{BinOp, Expr};
     use ruletest_optimizer::PhysOp;
@@ -86,11 +86,7 @@ mod tests {
                 cols: vec![ColId(0), ColId(1)],
                 key: Value::Int(2),
                 // b IS NULL holds for the row with a=2 -> NOT NULL rejects it
-                residual: Expr::bin(
-                    BinOp::Eq,
-                    Expr::col(ColId(1)),
-                    Expr::lit("one"),
-                ),
+                residual: Expr::bin(BinOp::Eq, Expr::col(ColId(1)), Expr::lit("one")),
             },
             vec![],
             vec![int_col(0), str_col(1)],

@@ -45,11 +45,7 @@ fn pred(rel: &Rel, row: &Row, e: &ruletest_expr::Expr) -> bool {
 
 /// Evaluates a logical tree directly. The work budget mirrors the real
 /// executor's.
-pub fn reference_eval(
-    db: &Database,
-    tree: &LogicalTree,
-    config: &ExecConfig,
-) -> Result<ResultSet> {
+pub fn reference_eval(db: &Database, tree: &LogicalTree, config: &ExecConfig) -> Result<ResultSet> {
     let mut budget = config.work_budget;
     let rel = walk(db, tree, &mut budget)?;
     Ok(rel.rows)
@@ -162,8 +158,9 @@ fn walk(db: &Database, tree: &LogicalTree, budget: &mut u64) -> Result<Rel> {
             if kind.preserves_right() {
                 for (ri, r) in right.rows.iter().enumerate() {
                     if !right_matched[ri] {
-                        let mut padded: Row =
-                            std::iter::repeat(Value::Null).take(left.cols.len()).collect();
+                        let mut padded: Row = std::iter::repeat(Value::Null)
+                            .take(left.cols.len())
+                            .collect();
                         padded.extend(r.iter().cloned());
                         rows.push(padded);
                     }
@@ -273,12 +270,8 @@ fn sort_rows(rel: &mut Rel, keys: &[SortKey], tie_break: bool) {
         .iter()
         .map(|k| (rel.position(k.col), k.descending))
         .collect();
-    let mut tie_pos: Vec<(ColId, usize)> = rel
-        .cols
-        .iter()
-        .enumerate()
-        .map(|(p, &c)| (c, p))
-        .collect();
+    let mut tie_pos: Vec<(ColId, usize)> =
+        rel.cols.iter().enumerate().map(|(p, &c)| (c, p)).collect();
     tie_pos.sort_by_key(|(c, _)| *c);
     rel.rows.sort_by(|a, b| {
         for &(p, desc) in &key_pos {

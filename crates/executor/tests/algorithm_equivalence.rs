@@ -1,9 +1,11 @@
 //! Join and aggregation algorithms implement identical semantics: fuzz
 //! them against each other on synthetic tables with duplicates and NULLs
 //! (heavier-duty than the unit tests; complements the cross-optimizer
-//! correctness tests in the workspace root).
+//! correctness tests in the workspace root). Runs on the in-repo `check`
+//! harness.
 
-use proptest::prelude::*;
+use ruletest_common::check::{gen, CheckConfig, Gen};
+use ruletest_common::{ensure, forall};
 use ruletest_common::{multisets_equal, ColId, DataType, Row, TableId, Value};
 use ruletest_executor::{execute, reference_eval, ExecConfig};
 use ruletest_expr::{AggCall, AggFunc, Expr};
@@ -32,12 +34,7 @@ fn fuzz_db(left: Vec<(Option<i64>, i64)>, right: Vec<(Option<i64>, i64)>) -> Dat
     }
     let to_rows = |data: Vec<(Option<i64>, i64)>| -> Vec<Row> {
         data.into_iter()
-            .map(|(k, v)| {
-                vec![
-                    k.map(Value::Int).unwrap_or(Value::Null),
-                    Value::Int(v),
-                ]
-            })
+            .map(|(k, v)| vec![k.map(Value::Int).unwrap_or(Value::Null), Value::Int(v)])
             .collect()
     };
     let mut db = Database::new(cat);
@@ -86,20 +83,20 @@ fn join_plan(op: PhysOp, kind: JoinKind) -> PhysicalPlan {
     }
 }
 
-fn kv_strategy() -> impl Strategy<Value = Vec<(Option<i64>, i64)>> {
-    prop::collection::vec(
-        (prop_oneof![3 => (0i64..4).prop_map(Some), 1 => Just(None)], 0i64..3),
+/// Rows of `(key, value)` with keys drawn from a tiny domain (3:1
+/// non-null) so duplicates and NULL keys are common.
+fn kv_gen() -> impl Gen<Value = Vec<(Option<i64>, i64)>> {
+    gen::vecs(
+        gen::pairs(gen::options(gen::i64s(0..4), 0.75), gen::i64s(0..3)),
         0..14,
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
-
-    /// NL join and hash join agree for every join kind, on keys with heavy
-    /// duplication and NULLs.
-    #[test]
-    fn nl_and_hash_join_agree(left in kv_strategy(), right in kv_strategy()) {
+/// NL join and hash join agree for every join kind, on keys with heavy
+/// duplication and NULLs.
+#[test]
+fn nl_and_hash_join_agree() {
+    forall!(CheckConfig::cases(96); left in kv_gen(), right in kv_gen() => {
         let db = fuzz_db(left, right);
         let pred = Expr::eq(Expr::col(ColId(0)), Expr::col(ColId(2)));
         for kind in [
@@ -128,13 +125,16 @@ proptest! {
             );
             let a = execute(&db, &nl).unwrap();
             let b = execute(&db, &hash).unwrap();
-            prop_assert!(multisets_equal(&a, &b), "{kind:?}: NL vs hash diverged");
+            ensure!(multisets_equal(&a, &b), "{kind:?}: NL vs hash diverged");
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Merge join agrees with NL join on inner equi-joins.
-    #[test]
-    fn merge_join_agrees(left in kv_strategy(), right in kv_strategy()) {
+/// Merge join agrees with NL join on inner equi-joins.
+#[test]
+fn merge_join_agrees() {
+    forall!(CheckConfig::cases(96); left in kv_gen(), right in kv_gen() => {
         let db = fuzz_db(left, right);
         let pred = Expr::eq(Expr::col(ColId(0)), Expr::col(ColId(2)));
         let nl = join_plan(
@@ -154,12 +154,15 @@ proptest! {
         );
         let a = execute(&db, &nl).unwrap();
         let b = execute(&db, &merge).unwrap();
-        prop_assert!(multisets_equal(&a, &b));
-    }
+        ensure!(multisets_equal(&a, &b));
+        Ok(())
+    });
+}
 
-    /// Hash and stream aggregation agree, including the NULL group.
-    #[test]
-    fn hash_and_stream_agg_agree(left in kv_strategy()) {
+/// Hash and stream aggregation agree, including the NULL group.
+#[test]
+fn hash_and_stream_agg_agree() {
+    forall!(CheckConfig::cases(96); left in kv_gen() => {
         let db = fuzz_db(left, vec![]);
         let aggs = vec![
             AggCall::new(AggFunc::CountStar, None, ColId(10)),
@@ -192,13 +195,16 @@ proptest! {
         };
         let a = execute(&db, &mk(true)).unwrap();
         let b = execute(&db, &mk(false)).unwrap();
-        prop_assert!(multisets_equal(&a, &b));
-    }
+        ensure!(multisets_equal(&a, &b));
+        Ok(())
+    });
+}
 
-    /// The reference evaluator agrees with the physical join operators on
-    /// the equivalent logical tree.
-    #[test]
-    fn reference_agrees_with_physical_joins(left in kv_strategy(), right in kv_strategy()) {
+/// The reference evaluator agrees with the physical join operators on the
+/// equivalent logical tree.
+#[test]
+fn reference_agrees_with_physical_joins() {
+    forall!(CheckConfig::cases(96); left in kv_gen(), right in kv_gen() => {
         let db = fuzz_db(left, right);
         let mut ids = IdGen::new();
         // Mint the same ids the physical plans use.
@@ -225,7 +231,8 @@ proptest! {
                 kind,
             );
             let actual = execute(&db, &plan).unwrap();
-            prop_assert!(multisets_equal(&expected, &actual), "{kind:?}");
+            ensure!(multisets_equal(&expected, &actual), "{kind:?}");
         }
-    }
+        Ok(())
+    });
 }

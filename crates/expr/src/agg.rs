@@ -212,12 +212,7 @@ mod tests {
     fn combining_functions_are_decomposition_correct() {
         // Split [1,2,NULL,4] into [1,2] and [NULL,4]; combining partials must
         // equal the direct aggregate.
-        let all = [
-            Value::Int(1),
-            Value::Int(2),
-            Value::Null,
-            Value::Int(4),
-        ];
+        let all = [Value::Int(1), Value::Int(2), Value::Null, Value::Int(4)];
         for func in [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
             let direct = run(func, &all);
             let p1 = run(func, &all[..2]);
@@ -229,10 +224,7 @@ mod tests {
         let direct = run(AggFunc::CountStar, &all);
         let p1 = run(AggFunc::CountStar, &all[..1]);
         let p2 = run(AggFunc::CountStar, &all[1..]);
-        assert_eq!(
-            run(AggFunc::Sum, &[p1, p2]),
-            direct
-        );
+        assert_eq!(run(AggFunc::Sum, &[p1, p2]), direct);
     }
 
     #[test]
@@ -242,10 +234,7 @@ mod tests {
         let call = AggCall::new(AggFunc::Sum, Some(ColId(1)), ColId(9));
         assert_eq!(call.render("t.a"), "SUM(t.a)");
         assert_eq!(AggFunc::Sum.output_type(Some(DataType::Int)), DataType::Int);
-        assert_eq!(
-            AggFunc::Min.output_type(Some(DataType::Str)),
-            DataType::Str
-        );
+        assert_eq!(AggFunc::Min.output_type(Some(DataType::Str)), DataType::Str);
         assert_eq!(AggFunc::Count.output_type(None), DataType::Int);
     }
 }

@@ -98,11 +98,9 @@ pub fn remap_columns(expr: &Expr, map: &HashMap<ColId, ColId>) -> Expr {
     match expr {
         Expr::Col(c) => Expr::Col(*map.get(c).unwrap_or(c)),
         Expr::Lit(v) => Expr::Lit(v.clone()),
-        Expr::Bin { op, left, right } => Expr::bin(
-            *op,
-            remap_columns(left, map),
-            remap_columns(right, map),
-        ),
+        Expr::Bin { op, left, right } => {
+            Expr::bin(*op, remap_columns(left, map), remap_columns(right, map))
+        }
         Expr::Not(e) => Expr::not(remap_columns(e, map)),
         Expr::IsNull(e) => Expr::is_null(remap_columns(e, map)),
     }
@@ -262,10 +260,7 @@ mod tests {
             Expr::bin(BinOp::Add, Expr::col(c(1)), Expr::col(c(2))),
         )]);
         let sub = substitute(&e, &map);
-        assert_eq!(
-            sub.to_string(),
-            "((c1 + c2) = 7)"
-        );
+        assert_eq!(sub.to_string(), "((c1 + c2) = 7)");
     }
 
     #[test]
@@ -280,10 +275,7 @@ mod tests {
             &cols
         ));
         // IS NULL accepts nulls.
-        assert!(!is_null_rejecting(
-            &Expr::is_null(Expr::col(c(1))),
-            &cols
-        ));
+        assert!(!is_null_rejecting(&Expr::is_null(Expr::col(c(1))), &cols));
         // NOT (c1 IS NULL) rejects.
         assert!(is_null_rejecting(
             &Expr::not(Expr::is_null(Expr::col(c(1)))),
@@ -296,8 +288,14 @@ mod tests {
         let cols = BTreeSet::from([c(1)]);
         let rej = Expr::eq(Expr::col(c(1)), Expr::lit(3i64));
         let acc = Expr::is_null(Expr::col(c(1)));
-        assert!(is_null_rejecting(&Expr::and(rej.clone(), acc.clone()), &cols));
-        assert!(!is_null_rejecting(&Expr::or(rej.clone(), acc.clone()), &cols));
+        assert!(is_null_rejecting(
+            &Expr::and(rej.clone(), acc.clone()),
+            &cols
+        ));
+        assert!(!is_null_rejecting(
+            &Expr::or(rej.clone(), acc.clone()),
+            &cols
+        ));
         assert!(is_null_rejecting(&Expr::or(rej.clone(), rej), &cols));
     }
 
@@ -307,10 +305,7 @@ mod tests {
         // evaluating with c1 = NULL must not yield TRUE.
         let preds = vec![
             Expr::eq(Expr::col(c(1)), Expr::lit(3i64)),
-            Expr::and(
-                Expr::eq(Expr::col(c(1)), Expr::col(c(2))),
-                Expr::lit(true),
-            ),
+            Expr::and(Expr::eq(Expr::col(c(1)), Expr::col(c(2))), Expr::lit(true)),
             Expr::not(Expr::is_null(Expr::col(c(1)))),
             Expr::bin(
                 BinOp::Ge,
@@ -322,7 +317,13 @@ mod tests {
         for p in preds {
             assert!(is_null_rejecting(&p, &cols), "{p}");
             for other in [Value::Int(0), Value::Int(5), Value::Null] {
-                let mut get = |id: ColId| if id == c(1) { Value::Null } else { other.clone() };
+                let mut get = |id: ColId| {
+                    if id == c(1) {
+                        Value::Null
+                    } else {
+                        other.clone()
+                    }
+                };
                 assert_ne!(eval(&p, &mut get), Value::Bool(true), "{p}");
             }
         }

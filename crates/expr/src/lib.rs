@@ -10,8 +10,8 @@ pub mod types;
 
 pub use agg::{AggAccumulator, AggCall, AggFunc};
 pub use analysis::{
-    collect_columns, columns_of, conjoin, conjuncts, is_null_rejecting, remap_columns,
-    substitute, try_col_eq_col,
+    collect_columns, columns_of, conjoin, conjuncts, is_null_rejecting, remap_columns, substitute,
+    try_col_eq_col,
 };
 pub use eval::eval;
 pub use expr::{BinOp, Expr};

@@ -339,8 +339,7 @@ mod tests {
 
         // Unknown side column id.
         let outs = vec![ids.fresh(), ids.fresh()];
-        let dangling =
-            LogicalTree::union_all(a, c, outs, vec![a0, ColId(999)], vec![c0, c1]);
+        let dangling = LogicalTree::union_all(a, c, outs, vec![a0, ColId(999)], vec![c0, c1]);
         assert!(derive_schema(&cat, &dangling).is_err());
     }
 

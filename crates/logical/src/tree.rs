@@ -27,9 +27,7 @@ impl IdGen {
                 Operator::Project { outputs } => {
                     outputs.iter().for_each(|(c, _)| bump(&mut max, *c))
                 }
-                Operator::GbAgg { aggs, .. } => {
-                    aggs.iter().for_each(|a| bump(&mut max, a.output))
-                }
+                Operator::GbAgg { aggs, .. } => aggs.iter().for_each(|a| bump(&mut max, a.output)),
                 Operator::UnionAll { outputs, .. } => {
                     outputs.iter().for_each(|&c| bump(&mut max, c))
                 }
@@ -66,7 +64,12 @@ pub struct LogicalTree {
 
 impl LogicalTree {
     pub fn new(op: Operator, children: Vec<LogicalTree>) -> Self {
-        debug_assert_eq!(op.arity(), children.len(), "arity mismatch for {}", op.label());
+        debug_assert_eq!(
+            op.arity(),
+            children.len(),
+            "arity mismatch for {}",
+            op.label()
+        );
         Self { op, children }
     }
 
@@ -135,7 +138,11 @@ impl LogicalTree {
     /// Number of operators in the tree — the paper's "number of logical
     /// operators" metric for generated query complexity (§2.3).
     pub fn op_count(&self) -> usize {
-        1 + self.children.iter().map(LogicalTree::op_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(LogicalTree::op_count)
+            .sum::<usize>()
     }
 
     /// Pre-order visit.

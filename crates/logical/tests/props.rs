@@ -1,7 +1,8 @@
-//! Property tests for logical-tree utilities and schema derivation.
+//! Property tests for logical-tree utilities and schema derivation, on
+//! the in-repo `check` harness.
 
-use proptest::prelude::*;
-use ruletest_common::Rng;
+use ruletest_common::check::{gen, CheckConfig};
+use ruletest_common::{ensure_eq, forall, Rng};
 use ruletest_expr::Expr;
 use ruletest_logical::{derive_schema, IdGen, JoinKind, LogicalTree, Operator};
 use ruletest_storage::tpch_catalog;
@@ -25,11 +26,11 @@ fn random_chain(seed: u64, depth: usize) -> LogicalTree {
     tree
 }
 
-proptest! {
-    /// `IdGen::above` always allocates ids strictly greater than any id in
-    /// the tree.
-    #[test]
-    fn idgen_above_is_strictly_fresh(seed in any::<u64>(), depth in 0usize..6) {
+/// `IdGen::above` always allocates ids strictly greater than any id in
+/// the tree.
+#[test]
+fn idgen_above_is_strictly_fresh() {
+    forall!(CheckConfig::default(); seed in gen::u64s(), depth in gen::usizes(0..6) => {
         let tree = random_chain(seed, depth);
         let mut gen = IdGen::above(&tree);
         let fresh = gen.fresh();
@@ -40,31 +41,38 @@ proptest! {
                 }
             }
         });
-    }
+        Ok(())
+    });
+}
 
-    /// Schema derivation is deterministic and sized consistently with the
-    /// operator semantics.
-    #[test]
-    fn schema_derivation_is_deterministic(seed in any::<u64>(), depth in 0usize..6) {
+/// Schema derivation is deterministic and sized consistently with the
+/// operator semantics.
+#[test]
+fn schema_derivation_is_deterministic() {
+    forall!(CheckConfig::default(); seed in gen::u64s(), depth in gen::usizes(0..6) => {
         let cat = tpch_catalog();
         let tree = random_chain(seed, depth);
         let a = derive_schema(&cat, &tree).unwrap();
         let b = derive_schema(&cat, &tree).unwrap();
-        prop_assert_eq!(&a, &b);
+        ensure_eq!(&a, &b);
         // Ids are unique within a schema.
         let mut ids: Vec<_> = a.iter().map(|c| c.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        prop_assert_eq!(ids.len(), a.len());
-    }
+        ensure_eq!(ids.len(), a.len());
+        Ok(())
+    });
+}
 
-    /// op_count equals the number of nodes visited.
-    #[test]
-    fn op_count_matches_visit(seed in any::<u64>(), depth in 0usize..6) {
+/// op_count equals the number of nodes visited.
+#[test]
+fn op_count_matches_visit() {
+    forall!(CheckConfig::default(); seed in gen::u64s(), depth in gen::usizes(0..6) => {
         let tree = random_chain(seed, depth);
         let mut n = 0usize;
         tree.visit(&mut |_| n += 1);
-        prop_assert_eq!(n, tree.op_count());
-        prop_assert_eq!(tree.op_count(), depth + 1 + tree.tables().len() - 1);
-    }
+        ensure_eq!(n, tree.op_count());
+        ensure_eq!(tree.op_count(), depth + 1 + tree.tables().len() - 1);
+        Ok(())
+    });
 }

@@ -68,7 +68,10 @@ pub fn split_equi_conjuncts(
     pred: &Expr,
     left: &Schema,
     right: &Schema,
-) -> (Vec<(ruletest_common::ColId, ruletest_common::ColId)>, Vec<Expr>) {
+) -> (
+    Vec<(ruletest_common::ColId, ruletest_common::ColId)>,
+    Vec<Expr>,
+) {
     let in_left = |c: ruletest_common::ColId| left.iter().any(|ci| ci.id == c);
     let in_right = |c: ruletest_common::ColId| right.iter().any(|ci| ci.id == c);
     let mut keys = Vec::new();
@@ -149,12 +152,7 @@ fn log2(x: f64) -> f64 {
 
 /// Estimated output rows of a physical operator (mirrors the logical
 /// estimates so a plan's estimates depend only on the plan tree).
-pub fn phys_rows(
-    db: &Database,
-    op: &PhysOp,
-    child_schemas: &[&Schema],
-    child_rows: &[f64],
-) -> f64 {
+pub fn phys_rows(db: &Database, op: &PhysOp, child_schemas: &[&Schema], child_rows: &[f64]) -> f64 {
     match op {
         PhysOp::SeqScan { table, .. } => db
             .stats(*table)
@@ -236,9 +234,7 @@ pub fn phys_cost(op: &PhysOp, child_rows: &[f64], child_costs: &[f64], out_rows:
         PhysOp::Filter { .. } => child_rows[0] * 0.1,
         PhysOp::Compute { .. } => child_rows[0] * 0.1,
         PhysOp::NLJoin { .. } => child_rows[0] * child_rows[1] * 0.2 + out_rows * 0.05,
-        PhysOp::HashJoin { .. } => {
-            child_rows[1] * 2.0 + child_rows[0] * 1.2 + out_rows * 0.05
-        }
+        PhysOp::HashJoin { .. } => child_rows[1] * 2.0 + child_rows[0] * 1.2 + out_rows * 0.05,
         PhysOp::MergeJoin { .. } => {
             child_rows[0] * log2(child_rows[0]) * 0.3
                 + child_rows[1] * log2(child_rows[1]) * 0.3

@@ -15,6 +15,7 @@
 //!    tree of any rule (and [`pattern::PatternTree::to_xml`] serializes it,
 //!    mirroring the paper's XML-returning server API in §3.1).
 
+pub mod cache;
 pub mod cost;
 pub mod mask;
 pub mod memo;
@@ -25,6 +26,7 @@ pub mod rule;
 pub mod rules;
 pub mod rules_impl;
 
+pub use cache::{CacheKey, CacheStats, OptCache};
 pub use mask::RuleMask;
 pub use memo::{GroupId, Memo};
 pub use optimizer::{OptimizeResult, Optimizer, OptimizerConfig};

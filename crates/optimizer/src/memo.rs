@@ -197,8 +197,7 @@ impl Memo {
             }
             return Ok((existing, false));
         }
-        let child_schemas: Vec<&Schema> =
-            expr.children.iter().map(|&c| self.schema(c)).collect();
+        let child_schemas: Vec<&Schema> = expr.children.iter().map(|&c| self.schema(c)).collect();
         let schema = output_schema(&db.catalog, &expr.op, &child_schemas)?;
         let gid = match target {
             Some(g) => {
@@ -252,10 +251,8 @@ fn same_shape(a: &Schema, b: &Schema) -> bool {
     if a.len() != b.len() {
         return false;
     }
-    a.iter().all(|x| {
-        b.iter()
-            .any(|y| x.id == y.id && x.data_type == y.data_type)
-    })
+    a.iter()
+        .all(|x| b.iter().any(|y| x.id == y.id && x.data_type == y.data_type))
 }
 
 #[cfg(test)]
@@ -349,10 +346,7 @@ mod tests {
     fn dangling_group_reference_is_internal_error() {
         let db = db();
         let mut memo = Memo::new();
-        let nt = NewTree::new(
-            Operator::Distinct,
-            vec![NewChild::Group(GroupId(42))],
-        );
+        let nt = NewTree::new(Operator::Distinct, vec![NewChild::Group(GroupId(42))]);
         assert!(matches!(
             memo.insert(&db, &nt, None, true),
             Err(Error::Internal(_))

@@ -2,6 +2,7 @@
 //! plan extraction — with the three testing extensions (rule tracing, rule
 //! masking, pattern export) the framework requires (§2.3).
 
+use crate::cache::{CacheKey, CacheStats, OptCache};
 use crate::cost::phys_cost;
 use crate::mask::RuleMask;
 use crate::memo::{GroupId, Memo};
@@ -104,6 +105,9 @@ pub struct Optimizer {
     /// Same for implementation rules.
     implement_by_kind: HashMap<ruletest_logical::OpKind, Vec<usize>>,
     invocations: AtomicU64,
+    /// Invocation cache for the `optimize*_cached` entry points; shared
+    /// across every campaign phase that goes through this optimizer.
+    cache: OptCache,
 }
 
 impl Optimizer {
@@ -162,9 +166,7 @@ impl Optimizer {
                 };
                 if root_accepts {
                     match r.kind {
-                        RuleKind::Exploration => {
-                            explore_by_kind.entry(kind).or_default().push(i)
-                        }
+                        RuleKind::Exploration => explore_by_kind.entry(kind).or_default().push(i),
                         RuleKind::Implementation => {
                             implement_by_kind.entry(kind).or_default().push(i)
                         }
@@ -179,6 +181,7 @@ impl Optimizer {
             explore_by_kind,
             implement_by_kind,
             invocations: AtomicU64::new(0),
+            cache: OptCache::default(),
         }
     }
 
@@ -234,6 +237,39 @@ impl Optimizer {
     /// Optimizes with every rule enabled — `Plan(q)`.
     pub fn optimize(&self, tree: &LogicalTree) -> Result<OptimizeResult> {
         self.optimize_with(tree, &OptimizerConfig::default())
+    }
+
+    /// Cached variant of [`Optimizer::optimize`]: identical result, but a
+    /// repeat of a previously optimized `(tree, mask, budgets)` key is
+    /// served from the invocation cache without spending an invocation.
+    pub fn optimize_cached(&self, tree: &LogicalTree) -> Result<Arc<OptimizeResult>> {
+        self.optimize_with_cached(tree, &OptimizerConfig::default())
+    }
+
+    /// Cached variant of [`Optimizer::optimize_with`]. Errors are not
+    /// cached (they are rare and cheap to rediscover).
+    pub fn optimize_with_cached(
+        &self,
+        tree: &LogicalTree,
+        config: &OptimizerConfig,
+    ) -> Result<Arc<OptimizeResult>> {
+        let key = CacheKey::new(tree, config);
+        if let Some(hit) = self.cache.lookup(&key) {
+            return Ok(hit);
+        }
+        let result = Arc::new(self.optimize_with(tree, config)?);
+        self.cache.insert(key, Arc::clone(&result));
+        Ok(result)
+    }
+
+    /// Hit/miss/eviction counters of the invocation cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drops every cached optimization result (counters are kept).
+    pub fn clear_cache(&self) {
+        self.cache.clear()
     }
 
     /// Optimizes under a configuration — `Plan(q, ¬R)` when rules are
@@ -341,8 +377,7 @@ impl Optimizer {
                                     rule_dependencies.insert((creator, rid));
                                 }
                             }
-                            let organic = !rule.mints_fresh_ids
-                                && memo.is_organic(gid, ei);
+                            let organic = !rule.mints_fresh_ids && memo.is_organic(gid, ei);
                             for nt in results {
                                 let (_, fresh) = memo.insert_created_by(
                                     &self.db,
@@ -377,8 +412,7 @@ impl Optimizer {
                 let group = memo.group(gid);
                 eprintln!("group g{g} (rows={:.1}):", group.est_rows);
                 for (i, e) in group.exprs.iter().enumerate() {
-                    let kids: Vec<String> =
-                        e.children.iter().map(|c| c.to_string()).collect();
+                    let kids: Vec<String> = e.children.iter().map(|c| c.to_string()).collect();
                     eprintln!(
                         "  [{i}]{} {} ({})",
                         if group.organic[i] { "" } else { "*" },
@@ -642,8 +676,7 @@ impl Extractor<'_> {
                         let child_schemas: Vec<&Schema> =
                             child_plans.iter().map(|p| &p.schema).collect();
                         let schema = phys_schema(db, &cand.op, &child_schemas)?;
-                        let child_rows: Vec<f64> =
-                            child_plans.iter().map(|p| p.est_rows).collect();
+                        let child_rows: Vec<f64> = child_plans.iter().map(|p| p.est_rows).collect();
                         let child_costs: Vec<f64> =
                             child_plans.iter().map(|p| p.est_cost).collect();
                         // Cardinality is a *group* (logical) property: every
@@ -756,10 +789,14 @@ mod tests {
     fn disabling_every_join_implementation_fails() {
         let opt = optimizer();
         let tree = simple_join(&opt);
-        let ids: Vec<RuleId> = ["JoinToNestedLoops", "JoinToHashJoin", "InnerJoinToMergeJoin"]
-            .iter()
-            .map(|n| opt.rule_id(n).unwrap())
-            .collect();
+        let ids: Vec<RuleId> = [
+            "JoinToNestedLoops",
+            "JoinToHashJoin",
+            "InnerJoinToMergeJoin",
+        ]
+        .iter()
+        .map(|n| opt.rule_id(n).unwrap())
+        .collect();
         assert!(opt
             .optimize_with(&tree, &OptimizerConfig::disabling(&ids))
             .is_err());

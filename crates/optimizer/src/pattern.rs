@@ -82,7 +82,10 @@ impl PatternTree {
         match self {
             PatternTree::Any => 0,
             PatternTree::Op { children, .. } => {
-                1 + children.iter().map(PatternTree::concrete_ops).sum::<usize>()
+                1 + children
+                    .iter()
+                    .map(PatternTree::concrete_ops)
+                    .sum::<usize>()
             }
         }
     }

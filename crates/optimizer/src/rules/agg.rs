@@ -49,7 +49,9 @@ fn gbagg_split_local_global(ctx: &RuleCtx, b: &Bound) -> Vec<NewTree> {
     let globals: Vec<AggCall> = aggs
         .iter()
         .zip(&locals)
-        .map(|(orig, local)| AggCall::new(orig.func.combining_func(), Some(local.output), orig.output))
+        .map(|(orig, local)| {
+            AggCall::new(orig.func.combining_func(), Some(local.output), orig.output)
+        })
         .collect();
     vec![NewTree::new(
         Operator::GbAgg {
@@ -191,7 +193,8 @@ fn gbagg_eliminate_on_key(ctx: &RuleCtx, b: &Bound) -> Vec<NewTree> {
     // anyway for secondary unique keys.
     let covering_non_null = {
         let check = |key: &[usize]| {
-            key.iter().all(|k| ordinals.contains(k)) && key.iter().all(|&k| !def.columns[k].nullable)
+            key.iter().all(|k| ordinals.contains(k))
+                && key.iter().all(|&k| !def.columns[k].nullable)
         };
         check(&def.primary_key) || def.unique_keys.iter().any(|k| check(k))
     };
@@ -201,10 +204,8 @@ fn gbagg_eliminate_on_key(ctx: &RuleCtx, b: &Bound) -> Vec<NewTree> {
     if aggs.iter().any(|a| a.func == AggFunc::Count) {
         return vec![];
     }
-    let mut outputs: Vec<(ruletest_common::ColId, Expr)> = group_by
-        .iter()
-        .map(|&g| (g, Expr::col(g)))
-        .collect();
+    let mut outputs: Vec<(ruletest_common::ColId, Expr)> =
+        group_by.iter().map(|&g| (g, Expr::col(g))).collect();
     for a in aggs {
         let e = match a.func {
             AggFunc::CountStar => Expr::lit(1i64),

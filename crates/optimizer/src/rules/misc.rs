@@ -262,7 +262,11 @@ fn top_top_collapse(_ctx: &RuleCtx, b: &Bound) -> Vec<NewTree> {
     let Some(inner) = b.children[0].nested() else {
         return vec![];
     };
-    let Operator::Top { n: m, keys: inner_keys } = &inner.op else {
+    let Operator::Top {
+        n: m,
+        keys: inner_keys,
+    } = &inner.op
+    else {
         return vec![];
     };
     if keys != inner_keys {
@@ -309,7 +313,10 @@ pub(super) fn rules() -> Vec<Rule> {
             "UnionAllAssoc",
             PatternTree::kind(
                 OpKind::UnionAll,
-                vec![PatternTree::kind(OpKind::UnionAll, vec![any(), any()]), any()],
+                vec![
+                    PatternTree::kind(OpKind::UnionAll, vec![any(), any()]),
+                    any(),
+                ],
             ),
             "always applicable",
             union_all_assoc,
@@ -345,13 +352,19 @@ pub(super) fn rules() -> Vec<Rule> {
         .minting_fresh_ids(),
         Rule::explore(
             "SortCollapse",
-            PatternTree::kind(OpKind::Sort, vec![PatternTree::kind(OpKind::Sort, vec![any()])]),
+            PatternTree::kind(
+                OpKind::Sort,
+                vec![PatternTree::kind(OpKind::Sort, vec![any()])],
+            ),
             "always applicable (outer order wins)",
             sort_collapse,
         ),
         Rule::explore(
             "SortElimBelowGbAgg",
-            PatternTree::kind(OpKind::GbAgg, vec![PatternTree::kind(OpKind::Sort, vec![any()])]),
+            PatternTree::kind(
+                OpKind::GbAgg,
+                vec![PatternTree::kind(OpKind::Sort, vec![any()])],
+            ),
             "always applicable",
             sort_elim_below_gbagg,
         ),
@@ -366,13 +379,19 @@ pub(super) fn rules() -> Vec<Rule> {
         ),
         Rule::explore(
             "TopTopCollapse",
-            PatternTree::kind(OpKind::Top, vec![PatternTree::kind(OpKind::Top, vec![any()])]),
+            PatternTree::kind(
+                OpKind::Top,
+                vec![PatternTree::kind(OpKind::Top, vec![any()])],
+            ),
             "identical sort keys on both Top operators",
             top_top_collapse,
         ),
         Rule::explore(
             "TopSortAbsorb",
-            PatternTree::kind(OpKind::Top, vec![PatternTree::kind(OpKind::Sort, vec![any()])]),
+            PatternTree::kind(
+                OpKind::Top,
+                vec![PatternTree::kind(OpKind::Sort, vec![any()])],
+            ),
             "always applicable",
             top_sort_absorb,
         ),

@@ -67,7 +67,11 @@ fn select_push_below_inner_join(ctx: &RuleCtx, b: &Bound) -> Vec<NewTree> {
     let Some(join) = b.children[0].nested() else {
         return vec![];
     };
-    let Operator::Join { kind, predicate: jp } = &join.op else {
+    let Operator::Join {
+        kind,
+        predicate: jp,
+    } = &join.op
+    else {
         return vec![];
     };
     debug_assert_eq!(*kind, JoinKind::Inner);
@@ -75,9 +79,8 @@ fn select_push_below_inner_join(ctx: &RuleCtx, b: &Bound) -> Vec<NewTree> {
     let right_cols = group_cols(ctx, join.children[1].group());
     let (to_left, rest) = partition_conjuncts(predicate, &left_cols);
     let (to_right, keep) = {
-        let (tr, kp): (Vec<Expr>, Vec<Expr>) = rest
-            .into_iter()
-            .partition(|c| pred_within(c, &right_cols));
+        let (tr, kp): (Vec<Expr>, Vec<Expr>) =
+            rest.into_iter().partition(|c| pred_within(c, &right_cols));
         (tr, kp)
     };
     if to_left.is_empty() && to_right.is_empty() {
@@ -127,7 +130,11 @@ fn select_push_below_outer_join(ctx: &RuleCtx, b: &Bound) -> Vec<NewTree> {
     let Some(join) = b.children[0].nested() else {
         return vec![];
     };
-    let Operator::Join { kind, predicate: jp } = &join.op else {
+    let Operator::Join {
+        kind,
+        predicate: jp,
+    } = &join.op
+    else {
         return vec![];
     };
     let preserved_idx = match kind {
@@ -170,7 +177,11 @@ fn select_push_below_semi_join(_ctx: &RuleCtx, b: &Bound) -> Vec<NewTree> {
     let Some(join) = b.children[0].nested() else {
         return vec![];
     };
-    let Operator::Join { kind, predicate: jp } = &join.op else {
+    let Operator::Join {
+        kind,
+        predicate: jp,
+    } = &join.op
+    else {
         return vec![];
     };
     if !matches!(kind, JoinKind::LeftSemi | JoinKind::LeftAnti) {
@@ -404,7 +415,11 @@ fn outer_join_simplify(ctx: &RuleCtx, b: &Bound) -> Vec<NewTree> {
     let Some(join) = b.children[0].nested() else {
         return vec![];
     };
-    let Operator::Join { kind, predicate: jp } = &join.op else {
+    let Operator::Join {
+        kind,
+        predicate: jp,
+    } = &join.op
+    else {
         return vec![];
     };
     let left_cols = group_cols(ctx, join.children[0].group());
@@ -521,7 +536,11 @@ pub(super) fn rules() -> Vec<Rule> {
         Rule::explore(
             "OuterJoinSimplify",
             sel_pattern(PatternTree::join(
-                vec![JoinKind::LeftOuter, JoinKind::RightOuter, JoinKind::FullOuter],
+                vec![
+                    JoinKind::LeftOuter,
+                    JoinKind::RightOuter,
+                    JoinKind::FullOuter,
+                ],
                 any(),
                 any(),
             )),

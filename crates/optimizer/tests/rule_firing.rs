@@ -23,7 +23,9 @@ fn get(name: &str, ids: &mut IdGen) -> LogicalTree {
 
 fn exercises(tree: &LogicalTree, rule: &str) -> bool {
     let opt = optimizer();
-    let rid = opt.rule_id(rule).unwrap_or_else(|| panic!("unknown rule {rule}"));
+    let rid = opt
+        .rule_id(rule)
+        .unwrap_or_else(|| panic!("unknown rule {rule}"));
     let res = opt.optimize(tree).expect("optimization succeeds");
     res.rule_set.contains(&rid)
 }
@@ -33,7 +35,9 @@ fn exercises(tree: &LogicalTree, rule: &str) -> bool {
 /// legitimately satisfy through an equivalent expression.
 fn exercises_masked(tree: &LogicalTree, rule: &str, disabled: &[&str]) -> bool {
     let opt = optimizer();
-    let rid = opt.rule_id(rule).unwrap_or_else(|| panic!("unknown rule {rule}"));
+    let rid = opt
+        .rule_id(rule)
+        .unwrap_or_else(|| panic!("unknown rule {rule}"));
     let mask: Vec<_> = disabled
         .iter()
         .map(|n| opt.rule_id(n).unwrap_or_else(|| panic!("unknown rule {n}")))
@@ -45,11 +49,19 @@ fn exercises_masked(tree: &LogicalTree, rule: &str, disabled: &[&str]) -> bool {
 }
 
 fn assert_fires(tree: &LogicalTree, rule: &str) {
-    assert!(exercises(tree, rule), "{rule} did not fire on\n{}", tree.explain());
+    assert!(
+        exercises(tree, rule),
+        "{rule} did not fire on\n{}",
+        tree.explain()
+    );
 }
 
 fn assert_silent(tree: &LogicalTree, rule: &str) {
-    assert!(!exercises(tree, rule), "{rule} fired unexpectedly on\n{}", tree.explain());
+    assert!(
+        !exercises(tree, rule),
+        "{rule} fired unexpectedly on\n{}",
+        tree.explain()
+    );
 }
 
 fn eq(a: ColId, b: ColId) -> Expr {
@@ -68,7 +80,12 @@ fn nation_region_join(ids: &mut IdGen, kind: JoinKind) -> (LogicalTree, ColId, C
 fn region_union(ids: &mut IdGen) -> (LogicalTree, Vec<ColId>) {
     let a = get("region", ids);
     let b = get("region", ids);
-    let (a0, a1, b0, b1) = (a.output_col(0), a.output_col(1), b.output_col(0), b.output_col(1));
+    let (a0, a1, b0, b1) = (
+        a.output_col(0),
+        a.output_col(1),
+        b.output_col(0),
+        b.output_col(1),
+    );
     let outs = vec![ids.fresh(), ids.fresh()];
     (
         LogicalTree::union_all(a, b, outs.clone(), vec![a0, a1], vec![b0, b1]),
@@ -181,14 +198,24 @@ fn join_distributes_over_unions() {
     );
     assert_fires(&left, "JoinDistributeUnionLeft");
 
-    let right = LogicalTree::join(JoinKind::Inner, x.clone(), union.clone(), eq(x.output_col(2), outs[0]));
+    let right = LogicalTree::join(
+        JoinKind::Inner,
+        x.clone(),
+        union.clone(),
+        eq(x.output_col(2), outs[0]),
+    );
     assert_fires(&right, "JoinDistributeUnionRight");
 
     // Right-row-driven kinds do not distribute over a left union.
     let mut ids = IdGen::new();
     let (union, outs) = region_union(&mut ids);
     let x = get("nation", &mut ids);
-    let roj = LogicalTree::join(JoinKind::RightOuter, union, x.clone(), eq(outs[0], x.output_col(2)));
+    let roj = LogicalTree::join(
+        JoinKind::RightOuter,
+        union,
+        x.clone(),
+        eq(outs[0], x.output_col(2)),
+    );
     assert_silent(&roj, "JoinDistributeUnionLeft");
 }
 
@@ -305,12 +332,7 @@ fn select_pushdown_below_semi_sort_distinct_union_project() {
     let n = get("nation", &mut ids);
     let r = get("region", &mut ids);
     let nk = n.output_col(0);
-    let semi = LogicalTree::join(
-        JoinKind::LeftSemi,
-        n,
-        r,
-        Expr::true_lit(),
-    );
+    let semi = LogicalTree::join(JoinKind::LeftSemi, n, r, Expr::true_lit());
     assert_fires(
         &LogicalTree::select(semi, lit_pred(nk)),
         "SelectPushBelowSemiJoin",
@@ -320,13 +342,19 @@ fn select_pushdown_below_semi_sort_distinct_union_project() {
     let t = get("region", &mut ids);
     let k = t.output_col(0);
     let sorted = LogicalTree::sort(t, vec![SortKey::asc(k)]);
-    assert_fires(&LogicalTree::select(sorted, lit_pred(k)), "SelectPushBelowSort");
+    assert_fires(
+        &LogicalTree::select(sorted, lit_pred(k)),
+        "SelectPushBelowSort",
+    );
 
     let mut ids = IdGen::new();
     let t = get("region", &mut ids);
     let k = t.output_col(0);
     let d = LogicalTree::distinct(t);
-    assert_fires(&LogicalTree::select(d, lit_pred(k)), "SelectPushBelowDistinct");
+    assert_fires(
+        &LogicalTree::select(d, lit_pred(k)),
+        "SelectPushBelowDistinct",
+    );
 
     let mut ids = IdGen::new();
     let (u, outs) = region_union(&mut ids);
@@ -427,8 +455,12 @@ fn eager_aggregation_respects_argument_sides_and_count_scalar_guard() {
     let mut ids = IdGen::new();
     let s = get("supplier", &mut ids);
     let n = get("nation", &mut ids);
-    let (s_nat, s_acct, n_key, n_name) =
-        (s.output_col(2), s.output_col(3), n.output_col(0), n.output_col(1));
+    let (s_nat, s_acct, n_key, n_name) = (
+        s.output_col(2),
+        s.output_col(3),
+        n.output_col(0),
+        n.output_col(1),
+    );
     let join = LogicalTree::join(JoinKind::Inner, s, n, eq(s_nat, n_key));
     let out = ids.fresh();
     let left_sum = LogicalTree::gbagg(

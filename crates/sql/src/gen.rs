@@ -102,7 +102,11 @@ fn render(catalog: &Catalog, tree: &LogicalTree, counter: &mut usize) -> Result<
             let right = derived(catalog, &tree.children[1], counter)?;
             match kind {
                 JoinKind::LeftSemi | JoinKind::LeftAnti => {
-                    let not = if *kind == JoinKind::LeftAnti { "NOT " } else { "" };
+                    let not = if *kind == JoinKind::LeftAnti {
+                        "NOT "
+                    } else {
+                        ""
+                    };
                     Ok(format!(
                         "SELECT * FROM {left} WHERE {not}EXISTS (SELECT 1 FROM {right} WHERE {})",
                         expr_sql(predicate)
@@ -202,10 +206,7 @@ mod tests {
         let mut ids = IdGen::new();
         let t = get(&cat, "region", &mut ids);
         let sql = to_sql(&cat, &t).unwrap();
-        assert_eq!(
-            sql,
-            "SELECT r_regionkey AS c0, r_name AS c1 FROM region"
-        );
+        assert_eq!(sql, "SELECT r_regionkey AS c0, r_name AS c1 FROM region");
     }
 
     #[test]
@@ -286,9 +287,6 @@ mod tests {
             Expr::eq(Expr::col(ColId(3)), Expr::lit("O'Brien")),
             Expr::not(Expr::is_null(Expr::col(ColId(4)))),
         );
-        assert_eq!(
-            expr_sql(&e),
-            "((c3 = 'O''Brien') AND (NOT (c4 IS NULL)))"
-        );
+        assert_eq!(expr_sql(&e), "((c3 = 'O''Brien') AND (NOT (c4 IS NULL)))");
     }
 }

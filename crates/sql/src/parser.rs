@@ -120,7 +120,10 @@ impl Parser<'_> {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(Error::parse(format!("expected {kw}, found {:?}", self.peek())))
+            Err(Error::parse(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -155,7 +158,9 @@ impl Parser<'_> {
     fn expect_ident(&mut self) -> Result<String> {
         match self.bump() {
             Token::Ident(s) => Ok(s),
-            other => Err(Error::parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -188,9 +193,7 @@ impl Parser<'_> {
             let mut left_cols = Vec::new();
             let mut right_cols = Vec::new();
             let mut names = Vec::new();
-            for (i, ((lname, _), (rname, _))) in
-                outputs.iter().zip(&right_outputs).enumerate()
-            {
+            for (i, ((lname, _), (rname, _))) in outputs.iter().zip(&right_outputs).enumerate() {
                 let pinned = match (parse_col_alias(lname), parse_col_alias(rname)) {
                     (Some(a), Some(b)) if a == b => Some(a),
                     _ => None,
@@ -259,9 +262,7 @@ impl Parser<'_> {
             None
         };
 
-        let has_agg = items
-            .iter()
-            .any(|i| matches!(i, Item::Agg(..)));
+        let has_agg = items.iter().any(|i| matches!(i, Item::Agg(..)));
         let (mut tree, mut outputs) = if group_by.is_some() || has_agg {
             self.build_aggregate(tree, &scope, outer, &items, group_by.unwrap_or_default())?
         } else {
@@ -458,9 +459,7 @@ impl Parser<'_> {
             };
             // Optional alias (bare identifier that is not a clause keyword).
             let alias = match self.peek() {
-                Token::Ident(s)
-                    if !is_clause_keyword(s) && !self.peek().is_symbol("(") =>
-                {
+                Token::Ident(s) if !is_clause_keyword(s) && !self.peek().is_symbol("(") => {
                     Some(self.expect_ident()?)
                 }
                 _ => None,
@@ -586,10 +585,7 @@ impl Parser<'_> {
     ) -> Result<(LogicalTree, Vec<(String, ColId)>)> {
         if items.is_empty() {
             // SELECT *: pass the input through.
-            let outputs = scope
-                .iter()
-                .map(|c| (c.name.clone(), c.id))
-                .collect();
+            let outputs = scope.iter().map(|c| (c.name.clone(), c.id)).collect();
             return Ok((tree, outputs));
         }
         let mut outputs = Vec::with_capacity(items.len());
@@ -600,9 +596,7 @@ impl Parser<'_> {
             };
             let e = self.resolve(ast, scope, outer)?;
             let id = self.output_id(alias);
-            let name = alias
-                .clone()
-                .unwrap_or_else(|| display_name(ast, id));
+            let name = alias.clone().unwrap_or_else(|| display_name(ast, id));
             outputs.push((name, id));
             proj.push((id, e));
         }
@@ -622,10 +616,7 @@ impl Parser<'_> {
                     .all(|((_, e), c)| matches!(e, Expr::Col(x) if x == c));
             if is_rename {
                 let new_cols: Vec<ColId> = proj.iter().map(|(id, _)| *id).collect();
-                return Ok((
-                    LogicalTree::get_with_cols(*table, new_cols),
-                    outputs,
-                ));
+                return Ok((LogicalTree::get_with_cols(*table, new_cols), outputs));
             }
         }
         Ok((LogicalTree::project(tree, proj), outputs))
@@ -653,9 +644,7 @@ impl Parser<'_> {
                         ));
                     };
                     if !group_by.contains(&c) {
-                        return Err(Error::parse(format!(
-                            "column {c} is not in GROUP BY"
-                        )));
+                        return Err(Error::parse(format!("column {c} is not in GROUP BY")));
                     }
                     group_out.push(c);
                     let name = alias.clone().unwrap_or_else(|| display_name(ast, c));
@@ -674,9 +663,7 @@ impl Parser<'_> {
                         },
                     };
                     let out = self.output_id(alias);
-                    let name = alias
-                        .clone()
-                        .unwrap_or_else(|| format!("c{}", out.0));
+                    let name = alias.clone().unwrap_or_else(|| format!("c{}", out.0));
                     aggs.push(AggCall::new(*func, arg_col, out));
                     outputs.push((name, out));
                 }
@@ -808,9 +795,7 @@ impl Parser<'_> {
             }
             Token::Ident(s) if s.eq_ignore_ascii_case("NULL") => Ok(Ast::Lit(Value::Null)),
             Token::Ident(s) if s.eq_ignore_ascii_case("TRUE") => Ok(Ast::Lit(Value::Bool(true))),
-            Token::Ident(s) if s.eq_ignore_ascii_case("FALSE") => {
-                Ok(Ast::Lit(Value::Bool(false)))
-            }
+            Token::Ident(s) if s.eq_ignore_ascii_case("FALSE") => Ok(Ast::Lit(Value::Bool(false))),
             Token::Ident(q) if self.peek().is_symbol(".") => {
                 self.bump();
                 let name = self.expect_ident()?;
@@ -836,19 +821,13 @@ impl Parser<'_> {
                 let inner = Expr::is_null(self.resolve(e, scope, outer)?);
                 Ok(if *negated { Expr::not(inner) } else { inner })
             }
-            Ast::Ident(qualifier, name) => {
-                self.resolve_ident(qualifier.as_deref(), name, scope)
-                    .or_else(|_| self.resolve_ident(qualifier.as_deref(), name, outer))
-            }
+            Ast::Ident(qualifier, name) => self
+                .resolve_ident(qualifier.as_deref(), name, scope)
+                .or_else(|_| self.resolve_ident(qualifier.as_deref(), name, outer)),
         }
     }
 
-    fn resolve_ident(
-        &self,
-        qualifier: Option<&str>,
-        name: &str,
-        scope: &Scope,
-    ) -> Result<Expr> {
+    fn resolve_ident(&self, qualifier: Option<&str>, name: &str, scope: &Scope) -> Result<Expr> {
         let matches: Vec<&ScopeCol> = scope
             .iter()
             .filter(|c| {
@@ -892,7 +871,11 @@ fn unwrap_pure_rename(tree: LogicalTree) -> (LogicalTree, Option<Vec<ColId>>) {
             })
             .collect();
         if let Some(srcs) = srcs {
-            let child = tree.children.into_iter().next().expect("project has a child");
+            let child = tree
+                .children
+                .into_iter()
+                .next()
+                .expect("project has a child");
             return (child, Some(srcs));
         }
     }
@@ -943,9 +926,8 @@ mod tests {
 
     #[test]
     fn joins_with_aliases() {
-        let t = parse(
-            "SELECT n.n_name FROM nation n JOIN region r ON n.n_regionkey = r.r_regionkey",
-        );
+        let t =
+            parse("SELECT n.n_name FROM nation n JOIN region r ON n.n_regionkey = r.r_regionkey");
         assert!(matches!(t.op, Operator::Project { .. }));
         let join = &t.children[0];
         assert_eq!(join.op.join_kind(), Some(JoinKind::Inner));

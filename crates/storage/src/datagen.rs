@@ -12,7 +12,13 @@ use crate::tpch::{table_ids::*, TpchConfig};
 use ruletest_common::{Result, Rng, Row, Value};
 
 const REGION_NAMES: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
-const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const STATUSES: &[&str] = &["F", "O", "P"];
 const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const BRANDS: &[&str] = &["Brand#11", "Brand#12", "Brand#21", "Brand#22", "Brand#31"];
@@ -236,7 +242,11 @@ mod tests {
             let mut seen = HashSet::new();
             for row in &t.rows {
                 let key: Vec<Value> = def.primary_key.iter().map(|&c| row[c].clone()).collect();
-                assert!(!key.iter().any(Value::is_null), "NULL in PK of {}", def.name);
+                assert!(
+                    !key.iter().any(Value::is_null),
+                    "NULL in PK of {}",
+                    def.name
+                );
                 assert!(seen.insert(key), "duplicate PK in {}", def.name);
             }
         }

@@ -15,7 +15,7 @@ pub mod table;
 pub mod tpch;
 
 pub use catalog::{Catalog, ColumnDef, ForeignKey, TableDef};
+pub use ssb::{ssb_catalog, ssb_database, SsbConfig};
 pub use stats::{ColumnStats, TableStats};
 pub use table::{Database, Table};
-pub use ssb::{ssb_catalog, ssb_database, SsbConfig};
 pub use tpch::{tpch_catalog, tpch_database, TpchConfig};

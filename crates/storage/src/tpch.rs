@@ -280,14 +280,8 @@ mod tests {
         let cat = tpch_catalog();
         assert_eq!(cat.len(), 8);
         assert_eq!(cat.table_by_name("lineitem").unwrap().primary_key.len(), 2);
-        assert!(cat
-            .table_by_name("orders")
-            .unwrap()
-            .is_unique_column(0));
-        assert!(!cat
-            .table_by_name("lineitem")
-            .unwrap()
-            .is_unique_column(0));
+        assert!(cat.table_by_name("orders").unwrap().is_unique_column(0));
+        assert!(!cat.table_by_name("lineitem").unwrap().is_unique_column(0));
     }
 
     #[test]
@@ -311,7 +305,10 @@ mod tests {
             db.table(table_ids::LINEITEM).unwrap().row_count(),
             cfg.lineitems
         );
-        assert_eq!(db.table(table_ids::REGION).unwrap().row_count(), cfg.regions);
+        assert_eq!(
+            db.table(table_ids::REGION).unwrap().row_count(),
+            cfg.regions
+        );
     }
 
     #[test]

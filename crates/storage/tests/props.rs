@@ -1,9 +1,10 @@
 //! Property tests for the test-database substrate: the invariants the
 //! generator must hold for *any* seed and scale, because rule
-//! preconditions (keys, FKs, nullability) depend on them.
+//! preconditions (keys, FKs, nullability) depend on them. Runs on the
+//! in-repo `check` harness.
 
-use proptest::prelude::*;
-use ruletest_common::Value;
+use ruletest_common::check::{gen, CheckConfig};
+use ruletest_common::{ensure, ensure_eq, forall, Value};
 use ruletest_storage::{tpch_database, TpchConfig};
 use std::collections::HashSet;
 
@@ -13,12 +14,13 @@ fn config(seed: u64, factor: usize, null_p: f64) -> TpchConfig {
     cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Primary keys are unique and non-null at every seed/scale.
-    #[test]
-    fn primary_keys_hold(seed in any::<u64>(), factor in 1usize..4, null_p in 0.0f64..0.5) {
+/// Primary keys are unique and non-null at every seed/scale.
+#[test]
+fn primary_keys_hold() {
+    forall!(CheckConfig::cases(24);
+            seed in gen::u64s(),
+            factor in gen::usizes(1..4),
+            null_p in gen::f64s(0.0..0.5) => {
         let db = tpch_database(&config(seed, factor, null_p)).unwrap();
         for def in db.catalog.tables().to_vec() {
             let t = db.table(def.id).unwrap();
@@ -26,15 +28,18 @@ proptest! {
             for row in &t.rows {
                 let key: Vec<Value> =
                     def.primary_key.iter().map(|&c| row[c].clone()).collect();
-                prop_assert!(!key.iter().any(Value::is_null), "{}: NULL PK", def.name);
-                prop_assert!(seen.insert(key), "{}: duplicate PK", def.name);
+                ensure!(!key.iter().any(Value::is_null), "{}: NULL PK", def.name);
+                ensure!(seen.insert(key), "{}: duplicate PK", def.name);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Every non-null foreign key resolves to a parent row.
-    #[test]
-    fn foreign_keys_resolve(seed in any::<u64>(), factor in 1usize..3) {
+/// Every non-null foreign key resolves to a parent row.
+#[test]
+fn foreign_keys_resolve() {
+    forall!(CheckConfig::cases(24); seed in gen::u64s(), factor in gen::usizes(1..3) => {
         let db = tpch_database(&config(seed, factor, 0.15)).unwrap();
         for def in db.catalog.tables().to_vec() {
             let child = db.table(def.id).unwrap();
@@ -51,50 +56,59 @@ proptest! {
                     if key.iter().any(Value::is_null) {
                         continue;
                     }
-                    prop_assert!(parent_keys.contains(&key), "{}: dangling FK", def.name);
+                    ensure!(parent_keys.contains(&key), "{}: dangling FK", def.name);
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Statistics agree with the data they were computed from.
-    #[test]
-    fn statistics_are_exact(seed in any::<u64>()) {
+/// Statistics agree with the data they were computed from.
+#[test]
+fn statistics_are_exact() {
+    forall!(CheckConfig::cases(24); seed in gen::u64s() => {
         let db = tpch_database(&config(seed, 1, 0.2)).unwrap();
         for def in db.catalog.tables().to_vec() {
             let t = db.table(def.id).unwrap();
-            prop_assert_eq!(t.stats.row_count as usize, t.rows.len());
+            ensure_eq!(t.stats.row_count as usize, t.rows.len());
             for (c, stats) in t.stats.columns.iter().enumerate() {
                 let nulls = t.rows.iter().filter(|r| r[c].is_null()).count();
-                prop_assert_eq!(stats.null_count as usize, nulls);
+                ensure_eq!(stats.null_count as usize, nulls);
                 let distinct: HashSet<&Value> = t
                     .rows
                     .iter()
                     .map(|r| &r[c])
                     .filter(|v| !v.is_null())
                     .collect();
-                prop_assert_eq!(stats.ndv as usize, distinct.len());
+                ensure_eq!(stats.ndv as usize, distinct.len());
                 if let Some(min) = &stats.min {
-                    prop_assert!(distinct.iter().all(|v| min.total_cmp(v).is_le()));
-                    prop_assert!(distinct.contains(min));
+                    ensure!(distinct.iter().all(|v| min.total_cmp(v).is_le()));
+                    ensure!(distinct.contains(min));
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The generator is a pure function of its configuration.
-    #[test]
-    fn generation_is_pure(seed in any::<u64>()) {
+/// The generator is a pure function of its configuration.
+#[test]
+fn generation_is_pure() {
+    forall!(CheckConfig::cases(24); seed in gen::u64s() => {
         let a = tpch_database(&config(seed, 1, 0.1)).unwrap();
         let b = tpch_database(&config(seed, 1, 0.1)).unwrap();
         for def in a.catalog.tables().to_vec() {
-            prop_assert_eq!(&a.table(def.id).unwrap().rows, &b.table(def.id).unwrap().rows);
+            ensure_eq!(&a.table(def.id).unwrap().rows, &b.table(def.id).unwrap().rows);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The PK hash index answers point lookups consistently with a scan.
-    #[test]
-    fn pk_index_matches_scan(seed in any::<u64>(), probe in 0i64..50) {
+/// The PK hash index answers point lookups consistently with a scan.
+#[test]
+fn pk_index_matches_scan() {
+    forall!(CheckConfig::cases(24); seed in gen::u64s(), probe in gen::i64s(0..50) => {
         let db = tpch_database(&config(seed, 1, 0.1)).unwrap();
         let def = db.catalog.table_by_name("orders").unwrap().clone();
         let t = db.table(def.id).unwrap();
@@ -107,6 +121,7 @@ proptest! {
             .filter(|(_, r)| r[0] == Value::Int(probe))
             .map(|(i, _)| i)
             .collect();
-        prop_assert_eq!(via_index, via_scan);
-    }
+        ensure_eq!(via_index, via_scan);
+        Ok(())
+    });
 }

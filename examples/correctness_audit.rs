@@ -14,8 +14,7 @@ use ruletest::core::compress::{baseline, smc, topk, Instance};
 use ruletest::core::correctness::execute_solution;
 use ruletest::core::faults::{buggy_optimizer, Fault};
 use ruletest::core::{
-    build_graph, generate_suite, singleton_targets, Framework, FrameworkConfig, GenConfig,
-    Strategy,
+    build_graph, generate_suite, singleton_targets, Framework, FrameworkConfig, GenConfig, Strategy,
 };
 use ruletest::executor::ExecConfig;
 use ruletest::storage::{tpch_database, TpchConfig};
@@ -101,9 +100,8 @@ fn main() {
         let graph = build_graph(&buggy_fw, &suite).expect("graph");
         let inst = Instance::from_graph(&graph);
         let sol = topk(&inst).expect("topk");
-        let report =
-            execute_solution(&buggy_fw, &suite, &inst, &sol, &ExecConfig::default())
-                .expect("execution");
+        let report = execute_solution(&buggy_fw, &suite, &inst, &sol, &ExecConfig::default())
+            .expect("execution");
         if !report.passed() {
             let bug = &report.bugs[0];
             println!("  BUG FOUND in rule '{}':", bug.target_label);

@@ -26,7 +26,10 @@ fn main() {
     let out = fw
         .find_query_for_rule(rule, Strategy::Pattern, &GenConfig::default())
         .expect("pattern generation");
-    println!("== generated query ({} trials, {} operators) ==", out.trials, out.ops);
+    println!(
+        "== generated query ({} trials, {} operators) ==",
+        out.trials, out.ops
+    );
     println!("{}\n", out.sql);
 
     let res = fw.optimizer.optimize(&out.query).expect("optimize");

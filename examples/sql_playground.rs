@@ -47,7 +47,11 @@ fn main() {
                 continue;
             }
         };
-        println!("-- physical plan (cost {:.1}) --\n{}", res.cost, res.plan.explain());
+        println!(
+            "-- physical plan (cost {:.1}) --\n{}",
+            res.cost,
+            res.plan.explain()
+        );
         let fired: Vec<&str> = res
             .rule_set
             .iter()

@@ -11,7 +11,7 @@
 //! ruletest audit [--rules N] [--k K]     compression + correctness campaign
 //! ruletest impact [--rules N]            workload-level rule performance impact (§1's third dimension)
 //!
-//! common options: --seed N   --pad N   --random   --trials N
+//! common options: --seed N   --pad N   --random   --trials N   --threads N
 //! ```
 
 use ruletest::core::compress::{baseline, smc, topk, Instance};
@@ -19,8 +19,7 @@ use ruletest::core::correctness::execute_solution;
 use ruletest::core::generate::dependency::find_dependency_query;
 use ruletest::core::generate::relevant::find_relevant_query;
 use ruletest::core::{
-    build_graph, generate_suite, singleton_targets, Framework, FrameworkConfig, GenConfig,
-    Strategy,
+    build_graph, generate_suite, singleton_targets, Framework, FrameworkConfig, GenConfig, Strategy,
 };
 use ruletest::executor::{execute, ExecConfig};
 use ruletest::optimizer::RuleKind;
@@ -34,6 +33,7 @@ struct Opts {
     random: bool,
     rules: usize,
     k: usize,
+    threads: usize,
     positional: Vec<String>,
 }
 
@@ -47,6 +47,7 @@ fn parse_args() -> (String, Opts) {
         random: false,
         rules: 8,
         k: 3,
+        threads: 0,
         positional: Vec::new(),
     };
     while let Some(a) = args.next() {
@@ -56,6 +57,7 @@ fn parse_args() -> (String, Opts) {
             "--trials" => opts.trials = args.next().and_then(|s| s.parse().ok()).unwrap_or(500),
             "--rules" => opts.rules = args.next().and_then(|s| s.parse().ok()).unwrap_or(8),
             "--k" => opts.k = args.next().and_then(|s| s.parse().ok()).unwrap_or(3),
+            "--threads" => opts.threads = args.next().and_then(|s| s.parse().ok()).unwrap_or(0),
             "--random" => opts.random = true,
             other => opts.positional.push(other.to_string()),
         }
@@ -65,7 +67,16 @@ fn parse_args() -> (String, Opts) {
 
 fn main() -> ExitCode {
     let (cmd, opts) = parse_args();
-    let fw = match Framework::new(&FrameworkConfig::default()) {
+    // --threads 0 (the default) means "one worker per core".
+    let mut parallelism = ruletest::common::Parallelism::default();
+    if opts.threads > 0 {
+        parallelism.threads = opts.threads;
+    }
+    parallelism.seed = opts.seed;
+    let fw = match Framework::new(&FrameworkConfig {
+        parallelism,
+        ..Default::default()
+    }) {
         Ok(fw) => fw,
         Err(e) => {
             eprintln!("framework construction failed: {e}");
@@ -84,9 +95,9 @@ fn main() -> ExitCode {
         ..Default::default()
     };
     let rule_by_name = |name: &str| {
-        fw.optimizer.rule_id(name).ok_or_else(|| {
-            format!("unknown rule '{name}' — see `ruletest rules` for the catalog")
-        })
+        fw.optimizer
+            .rule_id(name)
+            .ok_or_else(|| format!("unknown rule '{name}' — see `ruletest rules` for the catalog"))
     };
 
     let result: Result<(), String> = match cmd.as_str() {
@@ -291,7 +302,10 @@ fn run_audit(fw: &Framework, opts: &Opts) -> Result<(), String> {
         report.bugs.len()
     );
     for bug in &report.bugs {
-        println!("BUG in {}: {}\n  {}", bug.target_label, bug.diff_summary, bug.sql);
+        println!(
+            "BUG in {}: {}\n  {}",
+            bug.target_label, bug.diff_summary, bug.sql
+        );
     }
     if report.passed() {
         println!("all rules validated clean.");

@@ -14,7 +14,11 @@ fn fw() -> Framework {
     Framework::new(&FrameworkConfig::default()).unwrap()
 }
 
-fn small_singleton_instance(fw: &Framework, n: usize, k: usize) -> (ruletest_core::TestSuite, Instance) {
+fn small_singleton_instance(
+    fw: &Framework,
+    n: usize,
+    k: usize,
+) -> (ruletest_core::TestSuite, Instance) {
     let suite = generate_suite(
         fw,
         singleton_targets(fw, n),
@@ -125,7 +129,10 @@ fn pruned_graph_supports_topk_with_same_edge_quality() {
     };
     let a = edge_sum(&eager);
     let b = edge_sum(&pruned);
-    assert!((a - b).abs() < 1e-6, "pruning changed TOPK quality: {a} vs {b}");
+    assert!(
+        (a - b).abs() < 1e-6,
+        "pruning changed TOPK quality: {a} vs {b}"
+    );
 }
 
 #[test]

@@ -5,9 +5,7 @@
 use ruletest_core::compress::{topk, Instance};
 use ruletest_core::correctness::execute_solution;
 use ruletest_core::faults::{buggy_optimizer, Fault};
-use ruletest_core::{
-    build_graph, generate_suite, Framework, GenConfig, RuleTarget, Strategy,
-};
+use ruletest_core::{build_graph, generate_suite, Framework, GenConfig, RuleTarget, Strategy};
 use ruletest_executor::ExecConfig;
 use ruletest_storage::{tpch_database, TpchConfig};
 use std::sync::Arc;
@@ -42,8 +40,7 @@ fn detect(fault: Fault) -> bool {
         let Ok(sol) = topk(&inst) else {
             continue;
         };
-        let Ok(report) = execute_solution(&fw, &suite, &inst, &sol, &ExecConfig::default())
-        else {
+        let Ok(report) = execute_solution(&fw, &suite, &inst, &sol, &ExecConfig::default()) else {
             continue;
         };
         if !report.passed() {

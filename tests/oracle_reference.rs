@@ -5,8 +5,8 @@
 //! two optimizer outputs to each other cannot (e.g. a cost-model-neutral
 //! executor bug shared by all plans).
 
-use proptest::prelude::*;
-use ruletest_common::{multisets_equal, Rng};
+use ruletest_common::check::{gen, CheckConfig};
+use ruletest_common::{ensure, forall, multisets_equal, Rng};
 use ruletest_core::generate::random::random_tree;
 use ruletest_core::{Framework, FrameworkConfig, GenConfig, Strategy};
 use ruletest_executor::{execute_with, reference_eval, ExecConfig};
@@ -46,19 +46,18 @@ fn check(tree: &ruletest_logical::LogicalTree) -> std::result::Result<(), String
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn pipeline_matches_reference_on_random_queries(seed in any::<u64>(), budget in 1usize..8) {
+#[test]
+fn pipeline_matches_reference_on_random_queries() {
+    forall!(CheckConfig::cases(64); seed in gen::u64s(), budget in gen::usizes(1..8) => {
         let fw = fw();
         let mut rng = Rng::new(seed);
         let mut ids = IdGen::new();
         let built = random_tree(&fw.db, &mut rng, &mut ids, budget);
         if let Err(msg) = check(&built.tree) {
-            prop_assert!(false, "{}", msg);
+            ensure!(false, "{}", msg);
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]

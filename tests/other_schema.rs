@@ -72,7 +72,11 @@ fn compression_and_correctness_hold_on_the_star_schema() {
     let t = topk(&inst).unwrap();
     assert!(t.total_cost(&inst) <= b.total_cost(&inst) + 1e-9);
     let report = execute_solution(&fw, &suite, &inst, &t, &ExecConfig::default()).unwrap();
-    assert!(report.passed(), "rules must be correct on any schema: {:?}", report.bugs);
+    assert!(
+        report.passed(),
+        "rules must be correct on any schema: {:?}",
+        report.bugs
+    );
     assert!(report.validations > 0);
 }
 

@@ -1,11 +1,13 @@
-//! Property-based tests (proptest) over the whole stack.
+//! Property-based tests over the whole stack, on the in-repo `check`
+//! harness (no external dependencies).
 //!
 //! Trees are generated through the framework's own seeded generator (one
-//! `u64` seed is the proptest input), which keeps shrinking meaningful
+//! `u64` seed is the property input), which keeps shrinking meaningful
 //! while exercising realistic query shapes.
 
-use proptest::prelude::*;
-use ruletest_common::{diff_multisets, multisets_equal, RuleId, Rng, Value};
+use ruletest_common::check::{self, gen, CheckConfig};
+use ruletest_common::{diff_multisets, ensure, ensure_eq, ensure_ne, forall};
+use ruletest_common::{multisets_equal, Rng, RuleId, Value};
 use ruletest_core::generate::random::random_tree;
 use ruletest_core::{Framework, FrameworkConfig};
 use ruletest_executor::{execute_with, ExecConfig};
@@ -19,30 +21,28 @@ fn fw() -> &'static Framework {
     FW.get_or_init(|| Framework::new(&FrameworkConfig::default()).unwrap())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        ..ProptestConfig::default()
-    })]
-
-    /// Any generated tree renders to SQL that parses back to the identical
-    /// tree.
-    #[test]
-    fn sql_round_trip_is_exact(seed in any::<u64>(), budget in 1usize..9) {
+/// Any generated tree renders to SQL that parses back to the identical
+/// tree.
+#[test]
+fn sql_round_trip_is_exact() {
+    forall!(CheckConfig::cases(48); seed in gen::u64s(), budget in gen::usizes(1..9) => {
         let fw = fw();
         let mut rng = Rng::new(seed);
         let mut ids = IdGen::new();
         let built = random_tree(&fw.db, &mut rng, &mut ids, budget);
         let sql = to_sql(&fw.db.catalog, &built.tree).unwrap();
         let parsed = parse_sql(&fw.db.catalog, &sql).unwrap();
-        prop_assert_eq!(parsed, built.tree, "SQL: {}", sql);
-    }
+        ensure_eq!(parsed, built.tree, "SQL: {}", sql);
+        Ok(())
+    });
+}
 
-    /// Optimizing under an arbitrary exploration-rule mask never changes
-    /// executed results (the paper's core correctness premise, as a
-    /// property over random queries and random masks).
-    #[test]
-    fn random_masks_preserve_results(seed in any::<u64>(), mask_bits in any::<u64>()) {
+/// Optimizing under an arbitrary exploration-rule mask never changes
+/// executed results (the paper's core correctness premise, as a property
+/// over random queries and random masks).
+#[test]
+fn random_masks_preserve_results() {
+    forall!(CheckConfig::cases(48); seed in gen::u64s(), mask_bits in gen::u64s() => {
         let fw = fw();
         let mut rng = Rng::new(seed);
         let mut ids = IdGen::new();
@@ -63,99 +63,122 @@ proptest! {
             })
             .unwrap();
         if !base.truncated && !masked.truncated {
-            prop_assert!(masked.cost >= base.cost - 1e-9, "monotonicity");
+            ensure!(masked.cost >= base.cost - 1e-9, "monotonicity");
         }
         let exec = ExecConfig::default();
         if let (Ok(a), Ok(b)) = (
             execute_with(&fw.db, &base.plan, &exec),
             execute_with(&fw.db, &masked.plan, &exec),
         ) {
-            prop_assert!(
+            ensure!(
                 multisets_equal(&a, &b),
                 "mask {:?} changed results of\n{}",
                 disabled.len(),
                 built.tree.explain()
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Optimization is deterministic: same tree, same plan, same cost.
-    #[test]
-    fn optimization_is_deterministic(seed in any::<u64>()) {
+/// Optimization is deterministic: same tree, same plan, same cost.
+#[test]
+fn optimization_is_deterministic() {
+    forall!(CheckConfig::cases(48); seed in gen::u64s() => {
         let fw = fw();
         let mut rng = Rng::new(seed);
         let mut ids = IdGen::new();
         let built = random_tree(&fw.db, &mut rng, &mut ids, 5);
         let a = fw.optimizer.optimize(&built.tree).unwrap();
         let b = fw.optimizer.optimize(&built.tree).unwrap();
-        prop_assert!(a.plan.same_shape(&b.plan));
-        prop_assert_eq!(a.cost, b.cost);
-        prop_assert_eq!(a.rule_set, b.rule_set);
-    }
+        ensure!(a.plan.same_shape(&b.plan));
+        ensure_eq!(a.cost, b.cost);
+        ensure_eq!(a.rule_set, b.rule_set);
+        Ok(())
+    });
 }
 
-proptest! {
-    /// Multiset comparison laws over arbitrary row sets.
-    #[test]
-    fn multiset_laws(rows in prop::collection::vec(
-        prop::collection::vec(-3i64..3, 2),
-        0..12,
-    ), perm_seed in any::<u64>()) {
-        let rows: Vec<Vec<Value>> = rows
+/// Multiset comparison laws over arbitrary row sets.
+#[test]
+fn multiset_laws() {
+    let rows_gen = gen::vecs(gen::vecs(gen::i64s(-3..3), 2..3), 0..12);
+    forall!(CheckConfig::default(); raw in rows_gen, perm_seed in gen::u64s() => {
+        let rows: Vec<Vec<Value>> = raw
             .into_iter()
             .map(|r| r.into_iter().map(Value::Int).collect())
             .collect();
         // Reflexive.
-        prop_assert!(multisets_equal(&rows, &rows));
-        prop_assert!(diff_multisets(&rows, &rows).is_empty());
+        ensure!(multisets_equal(&rows, &rows));
+        ensure!(diff_multisets(&rows, &rows).is_empty());
         // Permutation-invariant.
         let mut shuffled = rows.clone();
         Rng::new(perm_seed).shuffle(&mut shuffled);
-        prop_assert!(multisets_equal(&rows, &shuffled));
+        ensure!(multisets_equal(&rows, &shuffled));
         // Dropping a row breaks equality.
         if !rows.is_empty() {
             let fewer = &rows[1..];
-            prop_assert!(!multisets_equal(&rows, fewer));
+            ensure!(!multisets_equal(&rows, fewer));
             let d = diff_multisets(&rows, fewer);
-            prop_assert!(!d.is_empty());
-            prop_assert!(d.only_right.is_empty());
+            ensure!(!d.is_empty());
+            ensure!(d.only_right.is_empty());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// `Value::total_cmp` is a total order (antisymmetric + transitive on
-    /// sampled triples).
-    #[test]
-    fn value_total_order(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+fn value_gen() -> impl check::Gen<Value = Value> {
+    gen::from_fn(|rng: &mut Rng| match rng.gen_index(4) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.gen_bool(0.5)),
+        2 => Value::Int(rng.gen_range_i64(-50, 50)),
+        _ => {
+            let len = rng.gen_index(4);
+            let s: String = (0..len)
+                .map(|_| char::from(b'a' + rng.gen_index(3) as u8))
+                .collect();
+            Value::Str(s)
+        }
+    })
+}
+
+/// `Value::total_cmp` is a total order (antisymmetric + transitive on
+/// sampled triples).
+#[test]
+fn value_total_order() {
+    forall!(CheckConfig::default();
+            a in value_gen(), b in value_gen(), c in value_gen() => {
         use std::cmp::Ordering;
-        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        ensure_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
         if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
-            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+            ensure_ne!(a.total_cmp(&c), Ordering::Greater);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Rule masks behave like sets.
-    #[test]
-    fn rule_mask_set_semantics(ids in prop::collection::btree_set(0u16..200, 0..20)) {
+/// Rule masks behave like sets.
+#[test]
+fn rule_mask_set_semantics() {
+    let ids_gen = gen::from_fn(|rng: &mut Rng| {
+        let n = rng.gen_index(20);
+        let mut ids: Vec<u16> = (0..n).map(|_| rng.gen_index(200) as u16).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    });
+    forall!(CheckConfig::default(); ids in ids_gen => {
         let rules: Vec<RuleId> = ids.iter().map(|&i| RuleId(i)).collect();
         let mask = RuleMask::disabling(&rules);
-        prop_assert_eq!(mask.disabled_count(), rules.len());
+        ensure_eq!(mask.disabled_count(), rules.len());
         for r in &rules {
-            prop_assert!(mask.is_disabled(*r));
+            ensure!(mask.is_disabled(*r));
         }
-        prop_assert_eq!(mask.disabled_rules(), rules.clone());
+        ensure_eq!(mask.disabled_rules(), rules.clone());
         let mut cleared = mask.clone();
         for r in &rules {
             cleared.enable(*r);
         }
-        prop_assert!(cleared.is_empty());
-    }
-}
-
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        (-50i64..50).prop_map(Value::Int),
-        "[a-c]{0,3}".prop_map(Value::Str),
-    ]
+        ensure!(cleared.is_empty());
+        Ok(())
+    });
 }

@@ -52,7 +52,10 @@ fn round_tripped_trees_execute_identically() {
         ) else {
             continue;
         };
-        assert!(multisets_equal(&r1, &r2), "round trip changed results:\n{sql}");
+        assert!(
+            multisets_equal(&r1, &r2),
+            "round trip changed results:\n{sql}"
+        );
         compared += 1;
     }
     assert!(compared >= 40);
@@ -78,9 +81,12 @@ fn handwritten_sql_parses_and_runs() {
     ];
     for sql in queries {
         let tree = parse_sql(&fw.db.catalog, sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
-        let res = fw.optimizer.optimize(&tree).unwrap_or_else(|e| panic!("{sql}: {e}"));
-        let rows = ruletest_executor::execute(&fw.db, &res.plan)
+        let res = fw
+            .optimizer
+            .optimize(&tree)
             .unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let rows =
+            ruletest_executor::execute(&fw.db, &res.plan).unwrap_or_else(|e| panic!("{sql}: {e}"));
         // Smoke sanity: queries over the generated data return something
         // for at least the unfiltered ones.
         if !sql.contains("WHERE") {
