@@ -16,6 +16,6 @@ pub mod value;
 pub use error::{Error, Result};
 pub use ids::{ColId, RuleId, TableId};
 pub use multiset::{diff_multisets, multisets_equal, ResultDiff};
-pub use pool::{par_map, try_par_map, Parallelism, ThreadPool};
+pub use pool::{par_map, poolstats, try_par_map, Parallelism, ThreadPool};
 pub use rng::Rng;
 pub use value::{DataType, Row, Value};

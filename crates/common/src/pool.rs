@@ -21,6 +21,89 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
 
+/// Process-global worker-pool statistics, collected by [`par_map`] when
+/// enabled and read back into campaign run reports.
+///
+/// The collector lives here (not in the telemetry crate) so `common`
+/// keeps zero dependencies in either direction; it is a handful of
+/// atomics, costs one relaxed load per `par_map` call when disabled, and
+/// aggregates across every parallel stage in the process.
+pub mod poolstats {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    static PAR_CALLS: AtomicU64 = AtomicU64::new(0);
+    static TASKS: AtomicU64 = AtomicU64::new(0);
+    static WORKERS: AtomicU64 = AtomicU64::new(0);
+    static STEALS: AtomicU64 = AtomicU64::new(0);
+    static BUSY_NS: AtomicU64 = AtomicU64::new(0);
+    static IDLE_NS: AtomicU64 = AtomicU64::new(0);
+
+    /// A point-in-time copy of the pool counters.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct PoolSnapshot {
+        /// `par_map` invocations that ran on more than one worker.
+        pub par_calls: u64,
+        /// Items executed across all calls (including sequential ones).
+        pub tasks: u64,
+        /// Workers launched across all calls.
+        pub workers: u64,
+        /// Items a worker claimed beyond its even share of a call — the
+        /// imbalance the stealing cursor absorbed.
+        pub steals: u64,
+        /// Worker time spent inside item closures.
+        pub busy_ns: u64,
+        /// Worker lifetime spent outside item closures.
+        pub idle_ns: u64,
+    }
+
+    pub fn enable() {
+        ENABLED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn disable() {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+
+    pub(super) fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes every counter (the enable flag is left alone).
+    pub fn reset() {
+        for c in [&PAR_CALLS, &TASKS, &WORKERS, &STEALS, &BUSY_NS, &IDLE_NS] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    pub fn snapshot() -> PoolSnapshot {
+        PoolSnapshot {
+            par_calls: PAR_CALLS.load(Ordering::Relaxed),
+            tasks: TASKS.load(Ordering::Relaxed),
+            workers: WORKERS.load(Ordering::Relaxed),
+            steals: STEALS.load(Ordering::Relaxed),
+            busy_ns: BUSY_NS.load(Ordering::Relaxed),
+            idle_ns: IDLE_NS.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(super) fn record_sequential(tasks: u64) {
+        TASKS.fetch_add(tasks, Ordering::Relaxed);
+    }
+
+    pub(super) fn record_call(workers: u64) {
+        PAR_CALLS.fetch_add(1, Ordering::Relaxed);
+        WORKERS.fetch_add(workers, Ordering::Relaxed);
+    }
+
+    pub(super) fn record_worker(tasks: u64, fair_share: u64, busy_ns: u64, lifetime_ns: u64) {
+        TASKS.fetch_add(tasks, Ordering::Relaxed);
+        STEALS.fetch_add(tasks.saturating_sub(fair_share), Ordering::Relaxed);
+        BUSY_NS.fetch_add(busy_ns, Ordering::Relaxed);
+        IDLE_NS.fetch_add(lifetime_ns.saturating_sub(busy_ns), Ordering::Relaxed);
+    }
+}
+
 /// Campaign-level parallelism configuration.
 ///
 /// `seed` is the campaign master seed: parallel stages derive each item's
@@ -77,23 +160,47 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let threads = threads.max(1).min(items.len());
+    let stats = poolstats::enabled();
     if threads <= 1 {
+        if stats {
+            poolstats::record_sequential(items.len() as u64);
+        }
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<thread::Result<R>>> = Vec::new();
     slots.resize_with(items.len(), || None);
     let slots = Mutex::new(slots);
+    if stats {
+        poolstats::record_call(threads as u64);
+    }
+    // Even share per worker; anything a worker executes beyond this is
+    // imbalance the stealing cursor moved to it ("steals" in the stats).
+    let fair_share = (items.len() as u64).div_ceil(threads as u64);
 
     thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+            scope.spawn(|| {
+                let born = stats.then(std::time::Instant::now);
+                let mut tasks = 0u64;
+                let mut busy_ns = 0u64;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let t0 = stats.then(std::time::Instant::now);
+                    let out = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
+                    if let Some(t0) = t0 {
+                        busy_ns += t0.elapsed().as_nanos() as u64;
+                        tasks += 1;
+                    }
+                    slots.lock().expect("pool slots poisoned").as_mut_slice()[i] = Some(out);
                 }
-                let out = catch_unwind(AssertUnwindSafe(|| f(i, &items[i])));
-                slots.lock().expect("pool slots poisoned").as_mut_slice()[i] = Some(out);
+                if let Some(born) = born {
+                    let lifetime_ns = born.elapsed().as_nanos() as u64;
+                    poolstats::record_worker(tasks, fair_share, busy_ns, lifetime_ns);
+                }
             });
         }
     });
@@ -325,6 +432,29 @@ mod tests {
             assert!(pool.panicked_jobs() > 0, "panics must be observed");
         } // drop: must join cleanly despite panicked jobs
         assert_eq!(done.load(Ordering::Relaxed), 13, "non-panicking jobs ran");
+    }
+
+    #[test]
+    fn poolstats_collects_when_enabled() {
+        // Global counters: other tests in this binary may run par_map
+        // concurrently, so assert growth, not exact totals.
+        poolstats::enable();
+        let before = poolstats::snapshot();
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(4, &items, |_, &v| {
+            thread::sleep(Duration::from_micros(200));
+            v + 1
+        });
+        assert_eq!(out.len(), 64);
+        let after = poolstats::snapshot();
+        assert!(after.tasks >= before.tasks + 64, "tasks counted");
+        assert!(after.par_calls > before.par_calls, "call counted");
+        assert!(after.workers >= before.workers + 4, "workers counted");
+        assert!(after.busy_ns > before.busy_ns, "busy time accrues");
+        // Sequential path counts tasks too.
+        let seq_before = poolstats::snapshot();
+        par_map(1, &items, |_, &v| v);
+        assert!(poolstats::snapshot().tasks >= seq_before.tasks + 64);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::suite::{RuleTarget, TestSuite};
 use ruletest_common::{diff_multisets, try_par_map, Error, Result, Row};
 use ruletest_executor::{execute_with, ExecConfig};
 use ruletest_optimizer::OptimizerConfig;
+use ruletest_telemetry::{Counter, Event};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -138,18 +139,43 @@ pub fn execute_solution(
             Err(e) => Err(e),
         }
     })?;
-    for (cost, outcome) in validated {
+    // The merge runs in assignment order on one thread, so the telemetry
+    // counters and events below are deterministic at any thread count.
+    let tel = &fw.telemetry;
+    tel.add(Counter::Executions, report.executions as u64);
+    for ((t, q), (cost, outcome)) in pairs.iter().zip(validated) {
         report.validations += 1;
         report.estimated_cost += cost;
-        match outcome {
-            Validation::Identical => report.skipped_identical += 1,
-            Validation::Expensive => report.skipped_expensive += 1,
-            Validation::Clean => report.executions += 1,
+        tel.incr(Counter::Validations);
+        let label = match outcome {
+            Validation::Identical => {
+                report.skipped_identical += 1;
+                tel.incr(Counter::SkippedIdentical);
+                "identical"
+            }
+            Validation::Expensive => {
+                report.skipped_expensive += 1;
+                tel.incr(Counter::SkippedExpensive);
+                "expensive"
+            }
+            Validation::Clean => {
+                report.executions += 1;
+                tel.incr(Counter::Executions);
+                "clean"
+            }
             Validation::Bug(bug) => {
                 report.executions += 1;
+                tel.incr(Counter::Executions);
+                tel.incr(Counter::CorrectnessBugs);
                 report.bugs.push(bug);
+                "bug"
             }
-        }
+        };
+        tel.event(|| Event::Validation {
+            target: *t as u32,
+            query: *q as u32,
+            outcome: label,
+        });
     }
     report.elapsed = start.elapsed();
     Ok(report)

@@ -5,11 +5,14 @@ use crate::generate::pairs::compose_patterns;
 use crate::generate::pattern::{instantiate_pattern, pad_above};
 use crate::generate::random::random_tree;
 use crate::generate::{GenConfig, GenOutcome, Strategy};
-use ruletest_common::{par_map, Error, Parallelism, Result, Rng, RuleId};
+use ruletest_common::{par_map, poolstats, Error, Parallelism, Result, Rng, RuleId};
 use ruletest_logical::{IdGen, LogicalTree};
 use ruletest_optimizer::{Optimizer, PatternTree};
 use ruletest_sql::to_sql;
 use ruletest_storage::{tpch_database, Database, TpchConfig};
+use ruletest_telemetry::{
+    CacheSection, Counter, Event, Hist, PoolSection, RunReport, Telemetry, TraceSection,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -22,6 +25,10 @@ pub struct FrameworkConfig {
     /// (suite generation, graph construction, correctness execution).
     /// Results are byte-identical at any thread count.
     pub parallelism: Parallelism,
+    /// Campaign telemetry (disabled by default — recording sites become
+    /// near-no-ops and results stay byte-identical to an uninstrumented
+    /// build).
+    pub telemetry: Telemetry,
 }
 
 /// The rule-testing framework: owns the test database and the instrumented
@@ -31,6 +38,8 @@ pub struct Framework {
     pub optimizer: Arc<Optimizer>,
     /// Campaign parallelism; see [`FrameworkConfig::parallelism`].
     pub parallelism: Parallelism,
+    /// Campaign telemetry; see [`FrameworkConfig::telemetry`].
+    pub telemetry: Telemetry,
 }
 
 impl Framework {
@@ -42,7 +51,9 @@ impl Framework {
             db,
             optimizer,
             parallelism: config.parallelism,
-        })
+            telemetry: Telemetry::disabled(),
+        }
+        .with_telemetry(config.telemetry.clone()))
     }
 
     /// Builds the framework around an existing (possibly fault-injected)
@@ -52,6 +63,7 @@ impl Framework {
             db: optimizer.database().clone(),
             optimizer,
             parallelism: Parallelism::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -64,6 +76,7 @@ impl Framework {
             db,
             optimizer,
             parallelism: Parallelism::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -71,6 +84,53 @@ impl Framework {
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Framework {
         self.parallelism = parallelism;
         self
+    }
+
+    /// Installs campaign telemetry (builder style): the handle is shared
+    /// with the optimizer, and worker-pool statistics collection is turned
+    /// on when the handle is enabled.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Framework {
+        if telemetry.is_enabled() {
+            self.optimizer.attach_telemetry(telemetry.clone());
+            poolstats::enable();
+        }
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Rule names indexed by `RuleId`, for report labeling.
+    pub fn rule_names(&self) -> Vec<String> {
+        (0..self.optimizer.num_rules())
+            .map(|i| self.optimizer.rule(RuleId(i as u16)).name.to_string())
+            .collect()
+    }
+
+    /// Rolls the campaign so far into one aggregate [`RunReport`]: the
+    /// telemetry registry plus the cache, pool, and trace sections this
+    /// framework owns. `wall_seconds` is left 0 for the caller to fill.
+    pub fn run_report(&self) -> RunReport {
+        let mut report = self.telemetry.run_report(&self.rule_names());
+        let cs = self.optimizer.cache_stats();
+        report.cache = CacheSection {
+            hits: cs.hits,
+            misses: cs.misses,
+            evictions: cs.evictions,
+        };
+        let ps = poolstats::snapshot();
+        report.pool = PoolSection {
+            par_calls: ps.par_calls,
+            tasks: ps.tasks,
+            workers: ps.workers,
+            steals: ps.steals,
+            busy_ns: ps.busy_ns,
+            idle_ns: ps.idle_ns,
+        };
+        let ts = self.telemetry.trace_stats();
+        report.trace = TraceSection {
+            recorded: ts.recorded,
+            dropped: ts.dropped,
+        };
+        report
     }
 
     /// Generates a SQL query that exercises `rule` (§3.1). The efficiency
@@ -154,7 +214,9 @@ impl Framework {
             )));
         }
 
+        let tel = &self.telemetry;
         for trial in 1..=cfg.max_trials {
+            tel.incr(Counter::GenTrials);
             let mut ids = IdGen::new();
             let built = match strategy {
                 Strategy::Random => Some(random_tree(&self.db, &mut rng, &mut ids, cfg.target_ops)),
@@ -174,6 +236,14 @@ impl Framework {
             if targets.iter().all(|t| res.rule_set.contains(t)) {
                 let sql = to_sql(&self.db.catalog, &built.tree)?;
                 let ops = built.tree.op_count();
+                tel.incr(Counter::GenHits);
+                tel.observe(Hist::GenTrialsToHit, trial as u64);
+                tel.event(|| Event::GenOutcome {
+                    rule: targets[0].0,
+                    trials: trial as u64,
+                    ops: ops as u32,
+                    found: true,
+                });
                 return Ok(GenOutcome {
                     query: built.tree,
                     sql,
@@ -183,6 +253,13 @@ impl Framework {
                 });
             }
         }
+        tel.incr(Counter::GenFailures);
+        tel.event(|| Event::GenOutcome {
+            rule: targets[0].0,
+            trials: cfg.max_trials as u64,
+            ops: 0,
+            found: false,
+        });
         Err(Error::unsupported(format!(
             "no query exercising {:?} found in {} trials ({})",
             targets

@@ -9,6 +9,7 @@ use super::{RuleTarget, TestSuite};
 use crate::framework::Framework;
 use ruletest_common::{try_par_map, Result};
 use ruletest_optimizer::OptimizerConfig;
+use ruletest_telemetry::{Counter, Event};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -68,6 +69,7 @@ impl<'a> EdgeOracle<'a> {
             &OptimizerConfig::disabling(&rules),
         )?;
         self.calls.fetch_add(1, Ordering::Relaxed);
+        self.fw.telemetry.incr(Counter::OracleCalls);
         self.cache
             .lock()
             .expect("edge cache poisoned")
@@ -146,6 +148,7 @@ pub fn build_graph_pruned(fw: &Framework, suite: &TestSuite) -> Result<Bipartite
         // Max-heap of the k cheapest edge costs seen so far.
         let mut heap: std::collections::BinaryHeap<ordered::F64> =
             std::collections::BinaryHeap::new();
+        let mut scanned = 0u32;
         for &q in &by_node_cost {
             if heap.len() == suite.k {
                 let kth = heap.peek().expect("heap is full").0;
@@ -154,6 +157,7 @@ pub fn build_graph_pruned(fw: &Framework, suite: &TestSuite) -> Result<Bipartite
                 }
             }
             let c = oracle.edge_cost(t, q)?;
+            scanned += 1;
             if heap.len() < suite.k {
                 heap.push(ordered::F64(c));
             } else if c < heap.peek().expect("heap is full").0 {
@@ -161,6 +165,13 @@ pub fn build_graph_pruned(fw: &Framework, suite: &TestSuite) -> Result<Bipartite
                 heap.push(ordered::F64(c));
             }
         }
+        let pruned = adj.len() as u32 - scanned;
+        fw.telemetry.add(Counter::EdgesPruned, pruned as u64);
+        fw.telemetry.event(|| Event::GraphProbe {
+            target: t as u32,
+            scanned,
+            pruned,
+        });
         Ok(())
     })?;
     let (edges, optimizer_calls) = oracle.into_edges();

@@ -50,7 +50,7 @@ impl CacheKey {
         }
     }
 
-    fn fingerprint(&self) -> u64 {
+    pub fn fingerprint(&self) -> u64 {
         let mut h = DefaultHasher::new();
         self.hash(&mut h);
         h.finish()
@@ -131,13 +131,16 @@ impl OptCache {
 
     /// Inserts a computed result. Concurrent inserts of the same key are
     /// fine: optimization is deterministic, so both values are identical.
-    pub fn insert(&self, key: CacheKey, value: Arc<OptimizeResult>) {
+    /// Returns `true` when the key was not already present — the caller
+    /// that "wins" a racing duplicate compute, which is what telemetry
+    /// uses to count each unique optimization exactly once.
+    pub fn insert(&self, key: CacheKey, value: Arc<OptimizeResult>) -> bool {
         let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
         if shard.len() >= self.shard_capacity {
             shard.clear();
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        shard.insert(key, value);
+        shard.insert(key, value).is_none()
     }
 
     /// Total entries currently cached.
@@ -246,6 +249,17 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insert_reports_first_insertion() {
+        let cache = OptCache::new(4, 64);
+        let key = CacheKey::new(&leaf(9), &OptimizerConfig::default());
+        assert!(
+            cache.insert(key.clone(), dummy_result()),
+            "first insert wins"
+        );
+        assert!(!cache.insert(key, dummy_result()), "duplicate loses");
     }
 
     #[test]

@@ -17,10 +17,14 @@ use ruletest_logical::{
     derive_schema, output_schema, IdGen, JoinKind, LogicalTree, Operator, Schema,
 };
 use ruletest_storage::Database;
+use ruletest_telemetry::{Counter, Event, Hist, RulePhase, Telemetry};
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Search budgets and the rule mask for one optimization.
 #[derive(Debug, Clone)]
@@ -108,6 +112,21 @@ pub struct Optimizer {
     /// Invocation cache for the `optimize*_cached` entry points; shared
     /// across every campaign phase that goes through this optimizer.
     cache: OptCache,
+    /// Campaign telemetry, attached once (through the `Arc`) by whoever
+    /// owns the campaign; never attached → every recording site is a
+    /// near-no-op branch.
+    telemetry: OnceLock<Telemetry>,
+    /// Injected sink for memo dumps; `None` falls back to stderr when the
+    /// `RULETEST_DUMP_MEMO` environment variable requests dumps.
+    memo_sink: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+/// Tree-only fingerprint used to correlate trace events (cache lookups
+/// and invocations on the same query share it; the mask does not feed it).
+fn tree_fingerprint(tree: &LogicalTree) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    tree.hash(&mut h);
+    h.finish()
 }
 
 impl Optimizer {
@@ -182,7 +201,28 @@ impl Optimizer {
             implement_by_kind,
             invocations: AtomicU64::new(0),
             cache: OptCache::default(),
+            telemetry: OnceLock::new(),
+            memo_sink: Mutex::new(None),
         }
+    }
+
+    /// Attaches campaign telemetry. The first attachment wins; later calls
+    /// are ignored. Takes `&self` so it works through an `Arc<Optimizer>`.
+    pub fn attach_telemetry(&self, telemetry: Telemetry) {
+        let _ = self.telemetry.set(telemetry);
+    }
+
+    /// The attached telemetry handle, or a disabled (no-op) one.
+    pub fn telemetry(&self) -> &Telemetry {
+        static DISABLED: Telemetry = Telemetry::disabled();
+        self.telemetry.get().unwrap_or(&DISABLED)
+    }
+
+    /// Installs a sink that receives a memo dump after every optimization
+    /// (instead of the `RULETEST_DUMP_MEMO`-gated stderr fallback). Pass
+    /// `None` to uninstall.
+    pub fn set_memo_sink(&self, sink: Option<Box<dyn Write + Send>>) {
+        *self.memo_sink.lock().expect("memo sink poisoned") = sink;
     }
 
     pub fn database(&self) -> &Arc<Database> {
@@ -254,11 +294,26 @@ impl Optimizer {
         config: &OptimizerConfig,
     ) -> Result<Arc<OptimizeResult>> {
         let key = CacheKey::new(tree, config);
+        let tel = self.telemetry();
         if let Some(hit) = self.cache.lookup(&key) {
+            tel.event(|| Event::CacheLookup {
+                fingerprint: tree_fingerprint(tree),
+                hit: true,
+            });
             return Ok(hit);
         }
-        let result = Arc::new(self.optimize_with(tree, config)?);
-        self.cache.insert(key, Arc::clone(&result));
+        tel.event(|| Event::CacheLookup {
+            fingerprint: tree_fingerprint(tree),
+            hit: false,
+        });
+        let result = Arc::new(self.compute(tree, config)?);
+        // Racing workers may compute the same key concurrently; only the
+        // insertion winner records the result, so telemetry aggregates
+        // count each unique optimization exactly once regardless of
+        // thread count or scheduling.
+        if self.cache.insert(key, Arc::clone(&result)) {
+            self.record_result(&result);
+        }
         Ok(result)
     }
 
@@ -279,7 +334,51 @@ impl Optimizer {
         tree: &LogicalTree,
         config: &OptimizerConfig,
     ) -> Result<OptimizeResult> {
+        let result = self.compute(tree, config)?;
+        self.record_result(&result);
+        Ok(result)
+    }
+
+    /// Records a finished unique optimization into the telemetry registry.
+    /// Called once per *unique* `(tree, mask, budgets)` key on the cached
+    /// path (insertion winner) and once per direct [`Self::optimize_with`]
+    /// call, which keeps every aggregate thread-count-invariant.
+    fn record_result(&self, result: &OptimizeResult) {
+        let tel = self.telemetry();
+        if !tel.is_enabled() {
+            return;
+        }
+        tel.incr(Counter::OptInvocations);
+        if result.truncated {
+            tel.incr(Counter::OptTruncated);
+        }
+        tel.observe(Hist::MemoGroups, result.groups as u64);
+        tel.observe(Hist::MemoExprs, result.exprs as u64);
+        let explore = result
+            .rule_set
+            .iter()
+            .filter(|&&r| self.rule(r).kind == RuleKind::Exploration)
+            .count() as u64;
+        tel.add(Counter::RuleFiresExplore, explore);
+        tel.add(
+            Counter::RuleFiresImplement,
+            result.rule_set.len() as u64 - explore,
+        );
+        tel.record_rule_set(result.rule_set.iter().map(|r| r.0));
+    }
+
+    /// The actual optimization (uninstrumented entry point — callers are
+    /// responsible for [`Self::record_result`] so cached and uncached paths
+    /// agree on what counts as one invocation).
+    fn compute(&self, tree: &LogicalTree, config: &OptimizerConfig) -> Result<OptimizeResult> {
         self.invocations.fetch_add(1, Ordering::Relaxed);
+        let tel = self.telemetry();
+        // Timestamp only when enabled: `Instant::now` is a syscall on some
+        // platforms and the disabled path must stay near-free.
+        let started = tel.is_enabled().then(Instant::now);
+        // Fingerprint the *unpinned* tree so invocation events correlate
+        // with the cache-lookup events for the same query.
+        let fingerprint = tel.tracing().then(|| tree_fingerprint(tree));
 
         // Pin the root output order with an identity projection so that
         // every alternative plan emits columns in the same order (join
@@ -376,6 +475,12 @@ impl Optimizer {
                                 if let Some(creator) = memo.created_by(gid, ei) {
                                     rule_dependencies.insert((creator, rid));
                                 }
+                                let produced = results.len() as u32;
+                                tel.event(|| Event::RuleFire {
+                                    rule: rid.0,
+                                    phase: RulePhase::Explore,
+                                    produced,
+                                });
                             }
                             let organic = !rule.mints_fresh_ids && memo.is_organic(gid, ei);
                             for nt in results {
@@ -406,22 +511,7 @@ impl Optimizer {
             }
         }
 
-        if std::env::var("RULETEST_DUMP_MEMO").is_ok() {
-            for g in 0..memo.num_groups() {
-                let gid = GroupId(g as u32);
-                let group = memo.group(gid);
-                eprintln!("group g{g} (rows={:.1}):", group.est_rows);
-                for (i, e) in group.exprs.iter().enumerate() {
-                    let kids: Vec<String> = e.children.iter().map(|c| c.to_string()).collect();
-                    eprintln!(
-                        "  [{i}]{} {} ({})",
-                        if group.organic[i] { "" } else { "*" },
-                        e.op.label(),
-                        kids.join(", ")
-                    );
-                }
-            }
-        }
+        self.maybe_dump_memo(&memo);
 
         // ---- Implementation & extraction ----
         let mut extractor = Extractor {
@@ -439,6 +529,21 @@ impl Optimizer {
             ));
         };
 
+        if let Some(started) = started {
+            let elapsed_us = started.elapsed().as_micros() as u64;
+            tel.observe(Hist::InvocationMicros, elapsed_us);
+            let (groups, exprs) = (memo.num_groups() as u32, memo.num_exprs() as u32);
+            let masked_rules = config.mask.disabled_rules().len() as u32;
+            tel.event(|| Event::Invocation {
+                fingerprint: fingerprint.unwrap_or(0),
+                masked_rules,
+                groups,
+                exprs,
+                truncated,
+                elapsed_us,
+            });
+        }
+
         Ok(OptimizeResult {
             cost,
             plan,
@@ -449,6 +554,44 @@ impl Optimizer {
             truncated,
         })
     }
+
+    /// Writes a memo dump to the injected sink (see
+    /// [`Optimizer::set_memo_sink`]); without a sink, dumps to stderr only
+    /// when the `RULETEST_DUMP_MEMO` environment variable is set.
+    fn maybe_dump_memo(&self, memo: &Memo) {
+        let mut sink = self.memo_sink.lock().expect("memo sink poisoned");
+        match sink.as_mut() {
+            Some(w) => {
+                let _ = write_memo_dump(memo, w.as_mut());
+            }
+            None => {
+                if std::env::var_os("RULETEST_DUMP_MEMO").is_some() {
+                    let _ = write_memo_dump(memo, &mut std::io::stderr().lock());
+                }
+            }
+        }
+    }
+}
+
+/// Renders every memo group and expression (organic expressions unstarred,
+/// derived ones starred) to `out`.
+fn write_memo_dump(memo: &Memo, out: &mut dyn Write) -> std::io::Result<()> {
+    for g in 0..memo.num_groups() {
+        let gid = GroupId(g as u32);
+        let group = memo.group(gid);
+        writeln!(out, "group g{g} (rows={:.1}):", group.est_rows)?;
+        for (i, e) in group.exprs.iter().enumerate() {
+            let kids: Vec<String> = e.children.iter().map(|c| c.to_string()).collect();
+            writeln!(
+                out,
+                "  [{i}]{} {} ({})",
+                if group.organic[i] { "" } else { "*" },
+                e.op.label(),
+                kids.join(", ")
+            )?;
+        }
+    }
+    Ok(())
 }
 
 /// Enumerates pattern bindings of `pattern` against expression `ei` of
@@ -664,6 +807,12 @@ impl Extractor<'_> {
                     };
                     if !candidates.is_empty() {
                         self.exercised.insert(rid);
+                        let produced = candidates.len() as u32;
+                        self.optimizer.telemetry().event(|| Event::RuleFire {
+                            rule: rid.0,
+                            phase: RulePhase::Implement,
+                            produced,
+                        });
                     }
                     'cand: for cand in candidates {
                         let mut child_plans = Vec::with_capacity(cand.children.len());
@@ -810,6 +959,67 @@ mod tests {
         let _ = opt.optimize(&tree).unwrap();
         let _ = opt.optimize(&tree).unwrap();
         assert_eq!(opt.invocation_count(), before + 2);
+    }
+
+    #[test]
+    fn telemetry_counts_unique_optimizations_once() {
+        let opt = optimizer();
+        opt.attach_telemetry(Telemetry::enabled());
+        let tree = simple_join(&opt);
+        let a = opt.optimize_cached(&tree).unwrap();
+        let _b = opt.optimize_cached(&tree).unwrap(); // cache hit
+        let tel = opt.telemetry();
+        assert_eq!(tel.counter(Counter::OptInvocations), 1);
+        let snap = tel.metrics_snapshot();
+        // Every rule in the result's rule set got exactly one firing.
+        for rid in &a.rule_set {
+            assert_eq!(snap.rule_firings[rid.0 as usize], 1, "rule {rid:?}");
+        }
+        // Both lookups and the computed invocation were traced.
+        let events = tel.trace_stats();
+        assert!(events.recorded >= 3, "lookups + rule fires + invocation");
+    }
+
+    #[test]
+    fn uncached_calls_record_each_time() {
+        let opt = optimizer();
+        opt.attach_telemetry(Telemetry::metrics_only());
+        let tree = simple_join(&opt);
+        let _ = opt.optimize(&tree).unwrap();
+        let _ = opt.optimize(&tree).unwrap();
+        assert_eq!(opt.telemetry().counter(Counter::OptInvocations), 2);
+    }
+
+    #[test]
+    fn memo_sink_receives_the_dump() {
+        use std::sync::{Arc as SArc, Mutex as SMutex};
+
+        #[derive(Clone)]
+        struct Buf(SArc<SMutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let opt = optimizer();
+        let buf = Buf(SArc::new(SMutex::new(Vec::new())));
+        opt.set_memo_sink(Some(Box::new(buf.clone())));
+        let tree = simple_join(&opt);
+        let _ = opt.optimize(&tree).unwrap();
+        let dump = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(dump.contains("group g0"), "dump: {dump:?}");
+        assert!(dump.contains("JOIN"), "dump: {dump:?}");
+
+        // Uninstalling stops the dumps.
+        opt.set_memo_sink(None);
+        buf.0.lock().unwrap().clear();
+        let _ = opt.optimize(&tree).unwrap();
+        assert!(buf.0.lock().unwrap().is_empty());
     }
 
     #[test]

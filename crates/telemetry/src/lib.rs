@@ -1,0 +1,249 @@
+//! Campaign telemetry for the `ruletest` workspace — std-only, zero
+//! dependencies, and near-free when disabled.
+//!
+//! The paper's framework is an *instrumented* optimizer: §3 needs
+//! per-query rule traces, and §5 / Figure 14 measures campaigns in
+//! optimizer invocations and logical edge counts. This crate is the
+//! measurement backbone:
+//!
+//! * [`Metrics`] — a registry of atomic counters and power-of-two-bucket
+//!   histograms ([`Counter`] / [`Hist`]), cheap enough for the hot
+//!   optimizer path (one relaxed `fetch_add` per observation);
+//! * [`Tracer`] — a lock-sharded ring-buffered structured event tracer
+//!   with JSONL export ([`Event`]);
+//! * [`RunReport`] — one JSON document aggregating a whole campaign
+//!   (per-rule firing counts, trials-to-hit distributions, cache hit
+//!   ratio, edge counts, pool utilization, wall time).
+//!
+//! Everything hangs off a cloneable [`Telemetry`] handle. A *disabled*
+//! handle holds no allocation at all — every recording method is a single
+//! `Option` branch — so instrumented code paths cost nothing measurable
+//! when telemetry is off, which is what keeps the Figure 11–14
+//! reproductions and the campaign determinism guarantees unchanged.
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{
+    bucket_index, Counter, Hist, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot,
+    HIST_BUCKETS, MAX_RULES,
+};
+pub use report::{CacheSection, PoolSection, RunReport, TraceSection, SCHEMA_VERSION};
+pub use trace::{Event, RulePhase, TraceStats, Tracer, DEFAULT_SHARD_CAPACITY};
+
+use std::io;
+use std::sync::Arc;
+
+struct Inner {
+    metrics: Metrics,
+    tracer: Option<Tracer>,
+}
+
+/// Shared telemetry handle. Clones share one registry/tracer; a disabled
+/// handle is `None` inside and compiles recording calls down to a branch.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Telemetry(disabled)"),
+            Some(i) => write!(
+                f,
+                "Telemetry(metrics{})",
+                if i.tracer.is_some() { "+tracer" } else { "" }
+            ),
+        }
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle: records nothing, allocates nothing.
+    pub const fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// Metrics registry only (no event tracer, no ring allocation).
+    pub fn metrics_only() -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                metrics: Metrics::default(),
+                tracer: None,
+            })),
+        }
+    }
+
+    /// Metrics registry plus an event tracer retaining up to
+    /// `shard_capacity` events per shard (16 shards).
+    pub fn with_tracing(shard_capacity: usize) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                metrics: Metrics::default(),
+                tracer: Some(Tracer::new(shard_capacity)),
+            })),
+        }
+    }
+
+    /// Metrics plus a default-capacity tracer.
+    pub fn enabled() -> Telemetry {
+        Telemetry::with_tracing(DEFAULT_SHARD_CAPACITY)
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// True when structured events are being retained (not just metrics).
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        matches!(&self.inner, Some(i) if i.tracer.is_some())
+    }
+
+    #[inline]
+    pub fn incr(&self, c: Counter) {
+        if let Some(i) = &self.inner {
+            i.metrics.add(c, 1);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, c: Counter, v: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.add(c, v);
+        }
+    }
+
+    /// Current counter value (0 when disabled).
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.metrics.counter(c))
+    }
+
+    #[inline]
+    pub fn observe(&self, h: Hist, value: u64) {
+        if let Some(i) = &self.inner {
+            i.metrics.observe(h, value);
+        }
+    }
+
+    /// Counts each rule of a unique optimization's rule set as one firing.
+    #[inline]
+    pub fn record_rule_set<I: IntoIterator<Item = u16>>(&self, rules: I) {
+        if let Some(i) = &self.inner {
+            for rule in rules {
+                i.metrics.rule_fired(rule);
+            }
+        }
+    }
+
+    /// Records a structured event. The closure runs only when a tracer is
+    /// attached, so fire sites pay nothing to *build* events when tracing
+    /// is off.
+    #[inline]
+    pub fn event(&self, build: impl FnOnce() -> Event) {
+        if let Some(i) = &self.inner {
+            if let Some(tracer) = &i.tracer {
+                tracer.record(build());
+            }
+        }
+    }
+
+    pub fn trace_stats(&self) -> TraceStats {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.tracer.as_ref())
+            .map_or(TraceStats::default(), |t| t.stats())
+    }
+
+    /// Writes retained trace events as JSONL (no-op when not tracing).
+    pub fn export_trace<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        if let Some(tracer) = self.inner.as_ref().and_then(|i| i.tracer.as_ref()) {
+            tracer.export_jsonl(w)?;
+        }
+        Ok(())
+    }
+
+    /// Point-in-time copy of the registry (empty when disabled).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.inner
+            .as_ref()
+            .map_or_else(|| Metrics::default().snapshot(), |i| i.metrics.snapshot())
+    }
+
+    /// Builds the aggregate report from the current registry state; the
+    /// caller fills the cache/pool/wall sections it owns.
+    pub fn run_report(&self, rule_names: &[String]) -> RunReport {
+        RunReport::from_snapshot(&self.metrics_snapshot(), rule_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        assert!(!t.tracing());
+        t.incr(Counter::GenTrials);
+        t.observe(Hist::GenTrialsToHit, 3);
+        t.record_rule_set([1, 2, 3]);
+        t.event(|| unreachable!("event closures must not run when disabled"));
+        assert_eq!(t.counter(Counter::GenTrials), 0);
+        assert_eq!(t.trace_stats(), TraceStats::default());
+        let snap = t.metrics_snapshot();
+        assert!(snap.rule_firings.is_empty());
+        let mut buf = Vec::new();
+        t.export_trace(&mut buf).unwrap();
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::enabled();
+        let u = t.clone();
+        u.incr(Counter::GenTrials);
+        t.add(Counter::GenTrials, 2);
+        assert_eq!(t.counter(Counter::GenTrials), 3);
+        u.event(|| Event::CacheLookup {
+            fingerprint: 9,
+            hit: false,
+        });
+        assert_eq!(t.trace_stats().recorded, 1);
+    }
+
+    #[test]
+    fn metrics_only_skips_the_tracer() {
+        let t = Telemetry::metrics_only();
+        assert!(t.is_enabled());
+        assert!(!t.tracing());
+        t.event(|| unreachable!("no tracer attached"));
+        t.incr(Counter::OptInvocations);
+        assert_eq!(t.counter(Counter::OptInvocations), 1);
+    }
+
+    #[test]
+    fn run_report_carries_registry_contents() {
+        let t = Telemetry::enabled();
+        t.add(Counter::OptInvocations, 4);
+        t.record_rule_set([0, 1]);
+        t.record_rule_set([0]);
+        let names = vec!["A".to_string(), "B".to_string()];
+        let r = t.run_report(&names);
+        assert_eq!(r.invocations(), 4);
+        assert_eq!(r.rule_firings.get("A"), Some(&2));
+        assert_eq!(r.rule_firings.get("B"), Some(&1));
+    }
+}

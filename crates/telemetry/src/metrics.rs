@@ -1,0 +1,434 @@
+//! Atomic metrics registry: named counters and fixed-bucket histograms.
+//!
+//! The registry is a *closed* set of metrics (enums, not string lookup):
+//! the hot optimizer path pays one enum-indexed `fetch_add` per
+//! observation, no hashing, no locking. Per-rule firing counts live in a
+//! fixed atomic array indexed by `RuleId` so the fire site is a single
+//! relaxed add too.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters tracked by the registry.
+///
+/// Everything here is a *logical count* — deterministic for a fixed seed
+/// and thread count (and, for all campaign-pipeline counters, across
+/// thread counts too). Wall-clock quantities never become counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Optimizer invocations actually computed (the §5.3.1 / Figure 14
+    /// cost metric; cache hits do not count).
+    OptInvocations,
+    /// Invocations that hit a search budget.
+    OptTruncated,
+    /// Exploration-rule fire sites that produced at least one new
+    /// expression (raw, per compute — see `RunReport::rule_firings` for
+    /// the deduplicated per-unique-optimization counts).
+    RuleFiresExplore,
+    /// Implementation-rule apply sites that produced candidates.
+    RuleFiresImplement,
+    /// Generation trials attempted (each one optimizes a candidate tree).
+    GenTrials,
+    /// Generation problems solved (a query exercising the target found).
+    GenHits,
+    /// Generation problems exhausted without a hit.
+    GenFailures,
+    /// Edge-cost probes the §5.3.1 monotonicity bound skipped.
+    EdgesPruned,
+    /// Edge-cost probes actually computed by the edge oracle.
+    OracleCalls,
+    /// `(target, query)` correctness validations attempted.
+    Validations,
+    /// Plans executed against the test database.
+    Executions,
+    /// Validations skipped because the plans were identical (footnote 1).
+    SkippedIdentical,
+    /// Validations skipped because execution exceeded the work budget.
+    SkippedExpensive,
+    /// Correctness bugs detected.
+    CorrectnessBugs,
+}
+
+impl Counter {
+    pub const COUNT: usize = 14;
+
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::OptInvocations,
+        Counter::OptTruncated,
+        Counter::RuleFiresExplore,
+        Counter::RuleFiresImplement,
+        Counter::GenTrials,
+        Counter::GenHits,
+        Counter::GenFailures,
+        Counter::EdgesPruned,
+        Counter::OracleCalls,
+        Counter::Validations,
+        Counter::Executions,
+        Counter::SkippedIdentical,
+        Counter::SkippedExpensive,
+        Counter::CorrectnessBugs,
+    ];
+
+    /// Stable dotted name used in reports and traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::OptInvocations => "optimizer.invocations",
+            Counter::OptTruncated => "optimizer.truncated",
+            Counter::RuleFiresExplore => "rules.explore_fires",
+            Counter::RuleFiresImplement => "rules.implement_fires",
+            Counter::GenTrials => "gen.trials",
+            Counter::GenHits => "gen.hits",
+            Counter::GenFailures => "gen.failures",
+            Counter::EdgesPruned => "graph.edges_pruned",
+            Counter::OracleCalls => "graph.oracle_calls",
+            Counter::Validations => "correctness.validations",
+            Counter::Executions => "correctness.executions",
+            Counter::SkippedIdentical => "correctness.skipped_identical",
+            Counter::SkippedExpensive => "correctness.skipped_expensive",
+            Counter::CorrectnessBugs => "correctness.bugs",
+        }
+    }
+}
+
+/// Fixed-bucket histograms tracked by the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Trials needed per solved generation problem (count == `GenHits`).
+    GenTrialsToHit,
+    /// Memo group count per computed invocation (count == `OptInvocations`).
+    MemoGroups,
+    /// Memo expression count per computed invocation.
+    MemoExprs,
+    /// Invocation wall time in microseconds (count == `OptInvocations`).
+    /// Wall-clock: excluded from the deterministic report fingerprint.
+    InvocationMicros,
+}
+
+impl Hist {
+    pub const COUNT: usize = 4;
+
+    pub const ALL: [Hist; Hist::COUNT] = [
+        Hist::GenTrialsToHit,
+        Hist::MemoGroups,
+        Hist::MemoExprs,
+        Hist::InvocationMicros,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::GenTrialsToHit => "gen.trials_to_hit",
+            Hist::MemoGroups => "optimizer.memo_groups",
+            Hist::MemoExprs => "optimizer.memo_exprs",
+            Hist::InvocationMicros => "optimizer.invocation_micros",
+        }
+    }
+
+    /// Whether bucket contents are a pure function of seed + inputs.
+    pub fn deterministic(self) -> bool {
+        !matches!(self, Hist::InvocationMicros)
+    }
+}
+
+/// Number of power-of-two buckets per histogram: bucket `i` counts values
+/// in `[2^i, 2^(i+1))` (bucket 0 also takes 0). 32 buckets cover every
+/// campaign quantity (counts, memo sizes, microseconds) with headroom.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Lock-free fixed-bucket histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index for a value: `floor(log2(v))`, clamped to the last bucket.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (63 - value.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HIST_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Serialized with trailing empty buckets trimmed.
+    pub fn to_json(&self) -> Json {
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&b| b != 0)
+            .map_or(0, |i| i + 1);
+        Json::obj(vec![
+            ("count", Json::count(self.count)),
+            ("sum", Json::count(self.sum)),
+            (
+                "buckets",
+                Json::Arr(
+                    self.buckets[..last]
+                        .iter()
+                        .map(|&b| Json::count(b))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> Result<HistogramSnapshot, String> {
+        let count = j
+            .get("count")
+            .and_then(Json::as_u64)
+            .ok_or("histogram missing count")?;
+        let sum = j
+            .get("sum")
+            .and_then(Json::as_u64)
+            .ok_or("histogram missing sum")?;
+        let arr = j
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or("histogram missing buckets")?;
+        if arr.len() > HIST_BUCKETS {
+            return Err(format!(
+                "histogram has {} buckets (max {HIST_BUCKETS})",
+                arr.len()
+            ));
+        }
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (i, b) in arr.iter().enumerate() {
+            buckets[i] = b.as_u64().ok_or("non-integer bucket")?;
+        }
+        Ok(HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+        })
+    }
+}
+
+/// Upper bound on `RuleId` values the per-rule firing array accepts. The
+/// catalog has ~54 rules; firings for ids beyond the array (impossible
+/// today) are silently dropped rather than panicking a campaign.
+pub const MAX_RULES: usize = 512;
+
+/// The registry itself: all counters, histograms, and per-rule firings.
+pub struct Metrics {
+    counters: [AtomicU64; Counter::COUNT],
+    histograms: [Histogram; Hist::COUNT],
+    rule_firings: Box<[AtomicU64; MAX_RULES]>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            histograms: std::array::from_fn(|_| Histogram::default()),
+            rule_firings: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+        }
+    }
+}
+
+impl Metrics {
+    #[inline]
+    pub fn add(&self, c: Counter, v: u64) {
+        self.counters[c as usize].fetch_add(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn observe(&self, h: Hist, value: u64) {
+        self.histograms[h as usize].observe(value);
+    }
+
+    pub fn histogram(&self, h: Hist) -> HistogramSnapshot {
+        self.histograms[h as usize].snapshot()
+    }
+
+    /// Counts one firing of `rule` in a unique optimization.
+    #[inline]
+    pub fn rule_fired(&self, rule: u16) {
+        if let Some(slot) = self.rule_firings.get(rule as usize) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-rule firing counts, trimmed to the highest rule that fired.
+    pub fn rule_firings(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .rule_firings
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        v
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: Counter::ALL.map(|c| self.counter(c)),
+            histograms: Hist::ALL.map(|h| self.histogram(h)),
+            rule_firings: self.rule_firings(),
+        }
+    }
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Indexed by `Counter as usize`.
+    pub counters: [u64; Counter::COUNT],
+    /// Indexed by `Hist as usize`.
+    pub histograms: [HistogramSnapshot; Hist::COUNT],
+    /// Indexed by `RuleId`, trimmed.
+    pub rule_firings: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    pub fn histogram(&self, h: Hist) -> &HistogramSnapshot {
+        &self.histograms[h as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::default();
+        m.add(Counter::GenTrials, 3);
+        m.add(Counter::GenTrials, 4);
+        m.add(Counter::OracleCalls, 1);
+        assert_eq!(m.counter(Counter::GenTrials), 7);
+        assert_eq!(m.counter(Counter::OracleCalls), 1);
+        assert_eq!(m.counter(Counter::Validations), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_bucket_sum_equals_count() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 1, 5, 200, 1 << 40] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+        assert_eq!(snap.sum, 207 + (1 << 40));
+        let rt = HistogramSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(rt, snap);
+    }
+
+    #[test]
+    fn rule_firings_trim_and_bounds() {
+        let m = Metrics::default();
+        m.rule_fired(2);
+        m.rule_fired(2);
+        m.rule_fired(5);
+        m.rule_fired(60000); // out of range: dropped, not a panic
+        assert_eq!(m.rule_firings(), vec![0, 0, 2, 0, 0, 1]);
+    }
+
+    #[test]
+    fn counter_names_are_unique_and_enum_indexes_match() {
+        let mut names: Vec<_> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::COUNT);
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+        for (i, h) in Hist::ALL.iter().enumerate() {
+            assert_eq!(*h as usize, i);
+        }
+    }
+
+    #[test]
+    fn concurrent_observations_are_not_lost() {
+        let m = std::sync::Arc::new(Metrics::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        m.add(Counter::GenTrials, 1);
+                        m.observe(Hist::GenTrialsToHit, i % 17);
+                        m.rule_fired((i % 8) as u16);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.counter(Counter::GenTrials), 4000);
+        let snap = m.histogram(Hist::GenTrialsToHit);
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), 4000);
+        assert_eq!(m.rule_firings().iter().sum::<u64>(), 4000);
+    }
+}

@@ -1,0 +1,501 @@
+//! `RunReport`: one JSON document summarizing a whole campaign.
+//!
+//! The report rolls the metrics registry, the optimizer's invocation-cache
+//! statistics, and the worker-pool statistics into a single self-describing
+//! document. Fields split into two classes:
+//!
+//! * **deterministic** — logical counts that are a pure function of the
+//!   seed and inputs (rule firings, trials, edge probes, validations).
+//!   [`RunReport::deterministic_json`] serializes exactly this subset; the
+//!   determinism suite compares it across runs and thread counts.
+//! * **environmental** — wall times, pool utilization, cache hit split,
+//!   and trace-ring occupancy, which legitimately vary run to run.
+
+use crate::json::Json;
+use crate::metrics::{Counter, Hist, HistogramSnapshot, MetricsSnapshot};
+use std::collections::BTreeMap;
+
+/// Invocation-cache section (mirrors the optimizer's `CacheStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSection {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl CacheSection {
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Worker-pool section (campaign `par_map` totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolSection {
+    /// Parallel stages executed.
+    pub par_calls: u64,
+    /// Items executed across all stages.
+    pub tasks: u64,
+    /// Workers launched across all stages.
+    pub workers: u64,
+    /// Items a worker absorbed beyond its even share (work imbalance the
+    /// stealing cursor balanced away).
+    pub steals: u64,
+    /// Total worker time spent inside item closures.
+    pub busy_ns: u64,
+    /// Total worker time spent outside item closures (claiming, waiting).
+    pub idle_ns: u64,
+}
+
+impl PoolSection {
+    /// Fraction of worker wall time spent doing work.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_ns + self.idle_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / total as f64
+        }
+    }
+}
+
+/// Trace-ring occupancy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceSection {
+    pub recorded: u64,
+    pub dropped: u64,
+}
+
+/// Current report schema version (bump on breaking layout changes).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The aggregated campaign report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    pub schema: u64,
+    /// Per-rule firing counts by rule name: in how many *unique*
+    /// optimizations (distinct `(tree, mask, budgets)` keys) the rule
+    /// fired. Deduplicated counting is what keeps this identical across
+    /// thread counts even when racing workers duplicate a computation.
+    pub rule_firings: BTreeMap<String, u64>,
+    /// All registry counters by dotted name.
+    pub counters: BTreeMap<String, u64>,
+    /// All registry histograms by dotted name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    pub cache: CacheSection,
+    pub pool: PoolSection,
+    pub trace: TraceSection,
+    /// Campaign wall time as measured by the caller (0 when unset).
+    pub wall_seconds: f64,
+}
+
+impl RunReport {
+    /// Builds a report from a metrics snapshot, naming rule indices with
+    /// `rule_names` (indices past the table get a `rule#N` placeholder).
+    pub fn from_snapshot(snapshot: &MetricsSnapshot, rule_names: &[String]) -> RunReport {
+        let rule_firings = snapshot
+            .rule_firings
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| {
+                let name = rule_names
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| format!("rule#{i}"));
+                (name, count)
+            })
+            .collect();
+        let counters = Counter::ALL
+            .iter()
+            .map(|&c| (c.name().to_string(), snapshot.counter(c)))
+            .collect();
+        let histograms = Hist::ALL
+            .iter()
+            .map(|&h| (h.name().to_string(), snapshot.histogram(h).clone()))
+            .collect();
+        RunReport {
+            schema: SCHEMA_VERSION,
+            rule_firings,
+            counters,
+            histograms,
+            cache: CacheSection::default(),
+            pool: PoolSection::default(),
+            trace: TraceSection::default(),
+            wall_seconds: 0.0,
+        }
+    }
+
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters.get(c.name()).copied().unwrap_or(0)
+    }
+
+    /// Optimizer invocations computed during the run (the Figure 14 cost
+    /// metric).
+    pub fn invocations(&self) -> u64 {
+        self.counter(Counter::OptInvocations)
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::count(self.schema)),
+            ("wall_seconds", Json::num(self.wall_seconds)),
+            (
+                "rule_firings",
+                Json::Obj(
+                    self.rule_firings
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::count(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::count(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::count(self.cache.hits)),
+                    ("misses", Json::count(self.cache.misses)),
+                    ("evictions", Json::count(self.cache.evictions)),
+                    ("hit_ratio", Json::num(self.cache.hit_ratio())),
+                ]),
+            ),
+            (
+                "pool",
+                Json::obj(vec![
+                    ("par_calls", Json::count(self.pool.par_calls)),
+                    ("tasks", Json::count(self.pool.tasks)),
+                    ("workers", Json::count(self.pool.workers)),
+                    ("steals", Json::count(self.pool.steals)),
+                    ("busy_ns", Json::count(self.pool.busy_ns)),
+                    ("idle_ns", Json::count(self.pool.idle_ns)),
+                    ("utilization", Json::num(self.pool.utilization())),
+                ]),
+            ),
+            (
+                "trace",
+                Json::obj(vec![
+                    ("recorded", Json::count(self.trace.recorded)),
+                    ("dropped", Json::count(self.trace.dropped)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Canonical serialization of the deterministic subset only: rule
+    /// firings, logical counters, and seed-determined histograms. Two
+    /// campaigns with the same seed must produce byte-identical output
+    /// here regardless of thread count.
+    pub fn deterministic_json(&self) -> String {
+        let det_hists: BTreeMap<String, Json> = self
+            .histograms
+            .iter()
+            .filter(|(name, _)| {
+                Hist::ALL
+                    .iter()
+                    .any(|h| h.name() == name.as_str() && h.deterministic())
+            })
+            .map(|(name, snap)| (name.clone(), snap.to_json()))
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::count(self.schema)),
+            (
+                "rule_firings",
+                Json::Obj(
+                    self.rule_firings
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::count(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "counters",
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::count(v)))
+                        .collect(),
+                ),
+            ),
+            ("histograms", Json::Obj(det_hists)),
+        ])
+        .to_string_compact()
+    }
+
+    /// Parses a report previously serialized with
+    /// [`RunReport::to_json`].
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("report missing schema")?;
+        let u64_map = |key: &str| -> Result<BTreeMap<String, u64>, String> {
+            let obj = doc
+                .get(key)
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("report missing {key}"))?;
+            obj.iter()
+                .map(|(k, v)| {
+                    v.as_u64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("{key}.{k} is not a count"))
+                })
+                .collect()
+        };
+        let histograms = doc
+            .get("histograms")
+            .and_then(Json::as_obj)
+            .ok_or("report missing histograms")?
+            .iter()
+            .map(|(k, v)| HistogramSnapshot::from_json(v).map(|h| (k.clone(), h)))
+            .collect::<Result<BTreeMap<_, _>, _>>()?;
+        let section = |key: &str, field: &str| -> u64 {
+            doc.get(key)
+                .and_then(|s| s.get(field))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+        };
+        Ok(RunReport {
+            schema,
+            rule_firings: u64_map("rule_firings")?,
+            counters: u64_map("counters")?,
+            histograms,
+            cache: CacheSection {
+                hits: section("cache", "hits"),
+                misses: section("cache", "misses"),
+                evictions: section("cache", "evictions"),
+            },
+            pool: PoolSection {
+                par_calls: section("pool", "par_calls"),
+                tasks: section("pool", "tasks"),
+                workers: section("pool", "workers"),
+                steals: section("pool", "steals"),
+                busy_ns: section("pool", "busy_ns"),
+                idle_ns: section("pool", "idle_ns"),
+            },
+            trace: TraceSection {
+                recorded: section("trace", "recorded"),
+                dropped: section("trace", "dropped"),
+            },
+            wall_seconds: doc
+                .get("wall_seconds")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        })
+    }
+
+    /// Smoke-guard used by CI: errors if the instrumentation silently
+    /// regressed (no rule firings, no cache traffic, or no invocations).
+    pub fn check(&self) -> Result<(), String> {
+        if self.invocations() == 0 {
+            return Err("optimizer.invocations is zero — instrumentation lost".to_string());
+        }
+        if self.rule_firings.values().all(|&v| v == 0) {
+            return Err("all per-rule firing counts are zero/absent".to_string());
+        }
+        if self.cache.hits + self.cache.misses == 0 {
+            return Err("invocation cache saw no traffic".to_string());
+        }
+        Ok(())
+    }
+
+    /// Human-readable summary for `ruletest report`.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "run report (schema {})", self.schema);
+        if self.wall_seconds > 0.0 {
+            let _ = writeln!(out, "  wall time            {:.2}s", self.wall_seconds);
+        }
+        let _ = writeln!(out, "  optimizer invocations {:>10}", self.invocations());
+        let _ = writeln!(
+            out,
+            "  cache                {:>10} hits / {} misses ({:.1}% hit ratio, {} evictions)",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_ratio() * 100.0,
+            self.cache.evictions
+        );
+        let _ = writeln!(
+            out,
+            "  generation           {:>10} trials, {} hits, {} failures",
+            self.counter(Counter::GenTrials),
+            self.counter(Counter::GenHits),
+            self.counter(Counter::GenFailures)
+        );
+        let _ = writeln!(
+            out,
+            "  graph probing        {:>10} oracle calls, {} edges pruned",
+            self.counter(Counter::OracleCalls),
+            self.counter(Counter::EdgesPruned)
+        );
+        let _ = writeln!(
+            out,
+            "  correctness          {:>10} validations, {} executions, {} identical, {} expensive, {} bugs",
+            self.counter(Counter::Validations),
+            self.counter(Counter::Executions),
+            self.counter(Counter::SkippedIdentical),
+            self.counter(Counter::SkippedExpensive),
+            self.counter(Counter::CorrectnessBugs)
+        );
+        let _ = writeln!(
+            out,
+            "  pool                 {:>10} tasks over {} workers in {} stages ({} steals, {:.1}% busy)",
+            self.pool.tasks,
+            self.pool.workers,
+            self.pool.par_calls,
+            self.pool.steals,
+            self.pool.utilization() * 100.0
+        );
+        if self.trace.recorded > 0 {
+            let _ = writeln!(
+                out,
+                "  trace                {:>10} events recorded, {} dropped",
+                self.trace.recorded, self.trace.dropped
+            );
+        }
+        let mut fired: Vec<(&String, &u64)> =
+            self.rule_firings.iter().filter(|(_, &v)| v > 0).collect();
+        fired.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        let _ = writeln!(out, "  rules fired          {:>10}", fired.len());
+        for (name, count) in fired.iter().take(15) {
+            let _ = writeln!(out, "    {name:<34} {count:>8}");
+        }
+        if fired.len() > 15 {
+            let _ = writeln!(out, "    ... {} more", fired.len() - 15);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+
+    fn sample_report() -> RunReport {
+        let m = Metrics::default();
+        m.add(Counter::OptInvocations, 10);
+        m.add(Counter::GenTrials, 40);
+        m.add(Counter::GenHits, 8);
+        for t in [1u64, 2, 3, 5, 8, 13, 4, 4] {
+            m.observe(Hist::GenTrialsToHit, t);
+        }
+        m.observe(Hist::InvocationMicros, 1500);
+        m.rule_fired(0);
+        m.rule_fired(0);
+        m.rule_fired(2);
+        let names = vec![
+            "RuleA".to_string(),
+            "RuleB".to_string(),
+            "RuleC".to_string(),
+        ];
+        let mut r = RunReport::from_snapshot(&m.snapshot(), &names);
+        r.cache = CacheSection {
+            hits: 30,
+            misses: 10,
+            evictions: 1,
+        };
+        r.pool = PoolSection {
+            par_calls: 3,
+            tasks: 12,
+            workers: 6,
+            steals: 2,
+            busy_ns: 900,
+            idle_ns: 100,
+        };
+        r.trace = TraceSection {
+            recorded: 50,
+            dropped: 0,
+        };
+        r.wall_seconds = 1.25;
+        r
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let r = sample_report();
+        let text = r.to_json().to_string_pretty();
+        let back = RunReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn firing_names_resolve_and_dedup_counts_survive() {
+        let r = sample_report();
+        assert_eq!(r.rule_firings.get("RuleA"), Some(&2));
+        assert_eq!(r.rule_firings.get("RuleB"), Some(&0));
+        assert_eq!(r.rule_firings.get("RuleC"), Some(&1));
+        assert_eq!(r.counter(Counter::GenTrials), 40);
+        assert!((r.cache.hit_ratio() - 0.75).abs() < 1e-12);
+        assert!((r.pool.utilization() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_json_excludes_environmental_fields() {
+        let mut a = sample_report();
+        let mut b = sample_report();
+        // Perturb everything environmental: the deterministic view must
+        // not move.
+        b.wall_seconds = 99.0;
+        b.cache.hits = 7;
+        b.pool.busy_ns = 1;
+        b.trace.recorded = 0;
+        b.histograms
+            .get_mut(Hist::InvocationMicros.name())
+            .unwrap()
+            .count += 5;
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+        // But a logical count difference must show.
+        *a.rule_firings.get_mut("RuleA").unwrap() += 1;
+        assert_ne!(a.deterministic_json(), b.deterministic_json());
+    }
+
+    #[test]
+    fn check_flags_dead_instrumentation() {
+        let r = sample_report();
+        assert!(r.check().is_ok());
+        let mut dead = r.clone();
+        for v in dead.rule_firings.values_mut() {
+            *v = 0;
+        }
+        assert!(dead.check().is_err());
+        let mut no_cache = r.clone();
+        no_cache.cache = CacheSection::default();
+        assert!(no_cache.check().is_err());
+        let mut no_inv = r;
+        no_inv
+            .counters
+            .insert(Counter::OptInvocations.name().to_string(), 0);
+        assert!(no_inv.check().is_err());
+    }
+
+    #[test]
+    fn summary_mentions_the_load_bearing_numbers() {
+        let s = sample_report().summary();
+        assert!(s.contains("invocations"));
+        assert!(s.contains("RuleA"));
+        assert!(s.contains("75.0% hit ratio"));
+    }
+}

@@ -10,10 +10,13 @@
 //! ruletest sql "<SELECT ...>"            parse, optimize, explain, and run SQL
 //! ruletest audit [--rules N] [--k K]     compression + correctness campaign
 //! ruletest impact [--rules N]            workload-level rule performance impact (§1's third dimension)
+//! ruletest report <run-report.json>      summarize a --metrics-json run report (--check fails on dead instrumentation)
 //!
 //! common options: --seed N   --pad N   --random   --trials N   --threads N
+//! telemetry:      --metrics-json PATH   --trace-out PATH
 //! ```
 
+use ruletest::cli::{self, Opts};
 use ruletest::core::compress::{baseline, smc, topk, Instance};
 use ruletest::core::correctness::execute_solution;
 use ruletest::core::generate::dependency::find_dependency_query;
@@ -24,57 +27,47 @@ use ruletest::core::{
 use ruletest::executor::{execute, ExecConfig};
 use ruletest::optimizer::RuleKind;
 use ruletest::sql::parse_sql;
+use ruletest::telemetry::{RunReport, Telemetry};
 use std::process::ExitCode;
-
-struct Opts {
-    seed: u64,
-    pad: usize,
-    trials: usize,
-    random: bool,
-    rules: usize,
-    k: usize,
-    threads: usize,
-    positional: Vec<String>,
-}
-
-fn parse_args() -> (String, Opts) {
-    let mut args = std::env::args().skip(1);
-    let cmd = args.next().unwrap_or_else(|| "help".to_string());
-    let mut opts = Opts {
-        seed: 42,
-        pad: 0,
-        trials: 500,
-        random: false,
-        rules: 8,
-        k: 3,
-        threads: 0,
-        positional: Vec::new(),
-    };
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--seed" => opts.seed = args.next().and_then(|s| s.parse().ok()).unwrap_or(42),
-            "--pad" => opts.pad = args.next().and_then(|s| s.parse().ok()).unwrap_or(0),
-            "--trials" => opts.trials = args.next().and_then(|s| s.parse().ok()).unwrap_or(500),
-            "--rules" => opts.rules = args.next().and_then(|s| s.parse().ok()).unwrap_or(8),
-            "--k" => opts.k = args.next().and_then(|s| s.parse().ok()).unwrap_or(3),
-            "--threads" => opts.threads = args.next().and_then(|s| s.parse().ok()).unwrap_or(0),
-            "--random" => opts.random = true,
-            other => opts.positional.push(other.to_string()),
-        }
-    }
-    (cmd, opts)
-}
+use std::time::Instant;
 
 fn main() -> ExitCode {
-    let (cmd, opts) = parse_args();
+    let (cmd, opts) = match cli::parse(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cmd == "report" {
+        // Pure file analysis: no framework (or test database) needed.
+        return match run_report_cmd(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     // --threads 0 (the default) means "one worker per core".
     let mut parallelism = ruletest::common::Parallelism::default();
     if opts.threads > 0 {
         parallelism.threads = opts.threads;
     }
     parallelism.seed = opts.seed;
+    // Either telemetry output flag turns recording on; the event tracer is
+    // only allocated when a trace is actually wanted.
+    let telemetry = if opts.trace_out.is_some() {
+        Telemetry::enabled()
+    } else if opts.metrics_json.is_some() {
+        Telemetry::metrics_only()
+    } else {
+        Telemetry::disabled()
+    };
+    let started = Instant::now();
     let fw = match Framework::new(&FrameworkConfig {
         parallelism,
+        telemetry,
         ..Default::default()
     }) {
         Ok(fw) => fw,
@@ -197,12 +190,15 @@ fn main() -> ExitCode {
         "impact" => run_impact(&fw, &opts),
         _ => {
             eprintln!(
-                "usage: ruletest <rules|pattern|gen|pair|relevant|sql|audit> [options]\n\
+                "usage: ruletest <rules|pattern|gen|pair|relevant|sql|audit|impact|report> [options]\n\
                  see the module docs (`ruletest --help` equivalent) in src/bin/ruletest.rs"
             );
             Ok(())
         }
     };
+    // Telemetry outputs are written even when the command failed — a
+    // failing campaign's metrics are exactly what one wants to look at.
+    let result = result.and(write_telemetry_outputs(&fw, &opts, started));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -210,6 +206,48 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Writes the `--metrics-json` run report and the `--trace-out` JSONL
+/// trace, when requested.
+fn write_telemetry_outputs(fw: &Framework, opts: &Opts, started: Instant) -> Result<(), String> {
+    if let Some(path) = &opts.metrics_json {
+        let mut report = fw.run_report();
+        report.wall_seconds = started.elapsed().as_secs_f64();
+        std::fs::write(path, report.to_json().to_string_pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote run report to {path}");
+    }
+    if let Some(path) = &opts.trace_out {
+        let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        let mut out = std::io::BufWriter::new(file);
+        fw.telemetry
+            .export_trace(&mut out)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        let stats = fw.telemetry.trace_stats();
+        eprintln!(
+            "wrote {} trace events to {path} ({} dropped by the ring buffer)",
+            stats.recorded.saturating_sub(stats.dropped),
+            stats.dropped
+        );
+    }
+    Ok(())
+}
+
+/// `ruletest report <run-report.json> [--check]`.
+fn run_report_cmd(opts: &Opts) -> Result<(), String> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| "usage: ruletest report <run-report.json> [--check]".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let report = RunReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", report.summary());
+    if opts.check {
+        report.check().map_err(|e| format!("check failed: {e}"))?;
+        println!("check: ok");
+    }
+    Ok(())
 }
 
 fn run_sql(fw: &Framework, text: &str) -> Result<(), String> {

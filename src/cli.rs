@@ -1,0 +1,179 @@
+//! Argument parsing for the `ruletest` binary, split out so it can be
+//! unit-tested.
+//!
+//! Parsing is strict: unknown `--flags` are errors, and every flag that
+//! takes a value fails loudly when the value is missing or unparseable
+//! (historically `--threads` with no value silently became 0, i.e. "one
+//! worker per core").
+
+use std::str::FromStr;
+
+/// Parsed command-line options (everything after the subcommand).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Opts {
+    pub seed: u64,
+    pub pad: usize,
+    pub trials: usize,
+    pub random: bool,
+    pub rules: usize,
+    pub k: usize,
+    /// 0 (the default) means "one worker per core".
+    pub threads: usize,
+    /// Write the aggregate `RunReport` JSON here after the command runs
+    /// (enables telemetry).
+    pub metrics_json: Option<String>,
+    /// Write the JSONL event trace here after the command runs (enables
+    /// telemetry with tracing).
+    pub trace_out: Option<String>,
+    /// `ruletest report --check`: fail on dead instrumentation.
+    pub check: bool,
+    pub positional: Vec<String>,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            seed: 42,
+            pad: 0,
+            trials: 500,
+            random: false,
+            rules: 8,
+            k: 3,
+            threads: 0,
+            metrics_json: None,
+            trace_out: None,
+            check: false,
+            positional: Vec::new(),
+        }
+    }
+}
+
+fn value_of(flag: &str, args: &mut impl Iterator<Item = String>) -> Result<String, String> {
+    match args.next() {
+        // A following flag almost certainly means the value was forgotten.
+        Some(v) if !v.starts_with("--") => Ok(v),
+        Some(v) => Err(format!("{flag} requires a value, got flag '{v}'")),
+        None => Err(format!("{flag} requires a value")),
+    }
+}
+
+fn parse_value<T: FromStr>(
+    flag: &str,
+    args: &mut impl Iterator<Item = String>,
+) -> Result<T, String> {
+    let v = value_of(flag, args)?;
+    v.parse().map_err(|_| format!("{flag}: cannot parse '{v}'"))
+}
+
+/// Parses `(subcommand, options)` from the arguments after the program
+/// name. No arguments at all resolves to the `help` subcommand.
+pub fn parse(args: impl IntoIterator<Item = String>) -> Result<(String, Opts), String> {
+    let mut args = args.into_iter();
+    let cmd = args.next().unwrap_or_else(|| "help".to_string());
+    let mut opts = Opts::default();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => opts.seed = parse_value(&a, &mut args)?,
+            "--pad" => opts.pad = parse_value(&a, &mut args)?,
+            "--trials" => opts.trials = parse_value(&a, &mut args)?,
+            "--rules" => opts.rules = parse_value(&a, &mut args)?,
+            "--k" => opts.k = parse_value(&a, &mut args)?,
+            "--threads" => opts.threads = parse_value(&a, &mut args)?,
+            "--metrics-json" => opts.metrics_json = Some(value_of(&a, &mut args)?),
+            "--trace-out" => opts.trace_out = Some(value_of(&a, &mut args)?),
+            "--random" => opts.random = true,
+            "--check" => opts.check = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            other => opts.positional.push(other.to_string()),
+        }
+    }
+    Ok((cmd, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_positionals() {
+        let (cmd, opts) = parse(argv(&["gen", "InnerJoinCommute"])).unwrap();
+        assert_eq!(cmd, "gen");
+        assert_eq!(opts.positional, vec!["InnerJoinCommute"]);
+        assert_eq!(
+            opts,
+            Opts {
+                positional: vec!["InnerJoinCommute".to_string()],
+                ..Opts::default()
+            }
+        );
+    }
+
+    #[test]
+    fn no_arguments_means_help() {
+        let (cmd, _) = parse(argv(&[])).unwrap();
+        assert_eq!(cmd, "help");
+    }
+
+    #[test]
+    fn flags_parse_and_mix_with_positionals() {
+        let (cmd, opts) = parse(argv(&[
+            "audit",
+            "--rules",
+            "12",
+            "--k",
+            "4",
+            "--threads",
+            "3",
+            "--seed",
+            "7",
+            "--random",
+            "--metrics-json",
+            "out.json",
+            "--trace-out",
+            "trace.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "audit");
+        assert_eq!((opts.rules, opts.k, opts.threads, opts.seed), (12, 4, 3, 7));
+        assert!(opts.random);
+        assert_eq!(opts.metrics_json.as_deref(), Some("out.json"));
+        assert_eq!(opts.trace_out.as_deref(), Some("trace.jsonl"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error_not_a_silent_default() {
+        // Regression: `--threads` with no value used to become 0.
+        let err = parse(argv(&["audit", "--threads"])).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        let err = parse(argv(&["audit", "--threads", "--seed", "1"])).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+    }
+
+    #[test]
+    fn unparseable_value_is_an_error() {
+        let err = parse(argv(&["audit", "--threads", "many"])).unwrap_err();
+        assert!(err.contains("many"), "{err}");
+        let err = parse(argv(&["gen", "--seed", "-3"])).unwrap_err();
+        assert!(err.contains("-3"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let err = parse(argv(&["audit", "--frobnicate"])).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn check_flag_for_report() {
+        let (cmd, opts) = parse(argv(&["report", "out.json", "--check"])).unwrap();
+        assert_eq!(cmd, "report");
+        assert!(opts.check);
+        assert_eq!(opts.positional, vec!["out.json"]);
+    }
+}

@@ -20,7 +20,10 @@
 //!   (§3), test suite compression (§4–5: BASELINE / SetMultiCover /
 //!   TopKIndependent / exact / bipartite matching), monotonicity-pruned
 //!   bipartite-graph construction (§5.3.1), correctness execution (§2.3),
-//!   and fault injection.
+//!   and fault injection;
+//! * [`telemetry`] — std-only campaign metrics, structured event tracing,
+//!   and JSON run reports (surfaced via `ruletest report` and the
+//!   `--metrics-json` / `--trace-out` flags).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,8 @@
 //! println!("{}", out.sql);
 //! ```
 
+pub mod cli;
+
 pub use ruletest_common as common;
 pub use ruletest_core as core;
 pub use ruletest_executor as executor;
@@ -46,3 +51,4 @@ pub use ruletest_logical as logical;
 pub use ruletest_optimizer as optimizer;
 pub use ruletest_sql as sql;
 pub use ruletest_storage as storage;
+pub use ruletest_telemetry as telemetry;

@@ -15,11 +15,36 @@ use ruletest_executor::ExecConfig;
 use ruletest_logical::IdGen;
 use ruletest_optimizer::{OptimizerConfig, RuleMask};
 use ruletest_storage::tpch_database;
+use ruletest_telemetry::{RunReport, Telemetry};
 use std::sync::Arc;
 
 fn fw_with_threads(threads: usize) -> Framework {
     let db = Arc::new(tpch_database(&FrameworkConfig::default().db).unwrap());
     Framework::over_database(db).with_parallelism(Parallelism { threads, seed: 7 })
+}
+
+/// Runs the full pipeline with telemetry attached and returns the final
+/// aggregate report.
+fn telemetry_campaign(threads: usize, seed: u64) -> RunReport {
+    let fw = fw_with_threads(threads).with_telemetry(Telemetry::metrics_only());
+    let gen_cfg = GenConfig {
+        seed,
+        pad_ops: 1,
+        ..Default::default()
+    };
+    let suite = generate_suite(
+        &fw,
+        singleton_targets(&fw, 6),
+        2,
+        Strategy::Pattern,
+        &gen_cfg,
+    )
+    .unwrap();
+    let graph = build_graph_pruned(&fw, &suite).unwrap();
+    let inst = Instance::from_graph(&graph);
+    let sol = topk(&inst).unwrap();
+    execute_solution(&fw, &suite, &inst, &sol, &ExecConfig::default()).unwrap();
+    fw.run_report()
 }
 
 /// The full campaign — suite generation, pruned graph, compression,
@@ -123,6 +148,46 @@ fn cache_is_result_transparent() {
         fw.optimizer.cache_stats().hits,
         hits_before + workload.len() as u64
     );
+}
+
+/// Repeating the identical campaign (same seed, same thread count) yields
+/// the identical deterministic aggregate view — rule firings, logical
+/// counters, and seed-determined histograms, byte for byte.
+#[test]
+fn telemetry_report_is_reproducible_for_a_fixed_seed_and_threads() {
+    let a = telemetry_campaign(3, 0x7E1E_AE7);
+    let b = telemetry_campaign(3, 0x7E1E_AE7);
+    assert_eq!(
+        a.deterministic_json(),
+        b.deterministic_json(),
+        "repeat runs disagreed on deterministic aggregates"
+    );
+}
+
+/// The deterministic aggregates — per-rule firing counts in particular —
+/// are identical at 1 and 3 threads: unique-optimization counting is what
+/// makes firing counts schedule-independent even when racing workers
+/// duplicate a cache-miss compute.
+#[test]
+fn telemetry_report_is_thread_count_invariant() {
+    let single = telemetry_campaign(1, 0x7E1E_AE8);
+    let multi = telemetry_campaign(3, 0x7E1E_AE8);
+    assert_eq!(
+        single.rule_firings, multi.rule_firings,
+        "per-rule firing counts diverged across thread counts"
+    );
+    assert_eq!(
+        single.counter(ruletest_telemetry::Counter::EdgesPruned),
+        multi.counter(ruletest_telemetry::Counter::EdgesPruned),
+        "edge-prune counts diverged across thread counts"
+    );
+    assert_eq!(
+        single.deterministic_json(),
+        multi.deterministic_json(),
+        "deterministic aggregates diverged across thread counts"
+    );
+    // The campaign actually exercised the instrumentation.
+    single.check().expect("single-threaded report self-check");
 }
 
 /// `clear_cache` really drops entries (the next lookup is a miss, not a
