@@ -17,6 +17,10 @@ pub enum Error {
     NotFound(String),
     /// A feature intentionally outside the supported dialect/operator set.
     Unsupported(String),
+    /// Execution abandoned because it exceeded a resource budget. Distinct
+    /// from `Unsupported`: the plan is runnable, just too expensive under
+    /// the configured limits.
+    Budget(String),
     /// SQL text that failed to tokenize or parse.
     Parse(String),
     /// An invariant violation inside the framework itself — always a bug.
@@ -39,6 +43,11 @@ impl Error {
         Error::Unsupported(msg.into())
     }
 
+    /// Shorthand constructor for [`Error::Budget`].
+    pub fn budget(msg: impl Into<String>) -> Self {
+        Error::Budget(msg.into())
+    }
+
     /// Shorthand constructor for [`Error::Parse`].
     pub fn parse(msg: impl Into<String>) -> Self {
         Error::Parse(msg.into())
@@ -56,6 +65,7 @@ impl fmt::Display for Error {
             Error::Invalid(m) => write!(f, "invalid: {m}"),
             Error::NotFound(m) => write!(f, "not found: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Budget(m) => write!(f, "budget exceeded: {m}"),
             Error::Parse(m) => write!(f, "parse error: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }

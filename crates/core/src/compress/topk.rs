@@ -19,14 +19,11 @@ pub fn topk(inst: &Instance) -> Result<Solution> {
             )));
         }
         let mut by_edge: Vec<usize> = adj.clone();
-        by_edge.sort_by(|&a, &b| {
-            inst.edge(t, a)
-                .partial_cmp(&inst.edge(t, b))
-                .expect("finite or +inf edge costs")
-                .then(a.cmp(&b))
-        });
+        // NaN-safe: a poisoned edge cost sorts last (after +inf) and is
+        // then rejected by the materialized-edge check below.
+        by_edge.sort_by(|&a, &b| inst.edge(t, a).total_cmp(&inst.edge(t, b)).then(a.cmp(&b)));
         by_edge.truncate(inst.k);
-        if by_edge.iter().any(|&q| inst.edge(t, q).is_infinite()) {
+        if by_edge.iter().any(|&q| !inst.edge(t, q).is_finite()) {
             return Err(Error::invalid(format!(
                 "target {t}: fewer than k materialized edges (pruned graph too aggressive?)"
             )));
@@ -112,6 +109,19 @@ mod tests {
             node_cost: vec![1.0, 1.0],
             adjacency: vec![vec![0, 1]],
             edge_cost: HashMap::from([((0, 0), 1.0), ((0, 1), 1.0)]),
+            generated_for: vec![0, 0],
+        };
+        assert!(topk(&inst).is_err());
+    }
+
+    #[test]
+    fn nan_edge_cost_is_a_clean_error_not_a_panic() {
+        // Regression: the edge sort used `partial_cmp().expect(..)`.
+        let inst = Instance {
+            k: 2,
+            node_cost: vec![1.0, 1.0],
+            adjacency: vec![vec![0, 1]],
+            edge_cost: HashMap::from([((0, 0), 1.0), ((0, 1), f64::NAN)]),
             generated_for: vec![0, 0],
         };
         assert!(topk(&inst).is_err());

@@ -16,13 +16,23 @@ use ruletest_telemetry::{Counter, Event};
 use std::collections::HashMap;
 use std::time::Instant;
 
-/// One detected correctness bug.
+/// One detected correctness bug. Carries a full repro: the SQL alone is
+/// not one, because the result diff depends on the generated database
+/// (seed + scale) and on exactly which rules were masked.
 #[derive(Debug, Clone)]
 pub struct BugReport {
     pub target: RuleTarget,
     pub target_label: String,
+    /// Index of the witness query in the suite (for triage post-processing).
+    pub query: usize,
     pub sql: String,
     pub diff_summary: String,
+    /// Suite generation seed (`GenConfig::seed`).
+    pub seed: u64,
+    /// Names of the rules disabled in the masked optimization.
+    pub rule_mask: Vec<String>,
+    /// Test-database scale factor at detection time.
+    pub scale: usize,
 }
 
 /// The outcome of executing a test suite.
@@ -37,6 +47,11 @@ pub struct CorrectnessReport {
     pub skipped_identical: usize,
     /// Validations skipped because execution exceeded the work budget.
     pub skipped_expensive: usize,
+    /// Validations skipped because the executor refused the masked plan
+    /// (`Error::Unsupported`). Distinct from budget skips: a refused plan
+    /// may hide an optimizer bug and deserves scrutiny, an expensive one
+    /// is just slow.
+    pub skipped_unsupported: usize,
     /// Total estimated cost actually incurred (nodes once + edges).
     pub estimated_cost: f64,
     pub bugs: Vec<BugReport>,
@@ -54,6 +69,7 @@ impl CorrectnessReport {
 enum Validation {
     Identical,
     Expensive,
+    Unsupported,
     Clean,
     Bug(BugReport),
 }
@@ -79,7 +95,7 @@ pub fn execute_solution(
         let res = fw.optimizer.optimize_cached(&suite.queries[q].tree)?;
         let rows = match execute_with(&fw.db, &res.plan, exec_config) {
             Ok(rows) => Some(rows),
-            Err(Error::Unsupported(_)) => None,
+            Err(Error::Budget(_) | Error::Unsupported(_)) => None,
             Err(e) => return Err(e),
         };
         Ok((q, res.cost, rows))
@@ -129,13 +145,21 @@ pub fn execute_solution(
                         Validation::Bug(BugReport {
                             target,
                             target_label: target.label(&fw.optimizer),
+                            query: q,
                             sql: suite.queries[q].sql.clone(),
                             diff_summary: diff.summary(),
+                            seed: suite.seed,
+                            rule_mask: rules
+                                .iter()
+                                .map(|&r| fw.optimizer.rule(r).name.to_string())
+                                .collect(),
+                            scale: fw.db_profile.scale,
                         }),
                     ))
                 }
             }
-            Err(Error::Unsupported(_)) => Ok((cost, Validation::Expensive)),
+            Err(Error::Budget(_)) => Ok((cost, Validation::Expensive)),
+            Err(Error::Unsupported(_)) => Ok((cost, Validation::Unsupported)),
             Err(e) => Err(e),
         }
     })?;
@@ -157,6 +181,11 @@ pub fn execute_solution(
                 report.skipped_expensive += 1;
                 tel.incr(Counter::SkippedExpensive);
                 "expensive"
+            }
+            Validation::Unsupported => {
+                report.skipped_unsupported += 1;
+                tel.incr(Counter::SkippedUnsupported);
+                "unsupported"
             }
             Validation::Clean => {
                 report.executions += 1;

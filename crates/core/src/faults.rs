@@ -29,6 +29,27 @@ pub enum Fault {
 }
 
 impl Fault {
+    /// All injectable faults, in declaration order.
+    pub const ALL: [Fault; 3] = [
+        Fault::OuterJoinSimplifyUnconditional,
+        Fault::PushBelowNullSupplyingSide,
+        Fault::SelectMergedIntoOuterJoin,
+    ];
+
+    /// Stable name used in CLI flags and repro bundles.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::OuterJoinSimplifyUnconditional => "OuterJoinSimplifyUnconditional",
+            Fault::PushBelowNullSupplyingSide => "PushBelowNullSupplyingSide",
+            Fault::SelectMergedIntoOuterJoin => "SelectMergedIntoOuterJoin",
+        }
+    }
+
+    /// Inverse of [`Fault::name`] — parses CLI flags and repro bundles.
+    pub fn from_name(name: &str) -> Option<Fault> {
+        Fault::ALL.into_iter().find(|f| f.name() == name)
+    }
+
     /// Name of the rule the fault replaces.
     pub fn rule_name(self) -> &'static str {
         match self {

@@ -31,6 +31,25 @@ pub struct FrameworkConfig {
     pub telemetry: Telemetry,
 }
 
+/// How the test database was generated — recorded so bug reports carry a
+/// full repro (the result diff depends on the data, not just the SQL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbProfile {
+    /// Seed the TPC-H (or other) generator ran with.
+    pub db_seed: u64,
+    /// Integer scale factor relative to the default table sizes.
+    pub scale: usize,
+}
+
+impl Default for DbProfile {
+    fn default() -> Self {
+        DbProfile {
+            db_seed: TpchConfig::default().seed,
+            scale: 1,
+        }
+    }
+}
+
 /// The rule-testing framework: owns the test database and the instrumented
 /// optimizer, and exposes the generation/compression/correctness pipeline.
 pub struct Framework {
@@ -40,6 +59,8 @@ pub struct Framework {
     pub parallelism: Parallelism,
     /// Campaign telemetry; see [`FrameworkConfig::telemetry`].
     pub telemetry: Telemetry,
+    /// Provenance of `db`; see [`DbProfile`].
+    pub db_profile: DbProfile,
 }
 
 impl Framework {
@@ -52,6 +73,10 @@ impl Framework {
             optimizer,
             parallelism: config.parallelism,
             telemetry: Telemetry::disabled(),
+            db_profile: DbProfile {
+                db_seed: config.db.seed,
+                scale: config.db.scale_factor(),
+            },
         }
         .with_telemetry(config.telemetry.clone()))
     }
@@ -64,6 +89,7 @@ impl Framework {
             optimizer,
             parallelism: Parallelism::default(),
             telemetry: Telemetry::disabled(),
+            db_profile: DbProfile::default(),
         }
     }
 
@@ -77,12 +103,21 @@ impl Framework {
             optimizer,
             parallelism: Parallelism::default(),
             telemetry: Telemetry::disabled(),
+            db_profile: DbProfile::default(),
         }
     }
 
     /// Replaces the parallelism configuration (builder style).
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Framework {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Records the database provenance (builder style) — needed by the
+    /// `with_optimizer`/`over_database` constructors, which receive a
+    /// ready-made database and cannot infer how it was generated.
+    pub fn with_db_profile(mut self, profile: DbProfile) -> Framework {
+        self.db_profile = profile;
         self
     }
 

@@ -12,13 +12,18 @@ pub mod framework;
 pub mod generate;
 pub mod perf;
 pub mod suite;
+pub mod triage;
 
 pub use compress::{Instance, Solution};
 pub use correctness::{BugReport, CorrectnessReport};
-pub use framework::{Framework, FrameworkConfig};
+pub use framework::{DbProfile, Framework, FrameworkConfig};
 pub use generate::{GenConfig, GenOutcome, Strategy};
 pub use perf::{rule_impact, RuleImpact};
 pub use suite::{
     build_graph, build_graph_pruned, generate_suite, generate_suite_lenient, pair_targets,
     singleton_targets, BipartiteGraph, RuleTarget, SuiteQuery, TestSuite,
+};
+pub use triage::{
+    read_bundles, replay, to_bundles, triage_report, write_bundles, BugSignature, ReplayOutcome,
+    ReproBundle, TriageConfig, TriageReport, TriagedBug,
 };

@@ -73,13 +73,18 @@ pub fn rule_impact(fw: &Framework, workload: &[LogicalTree]) -> Result<Vec<RuleI
         }
         out.push(impact);
     }
-    out.sort_by(|a, b| {
-        b.inflation()
-            .partial_cmp(&a.inflation())
-            .expect("finite costs")
-            .then(a.rule.cmp(&b.rule))
-    });
+    out.sort_by(by_inflation_desc);
     Ok(out)
+}
+
+/// Sort key for impact reports: descending inflation, rule id as the tie
+/// break. `total_cmp`, not `partial_cmp().expect(..)`: a NaN inflation
+/// (e.g. a NaN cost propagated through the ratio) must sort
+/// deterministically instead of panicking a whole campaign.
+fn by_inflation_desc(a: &RuleImpact, b: &RuleImpact) -> std::cmp::Ordering {
+    b.inflation()
+        .total_cmp(&a.inflation())
+        .then(a.rule.cmp(&b.rule))
 }
 
 #[cfg(test)]
@@ -115,6 +120,31 @@ mod tests {
         }
         // At least one rule should genuinely matter for a 12-query workload.
         assert!(report.iter().any(|r| r.relevant > 0));
+    }
+
+    #[test]
+    fn nan_inflation_sorts_deterministically_instead_of_panicking() {
+        // Regression: the sort used `partial_cmp().expect("finite costs")`
+        // and panicked if any cost was NaN.
+        let mk = |rule: u16, cost_enabled: f64, cost_disabled: f64| RuleImpact {
+            rule: RuleId(rule),
+            rule_name: "r",
+            exercised: 1,
+            relevant: 1,
+            cost_enabled,
+            cost_disabled,
+        };
+        let mut v = vec![mk(0, 1.0, 2.0), mk(1, 1.0, f64::NAN), mk(2, 1.0, 1.5)];
+        v.sort_by(super::by_inflation_desc);
+        let order: Vec<u16> = v.iter().map(|r| r.rule.0).collect();
+        // NaN (descending total_cmp) sorts first; the finite entries keep
+        // their descending-inflation order. What matters is: no panic, and
+        // the same order every time.
+        assert_eq!(order, vec![1, 0, 2]);
+        let mut again = vec![mk(2, 1.0, 1.5), mk(1, 1.0, f64::NAN), mk(0, 1.0, 2.0)];
+        again.sort_by(super::by_inflation_desc);
+        let order2: Vec<u16> = again.iter().map(|r| r.rule.0).collect();
+        assert_eq!(order, order2);
     }
 
     #[test]

@@ -140,11 +140,7 @@ pub fn build_graph_pruned(fw: &Framework, suite: &TestSuite) -> Result<Bipartite
     try_par_map(fw.parallelism.threads, &indexed, |_, &t| {
         let adj = &adjacency[t];
         let mut by_node_cost = adj.clone();
-        by_node_cost.sort_by(|&a, &b| {
-            node_cost[a]
-                .partial_cmp(&node_cost[b])
-                .expect("costs are finite")
-        });
+        by_node_cost.sort_by(|&a, &b| node_cost[a].total_cmp(&node_cost[b]));
         // Max-heap of the k cheapest edge costs seen so far.
         let mut heap: std::collections::BinaryHeap<ordered::F64> =
             std::collections::BinaryHeap::new();
@@ -187,14 +183,16 @@ pub fn build_graph_pruned(fw: &Framework, suite: &TestSuite) -> Result<Bipartite
 }
 
 mod ordered {
-    /// Total order wrapper for finite f64 costs.
+    /// Total order wrapper for f64 costs. Uses `total_cmp` so a NaN cost
+    /// (possible when a cost model divides by zero) orders after every
+    /// finite value instead of panicking the heap operations.
     #[derive(Debug, Clone, Copy, PartialEq)]
     pub struct F64(pub f64);
     impl Eq for F64 {}
     #[allow(clippy::derive_ord_xor_partial_ord)]
     impl Ord for F64 {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.0.partial_cmp(&other.0).expect("finite costs")
+            self.0.total_cmp(&other.0)
         }
     }
     impl PartialOrd for F64 {
@@ -217,6 +215,28 @@ mod tests {
         let suite =
             generate_suite(&fw, targets, 2, Strategy::Pattern, &GenConfig::default()).unwrap();
         (fw, suite)
+    }
+
+    #[test]
+    fn nan_costs_sort_and_heap_deterministically_instead_of_panicking() {
+        // Regression: `ordered::F64`'s `Ord` used
+        // `partial_cmp().expect("finite costs")` and panicked on NaN.
+        let mut heap = std::collections::BinaryHeap::new();
+        for c in [3.0, f64::NAN, 1.0, 2.0] {
+            heap.push(ordered::F64(c));
+        }
+        // NaN is the max under `total_cmp`, so it pops first; the rest pop
+        // in descending order.
+        assert!(heap.pop().unwrap().0.is_nan());
+        assert_eq!(heap.pop().unwrap().0, 3.0);
+        assert_eq!(heap.pop().unwrap().0, 2.0);
+        assert_eq!(heap.pop().unwrap().0, 1.0);
+
+        let mut costs = vec![2.0, f64::NAN, 1.0];
+        costs.sort_by(f64::total_cmp);
+        assert_eq!(costs[0], 1.0);
+        assert_eq!(costs[1], 2.0);
+        assert!(costs[2].is_nan());
     }
 
     #[test]
@@ -250,7 +270,7 @@ mod tests {
         // The k cheapest edges per target must be present and identical.
         for (t, adj) in eager.adjacency.iter().enumerate() {
             let mut costs: Vec<f64> = adj.iter().map(|&q| eager.edges[&(t, q)]).collect();
-            costs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            costs.sort_by(f64::total_cmp);
             let kth = costs[suite.k - 1];
             let cheap: Vec<usize> = adj
                 .iter()

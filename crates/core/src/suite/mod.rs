@@ -69,6 +69,9 @@ pub struct TestSuite {
     pub targets: Vec<RuleTarget>,
     pub k: usize,
     pub queries: Vec<SuiteQuery>,
+    /// The generation seed (`GenConfig::seed`) the suite was built from —
+    /// recorded so bug reports are reproducible.
+    pub seed: u64,
 }
 
 impl TestSuite {
@@ -122,6 +125,7 @@ pub fn generate_suite_lenient(
             targets: kept,
             k,
             queries,
+            seed: cfg.seed,
         },
         skipped,
     ))
@@ -149,6 +153,7 @@ pub fn generate_suite(
         targets,
         k,
         queries: per_target.into_iter().flatten().collect(),
+        seed: cfg.seed,
     })
 }
 

@@ -35,7 +35,7 @@ impl Ctx<'_> {
     /// Charges `n` work units, failing when the budget runs out.
     pub fn charge(&mut self, n: u64) -> Result<()> {
         if self.remaining < n {
-            return Err(Error::unsupported("execution work budget exceeded"));
+            return Err(Error::budget("execution work budget exceeded"));
         }
         self.remaining -= n;
         Ok(())
@@ -228,7 +228,7 @@ mod tests {
         let db = tiny_db();
         let plan = scan_t0();
         let err = execute_with(&db, &plan, &ExecConfig { work_budget: 1 });
-        assert!(matches!(err, Err(Error::Unsupported(_))));
+        assert!(matches!(err, Err(Error::Budget(_))));
     }
 
     #[test]

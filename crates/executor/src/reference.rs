@@ -53,7 +53,7 @@ pub fn reference_eval(db: &Database, tree: &LogicalTree, config: &ExecConfig) ->
 
 fn charge(budget: &mut u64, n: u64) -> Result<()> {
     if *budget < n {
-        return Err(Error::unsupported("reference evaluator budget exceeded"));
+        return Err(Error::budget("reference evaluator budget exceeded"));
     }
     *budget -= n;
     Ok(())
@@ -351,6 +351,6 @@ mod tests {
         let mut ids = IdGen::new();
         let t = get(&db, "t0", &mut ids);
         let err = reference_eval(&db, &t, &ExecConfig { work_budget: 1 });
-        assert!(matches!(err, Err(Error::Unsupported(_))));
+        assert!(matches!(err, Err(Error::Budget(_))));
     }
 }

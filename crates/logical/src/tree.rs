@@ -153,6 +153,48 @@ impl LogicalTree {
         }
     }
 
+    /// The node at `path` (child indices from the root; `[]` is the root
+    /// itself), or `None` if the path walks off the tree.
+    pub fn at(&self, path: &[usize]) -> Option<&LogicalTree> {
+        let mut node = self;
+        for &i in path {
+            node = node.children.get(i)?;
+        }
+        Some(node)
+    }
+
+    /// A copy of the tree with the node at `path` replaced by `subtree`.
+    /// Returns `None` if the path walks off the tree. The result is *not*
+    /// re-validated — callers (e.g. the triage minimizer) must check it
+    /// with `derive_schema` before use.
+    pub fn replace_at(&self, path: &[usize], subtree: &LogicalTree) -> Option<LogicalTree> {
+        match path {
+            [] => Some(subtree.clone()),
+            [i, rest @ ..] => {
+                let mut out = self.clone();
+                let child = out.children.get_mut(*i)?;
+                *child = child.replace_at(rest, subtree)?;
+                Some(out)
+            }
+        }
+    }
+
+    /// Pre-order paths of every node, roots first — the candidate
+    /// enumeration order for tree shrinking.
+    pub fn paths(&self) -> Vec<Vec<usize>> {
+        fn go(node: &LogicalTree, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            out.push(prefix.clone());
+            for (i, c) in node.children.iter().enumerate() {
+                prefix.push(i);
+                go(c, prefix, out);
+                prefix.pop();
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
     /// All base tables referenced (with duplicates for self-joins).
     pub fn tables(&self) -> Vec<TableId> {
         let mut out = Vec::new();
@@ -245,6 +287,34 @@ mod tests {
                 assert!(cols.iter().all(|c| c.0 < fresh.0));
             }
         });
+    }
+
+    #[test]
+    fn path_navigation_and_replacement() {
+        let (t, _) = sample(); // Select -> Join -> (Get, Get)
+        assert_eq!(t.at(&[]).unwrap().op_count(), 4);
+        assert!(matches!(t.at(&[0]).unwrap().op, Operator::Join { .. }));
+        assert!(matches!(t.at(&[0, 1]).unwrap().op, Operator::Get { .. }));
+        assert!(t.at(&[0, 2]).is_none());
+        assert!(t.at(&[1]).is_none());
+
+        // Replace the whole Select with its Join child: drops one node.
+        let join = t.at(&[0]).unwrap().clone();
+        let smaller = t.replace_at(&[], &join).unwrap();
+        assert_eq!(smaller.op_count(), 3);
+        // Replace the Join with its left Get: Select directly over Get.
+        let left = t.at(&[0, 0]).unwrap().clone();
+        let promoted = t.replace_at(&[0], &left).unwrap();
+        assert_eq!(promoted.op_count(), 2);
+        assert!(matches!(promoted.children[0].op, Operator::Get { .. }));
+        assert!(t.replace_at(&[2], &join).is_none());
+
+        let paths = t.paths();
+        assert_eq!(paths.len(), t.op_count());
+        assert_eq!(paths[0], Vec::<usize>::new());
+        assert_eq!(paths[1], vec![0]);
+        assert_eq!(paths[2], vec![0, 0]);
+        assert_eq!(paths[3], vec![0, 1]);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! returns the rule pattern tree for a rule in a XML format" — reproduced
 //! here by [`PatternTree::to_xml`].
 
-use ruletest_logical::{JoinKind, OpKind};
+use ruletest_logical::{JoinKind, LogicalTree, OpKind};
 
 /// What a concrete pattern node accepts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +119,30 @@ impl PatternTree {
         out
     }
 
+    /// True iff this pattern matches the subtree rooted at `tree`:
+    /// concrete nodes must align by operator kind (and join kind),
+    /// placeholders match any subtree.
+    pub fn matches_at(&self, tree: &LogicalTree) -> bool {
+        match self {
+            PatternTree::Any => true,
+            PatternTree::Op { matcher, children } => {
+                matcher.accepts(tree.op.kind(), tree.op.join_kind())
+                    && children.len() == tree.children.len()
+                    && children
+                        .iter()
+                        .zip(&tree.children)
+                        .all(|(p, c)| p.matches_at(c))
+            }
+        }
+    }
+
+    /// True iff the pattern matches anywhere in `tree`. Pattern presence
+    /// is the §3.1 *necessary* condition for the rule to fire on the tree
+    /// as written — callers can use its absence to skip optimizer work.
+    pub fn matches_anywhere(&self, tree: &LogicalTree) -> bool {
+        self.matches_at(tree) || tree.children.iter().any(|c| self.matches_anywhere(c))
+    }
+
     /// Serializes the pattern as XML — the export format of the paper's
     /// server API (§3.1).
     pub fn to_xml(&self) -> String {
@@ -199,6 +223,48 @@ mod tests {
         assert!(PatternTree::kind(OpKind::Get, vec![])
             .placeholder_paths()
             .is_empty());
+    }
+
+    #[test]
+    fn pattern_matching_against_logical_trees() {
+        use ruletest_common::TableId;
+        use ruletest_expr::Expr;
+        use ruletest_logical::{LogicalTree, Operator};
+        let get = |t: u32| {
+            LogicalTree::new(
+                Operator::Get {
+                    table: TableId(t),
+                    cols: vec![],
+                },
+                vec![],
+            )
+        };
+        let join = LogicalTree::new(
+            Operator::Join {
+                kind: JoinKind::LeftOuter,
+                predicate: Expr::true_lit(),
+            },
+            vec![get(0), get(1)],
+        );
+        let tree = LogicalTree::new(
+            Operator::Select {
+                predicate: Expr::true_lit(),
+            },
+            vec![join],
+        );
+        let outer = PatternTree::join(
+            vec![JoinKind::LeftOuter],
+            PatternTree::Any,
+            PatternTree::Any,
+        );
+        assert!(!outer.matches_at(&tree)); // root is a Select
+        assert!(outer.matches_anywhere(&tree));
+        let inner = PatternTree::join(vec![JoinKind::Inner], PatternTree::Any, PatternTree::Any);
+        assert!(!inner.matches_anywhere(&tree));
+        // Select-over-outer-join, the shape outer-join rules want.
+        let select_over_join = PatternTree::kind(OpKind::Select, vec![outer]);
+        assert!(select_over_join.matches_at(&tree));
+        assert!(!select_over_join.matches_at(&tree.children[0]));
     }
 
     #[test]

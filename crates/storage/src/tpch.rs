@@ -80,6 +80,13 @@ impl TpchConfig {
             null_probability: base.null_probability,
         }
     }
+
+    /// Recovers the integer scale factor this configuration was built
+    /// with (1 for the default). Derived from the lineitem count so
+    /// hand-tweaked configs still report a sensible magnitude.
+    pub fn scale_factor(&self) -> usize {
+        (self.lineitems / Self::default().lineitems).max(1)
+    }
 }
 
 fn col(name: &str, dt: DataType, nullable: bool) -> ColumnDef {

@@ -46,12 +46,21 @@ pub enum Counter {
     SkippedIdentical,
     /// Validations skipped because execution exceeded the work budget.
     SkippedExpensive,
+    /// Validations skipped because the executor refused the masked plan
+    /// (`Error::Unsupported`), distinct from budget skips.
+    SkippedUnsupported,
     /// Correctness bugs detected.
     CorrectnessBugs,
+    /// Bug witnesses fully minimized by triage.
+    BugsMinimized,
+    /// Accepted shrink steps across all triage minimizations.
+    MinimizationSteps,
+    /// Findings collapsed into an existing bug signature by triage dedup.
+    DuplicatesCollapsed,
 }
 
 impl Counter {
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 18;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::OptInvocations,
@@ -67,7 +76,11 @@ impl Counter {
         Counter::Executions,
         Counter::SkippedIdentical,
         Counter::SkippedExpensive,
+        Counter::SkippedUnsupported,
         Counter::CorrectnessBugs,
+        Counter::BugsMinimized,
+        Counter::MinimizationSteps,
+        Counter::DuplicatesCollapsed,
     ];
 
     /// Stable dotted name used in reports and traces.
@@ -86,7 +99,11 @@ impl Counter {
             Counter::Executions => "correctness.executions",
             Counter::SkippedIdentical => "correctness.skipped_identical",
             Counter::SkippedExpensive => "correctness.skipped_expensive",
+            Counter::SkippedUnsupported => "correctness.skipped_unsupported",
             Counter::CorrectnessBugs => "correctness.bugs",
+            Counter::BugsMinimized => "triage.bugs_minimized",
+            Counter::MinimizationSteps => "triage.minimization_steps",
+            Counter::DuplicatesCollapsed => "triage.duplicates_collapsed",
         }
     }
 }

@@ -11,24 +11,31 @@
 //! ruletest audit [--rules N] [--k K]     compression + correctness campaign
 //! ruletest impact [--rules N]            workload-level rule performance impact (§1's third dimension)
 //! ruletest report <run-report.json>      summarize a --metrics-json run report (--check fails on dead instrumentation)
+//! ruletest triage [--fault F] [--out P]  campaign + bug triage: minimize, dedup, emit repro bundles
+//! ruletest triage replay <bugs.jsonl>    re-execute bundles in a fresh process (--check fails unless all confirm)
 //!
-//! common options: --seed N   --pad N   --random   --trials N   --threads N
+//! common options: --seed N   --pad N   --random   --trials N   --threads N   --scale N
 //! telemetry:      --metrics-json PATH   --trace-out PATH
 //! ```
 
 use ruletest::cli::{self, Opts};
 use ruletest::core::compress::{baseline, smc, topk, Instance};
 use ruletest::core::correctness::execute_solution;
+use ruletest::core::faults::{buggy_optimizer, Fault};
 use ruletest::core::generate::dependency::find_dependency_query;
 use ruletest::core::generate::relevant::find_relevant_query;
 use ruletest::core::{
-    build_graph, generate_suite, singleton_targets, Framework, FrameworkConfig, GenConfig, Strategy,
+    build_graph, generate_suite, read_bundles, replay, singleton_targets, to_bundles,
+    triage_report, write_bundles, DbProfile, Framework, FrameworkConfig, GenConfig, RuleTarget,
+    Strategy, TriageConfig,
 };
 use ruletest::executor::{execute, ExecConfig};
-use ruletest::optimizer::RuleKind;
+use ruletest::optimizer::{Optimizer, RuleKind};
 use ruletest::sql::parse_sql;
+use ruletest::storage::{tpch_database, TpchConfig};
 use ruletest::telemetry::{RunReport, Telemetry};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() -> ExitCode {
@@ -42,6 +49,16 @@ fn main() -> ExitCode {
     if cmd == "report" {
         // Pure file analysis: no framework (or test database) needed.
         return match run_report_cmd(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "triage" {
+        // Builds its own (possibly fault-injected, scaled) framework.
+        return match run_triage(&opts) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -190,7 +207,7 @@ fn main() -> ExitCode {
         "impact" => run_impact(&fw, &opts),
         _ => {
             eprintln!(
-                "usage: ruletest <rules|pattern|gen|pair|relevant|sql|audit|impact|report> [options]\n\
+                "usage: ruletest <rules|pattern|gen|pair|relevant|sql|audit|impact|report|triage> [options]\n\
                  see the module docs (`ruletest --help` equivalent) in src/bin/ruletest.rs"
             );
             Ok(())
@@ -333,16 +350,22 @@ fn run_audit(fw: &Framework, opts: &Opts) -> Result<(), String> {
     let report = execute_solution(fw, &suite, &inst, &t, &ExecConfig::default())
         .map_err(|e| e.to_string())?;
     println!(
-        "executed TOPK suite: {} validations, {} executions, {} skipped-identical, {} bugs",
+        "executed TOPK suite: {} validations, {} executions, {} skipped-identical, {} skipped-unsupported, {} bugs",
         report.validations,
         report.executions,
         report.skipped_identical,
+        report.skipped_unsupported,
         report.bugs.len()
     );
     for bug in &report.bugs {
         println!(
-            "BUG in {}: {}\n  {}",
-            bug.target_label, bug.diff_summary, bug.sql
+            "BUG in {}: {}\n  seed={} scale={} rule_mask=[{}]\n  {}",
+            bug.target_label,
+            bug.diff_summary,
+            bug.seed,
+            bug.scale,
+            bug.rule_mask.join("+"),
+            bug.sql
         );
     }
     if report.passed() {
@@ -351,4 +374,199 @@ fn run_audit(fw: &Framework, opts: &Opts) -> Result<(), String> {
     } else {
         Err(format!("{} correctness bugs found", report.bugs.len()))
     }
+}
+
+/// `ruletest triage [--fault F] [--out P] [--scale N]` — runs a campaign
+/// (over a fault-injected optimizer when `--fault` is given), then
+/// minimizes, deduplicates, and bundles every finding.
+///
+/// Unlike `audit`, finding bugs here is *success*: the command's job is
+/// producing repro bundles, and it fails only when a requested fault
+/// injection yields nothing to triage.
+fn run_triage(opts: &Opts) -> Result<(), String> {
+    if opts.positional.first().map(String::as_str) == Some("replay") {
+        return run_triage_replay(opts);
+    }
+    let started = Instant::now();
+    let mut parallelism = ruletest::common::Parallelism::default();
+    if opts.threads > 0 {
+        parallelism.threads = opts.threads;
+    }
+    parallelism.seed = opts.seed;
+    let telemetry = if opts.trace_out.is_some() {
+        Telemetry::enabled()
+    } else if opts.metrics_json.is_some() {
+        Telemetry::metrics_only()
+    } else {
+        Telemetry::disabled()
+    };
+    let fault = match &opts.fault {
+        Some(name) => Some(Fault::from_name(name).ok_or_else(|| {
+            let known: Vec<&str> = Fault::ALL.iter().map(|f| f.name()).collect();
+            format!("unknown fault '{name}' (known: {})", known.join(", "))
+        })?),
+        None => None,
+    };
+    let scale = opts.scale.max(1);
+    let db_cfg = TpchConfig::scaled(TpchConfig::default().seed, scale);
+    let db = Arc::new(tpch_database(&db_cfg).map_err(|e| e.to_string())?);
+    let optimizer = Arc::new(match fault {
+        Some(f) => buggy_optimizer(db.clone(), f),
+        None => Optimizer::new(db.clone()),
+    });
+    let fw = Framework::with_optimizer(optimizer)
+        .with_db_profile(DbProfile {
+            db_seed: db_cfg.seed,
+            scale,
+        })
+        .with_parallelism(parallelism)
+        .with_telemetry(telemetry);
+    // Fault mode targets the one replaced rule; clean mode audits broadly.
+    let (targets, pad) = match fault {
+        Some(f) => {
+            let rid = fw
+                .optimizer
+                .rule_id(f.rule_name())
+                .ok_or_else(|| format!("fault rule '{}' not in catalog", f.rule_name()))?;
+            (vec![RuleTarget::Single(rid)], opts.pad.max(1))
+        }
+        None => (singleton_targets(&fw, opts.rules), opts.pad.max(2)),
+    };
+    // Detection is seed-sensitive; fall back through a fixed seed ladder
+    // until the campaign surfaces a finding (fault mode only — a clean
+    // optimizer legitimately finds nothing).
+    let mut seeds = vec![opts.seed];
+    if fault.is_some() {
+        seeds.extend(
+            [3u64, 11, 19, 27, 40, 55, 63, 71]
+                .iter()
+                .filter(|s| **s != opts.seed),
+        );
+    }
+    let mut found = None;
+    for seed in seeds {
+        let gen_cfg = GenConfig {
+            seed,
+            pad_ops: pad,
+            max_trials: opts.trials,
+            ..Default::default()
+        };
+        let Ok(suite) = generate_suite(&fw, targets.clone(), opts.k, Strategy::Pattern, &gen_cfg)
+        else {
+            continue;
+        };
+        let graph = build_graph(&fw, &suite).map_err(|e| e.to_string())?;
+        let inst = Instance::from_graph(&graph);
+        let sol = topk(&inst).map_err(|e| e.to_string())?;
+        let report = execute_solution(&fw, &suite, &inst, &sol, &ExecConfig::default())
+            .map_err(|e| e.to_string())?;
+        let done = !report.bugs.is_empty() || fault.is_none();
+        if done {
+            found = Some((seed, suite, report));
+            break;
+        }
+    }
+    let Some((seed, suite, report)) = found else {
+        return Err("fault injection produced no detectable bug on any seed".to_string());
+    };
+    println!(
+        "campaign (seed {seed}): {} validations, {} raw findings",
+        report.validations,
+        report.bugs.len()
+    );
+    let cfg = TriageConfig {
+        fault,
+        ..TriageConfig::default()
+    };
+    let triaged = triage_report(&fw, &suite, &report, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "triage: {} raw -> {} deduplicated signature(s), {} duplicate(s) collapsed, {} shrink steps",
+        triaged.raw_bugs,
+        triaged.bugs.len(),
+        triaged.duplicates_collapsed,
+        triaged.steps_total
+    );
+    for bug in &triaged.bugs {
+        println!(
+            "SIGNATURE {}\n  seed={} scale={} rule_mask=[{}] ops={} duplicates={}{}\n  {}\n  {}",
+            bug.signature.key(),
+            bug.report.seed,
+            bug.scale,
+            bug.report.rule_mask.join("+"),
+            bug.ops,
+            bug.duplicates,
+            if bug.certified { " (1-minimal)" } else { "" },
+            bug.minimized_sql,
+            bug.diff_summary
+        );
+        if bug.raw_signature != bug.signature {
+            println!("  raw signature was: {}", bug.raw_signature.key());
+        }
+    }
+    if let Some(path) = &opts.out {
+        let bundles = to_bundles(&fw, &triaged, &cfg).map_err(|e| e.to_string())?;
+        let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+        let mut w = std::io::BufWriter::new(file);
+        write_bundles(&mut w, &bundles).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {} repro bundle(s) to {path}", bundles.len());
+    }
+    let stats = fw.optimizer.cache_stats();
+    println!(
+        "optimizer invocation cache: {} hits / {} lookups",
+        stats.hits,
+        stats.hits + stats.misses
+    );
+    write_telemetry_outputs(&fw, opts, started)?;
+    if fault.is_some() && triaged.bugs.is_empty() {
+        return Err("fault injection produced no triaged bug".to_string());
+    }
+    Ok(())
+}
+
+/// `ruletest triage replay <bugs.jsonl> [--check]` — re-executes every
+/// bundle from scratch in this (fresh) process.
+fn run_triage_replay(opts: &Opts) -> Result<(), String> {
+    let path = opts
+        .positional
+        .get(1)
+        .ok_or_else(|| "usage: ruletest triage replay <bugs.jsonl> [--check]".to_string())?;
+    let file = std::fs::File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    let bundles =
+        read_bundles(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    if bundles.is_empty() {
+        return Err(format!("{path}: no bundles to replay"));
+    }
+    let mut unconfirmed = 0usize;
+    for (i, bundle) in bundles.iter().enumerate() {
+        let outcome = replay(bundle).map_err(|e| format!("bundle {}: {e}", i + 1))?;
+        let status = if outcome.confirmed {
+            "CONFIRMED"
+        } else if outcome.diverged {
+            "DIVERGED (diff mismatch)"
+        } else {
+            "NOT REPRODUCED"
+        };
+        println!(
+            "bundle {}: {} [{}] {}",
+            i + 1,
+            bundle.signature,
+            status,
+            bundle.sql
+        );
+        if !outcome.confirmed {
+            unconfirmed += 1;
+            println!("  recorded: {}", bundle.diff_summary);
+            println!("  replayed: {}", outcome.diff_summary);
+        }
+    }
+    println!(
+        "replayed {} bundle(s): {} confirmed, {} unconfirmed",
+        bundles.len(),
+        bundles.len() - unconfirmed,
+        unconfirmed
+    );
+    if opts.check && unconfirmed > 0 {
+        return Err(format!("{unconfirmed} bundle(s) failed to confirm"));
+    }
+    Ok(())
 }

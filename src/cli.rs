@@ -26,7 +26,14 @@ pub struct Opts {
     /// telemetry with tracing).
     pub trace_out: Option<String>,
     /// `ruletest report --check`: fail on dead instrumentation.
+    /// `ruletest triage replay --check`: fail unless every bundle confirms.
     pub check: bool,
+    /// `ruletest triage --fault NAME`: inject the named fault.
+    pub fault: Option<String>,
+    /// Write JSONL repro bundles here (`ruletest triage --out PATH`).
+    pub out: Option<String>,
+    /// Test-database scale factor (1 = default table sizes).
+    pub scale: usize,
     pub positional: Vec<String>,
 }
 
@@ -43,6 +50,9 @@ impl Default for Opts {
             metrics_json: None,
             trace_out: None,
             check: false,
+            fault: None,
+            out: None,
+            scale: 1,
             positional: Vec::new(),
         }
     }
@@ -81,6 +91,9 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<(String, Opts), S
             "--threads" => opts.threads = parse_value(&a, &mut args)?,
             "--metrics-json" => opts.metrics_json = Some(value_of(&a, &mut args)?),
             "--trace-out" => opts.trace_out = Some(value_of(&a, &mut args)?),
+            "--fault" => opts.fault = Some(value_of(&a, &mut args)?),
+            "--out" => opts.out = Some(value_of(&a, &mut args)?),
+            "--scale" => opts.scale = parse_value(&a, &mut args)?,
             "--random" => opts.random = true,
             "--check" => opts.check = true,
             other if other.starts_with("--") => {
@@ -167,6 +180,32 @@ mod tests {
     fn unknown_flag_is_an_error() {
         let err = parse(argv(&["audit", "--frobnicate"])).unwrap_err();
         assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn triage_flags_parse() {
+        let (cmd, opts) = parse(argv(&[
+            "triage",
+            "--fault",
+            "SelectMergedIntoOuterJoin",
+            "--out",
+            "bugs.jsonl",
+            "--scale",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "triage");
+        assert_eq!(opts.fault.as_deref(), Some("SelectMergedIntoOuterJoin"));
+        assert_eq!(opts.out.as_deref(), Some("bugs.jsonl"));
+        assert_eq!(opts.scale, 2);
+        // replay form: positional file + --check
+        let (cmd, opts) = parse(argv(&["triage", "replay", "bugs.jsonl", "--check"])).unwrap();
+        assert_eq!(cmd, "triage");
+        assert_eq!(opts.positional, vec!["replay", "bugs.jsonl"]);
+        assert!(opts.check);
+        // missing values fail loudly
+        assert!(parse(argv(&["triage", "--fault"])).is_err());
+        assert!(parse(argv(&["triage", "--scale", "x"])).is_err());
     }
 
     #[test]
