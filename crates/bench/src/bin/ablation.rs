@@ -130,7 +130,10 @@ fn composition_ablation(fw: &Framework) -> FigureTable {
 }
 
 fn padding_ablation(fw: &Framework) -> FigureTable {
-    let rule = fw.optimizer.rule_id("EagerGbAggPushBelowJoinLeft").unwrap();
+    let rule = fw
+        .optimizer
+        .rule_id("EagerGbAggPushBelowJoinLeft")
+        .expect("EagerGbAggPushBelowJoinLeft is in the standard catalog");
     let mut t = FigureTable::new(
         "Ablation: operator-count padding of pattern queries (§2.3 constraint)",
         &[
@@ -176,7 +179,10 @@ fn padding_ablation(fw: &Framework) -> FigureTable {
 
 fn pad_demo(fw: &Framework) {
     // Exercise pad_above directly so the public helper stays covered.
-    let rule = fw.optimizer.rule_id("SelectMerge").unwrap();
+    let rule = fw
+        .optimizer
+        .rule_id("SelectMerge")
+        .expect("SelectMerge is in the standard catalog");
     let mut rng = Rng::new(7);
     let mut ids = IdGen::new();
     let built = instantiate_pattern(&fw.db, &mut rng, &mut ids, fw.optimizer.rule_pattern(rule))

@@ -125,7 +125,7 @@ fn hungarian(cost: &[Vec<f64>]) -> Result<Vec<usize>> {
             row_to_col[p[j] - 1] = j - 1;
         }
     }
-    if row_to_col.iter().any(|&c| c == usize::MAX) {
+    if row_to_col.contains(&usize::MAX) {
         return Err(Error::internal("incomplete assignment"));
     }
     Ok(row_to_col)

@@ -68,7 +68,7 @@ impl Built {
 
     /// True iff `col` is a single-column unique key of its base table.
     pub fn is_key_col(&self, db: &Database, col: ColId) -> bool {
-        self.base_cols.get(&col).map_or(false, |(t, ord)| {
+        self.base_cols.get(&col).is_some_and(|(t, ord)| {
             db.catalog
                 .table(*t)
                 .map(|def| def.is_unique_column(*ord))

@@ -215,13 +215,13 @@ fn triage_one(
     // Re-derive the final artifacts from the minimized witness. Both
     // optimizations were just computed by the minimizer's last accepted
     // check, so these are invocation-cache hits.
-    let div = minimize::divergence(&min.framework(fw), &min.tree, &min.rules, &cfg.exec)
+    let div = minimize::divergence(min.framework(fw), &min.tree, &min.rules, &cfg.exec)
         .ok_or_else(|| Error::internal("minimized witness no longer diverges — minimizer bug"))?;
     let minimized_sql = to_sql(&min.framework(fw).db.catalog, &min.tree)?;
     // Round-trip guard: bundles carry only the SQL, so the rendered
     // witness must parse back to a tree that still diverges.
     let reparsed = ruletest_sql::parse_sql(&min.framework(fw).db.catalog, &minimized_sql)?;
-    if minimize::divergence(&min.framework(fw), &reparsed, &min.rules, &cfg.exec).is_none() {
+    if minimize::divergence(min.framework(fw), &reparsed, &min.rules, &cfg.exec).is_none() {
         return Err(Error::internal(
             "minimized SQL does not round-trip to a diverging query",
         ));

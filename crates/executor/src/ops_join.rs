@@ -76,12 +76,12 @@ pub(crate) fn exec(ctx: &mut Ctx, plan: &PhysicalPlan) -> Result<Vec<Row>> {
 
 fn pad_left(out: &mut Vec<Row>, left: &Row, right_width: usize) {
     let mut row = left.clone();
-    row.extend(std::iter::repeat(Value::Null).take(right_width));
+    row.extend(std::iter::repeat_n(Value::Null, right_width));
     out.push(row);
 }
 
 fn pad_right(out: &mut Vec<Row>, left_width: usize, right: &Row) {
-    let mut row: Row = std::iter::repeat(Value::Null).take(left_width).collect();
+    let mut row: Row = std::iter::repeat_n(Value::Null, left_width).collect();
     row.extend(right.iter().cloned());
     out.push(row);
 }

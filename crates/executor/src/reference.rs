@@ -147,7 +147,7 @@ fn walk(db: &Database, tree: &LogicalTree, budget: &mut u64) -> Result<Rel> {
                     match kind {
                         JoinKind::LeftOuter | JoinKind::FullOuter => {
                             let mut padded = l.clone();
-                            padded.extend(std::iter::repeat(Value::Null).take(right.cols.len()));
+                            padded.extend(std::iter::repeat_n(Value::Null, right.cols.len()));
                             rows.push(padded);
                         }
                         JoinKind::LeftAnti => rows.push(l.clone()),
@@ -158,9 +158,8 @@ fn walk(db: &Database, tree: &LogicalTree, budget: &mut u64) -> Result<Rel> {
             if kind.preserves_right() {
                 for (ri, r) in right.rows.iter().enumerate() {
                     if !right_matched[ri] {
-                        let mut padded: Row = std::iter::repeat(Value::Null)
-                            .take(left.cols.len())
-                            .collect();
+                        let mut padded: Row =
+                            std::iter::repeat_n(Value::Null, left.cols.len()).collect();
                         padded.extend(r.iter().cloned());
                         rows.push(padded);
                     }

@@ -110,7 +110,7 @@ pub fn remap_columns(expr: &Expr, map: &HashMap<ColId, ColId>) -> Expr {
 /// predicate through a computing projection, and to merge projections).
 pub fn substitute(expr: &Expr, map: &HashMap<ColId, Expr>) -> Expr {
     match expr {
-        Expr::Col(c) => map.get(c).cloned().unwrap_or_else(|| Expr::Col(*c)),
+        Expr::Col(c) => map.get(c).cloned().unwrap_or(Expr::Col(*c)),
         Expr::Lit(v) => Expr::Lit(v.clone()),
         Expr::Bin { op, left, right } => {
             Expr::bin(*op, substitute(left, map), substitute(right, map))

@@ -105,6 +105,9 @@ impl Expr {
         Expr::bin(BinOp::Or, left, right)
     }
 
+    // An associated constructor, not a `Not` impl: `Expr::not(e)` takes
+    // no receiver, so it cannot shadow the operator trait.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(inner: Expr) -> Expr {
         Expr::Not(Box::new(inner))
     }

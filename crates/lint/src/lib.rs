@@ -1,0 +1,160 @@
+//! Static plan auditor and rule linter (§3.1's necessary-condition
+//! contract, checked before any query runs).
+//!
+//! The dynamic campaign finds rule bugs by executing queries and diffing
+//! result multisets. This crate catches a large class of those bugs
+//! *statically*: for every registered transformation rule it instantiates
+//! a bounded corpus of small logical trees from the rule's exported
+//! pattern, applies the rule's substitution in a sandboxed memo, and
+//! checks each substitute against the input match on four axes —
+//! well-formedness (column binding, predicate typing, outer-join
+//! nullability, Union arity), schema equivalence, row provenance
+//! (NULL-padding / row-preservation per base leaf), and duplicate
+//! sensitivity (set-class vs bag-class outputs). A pattern-necessity
+//! auditor separately probes every rule's action against every corpus
+//! tree and flags actions that fire where their exported pattern does not
+//! match.
+//!
+//! Two entry points:
+//! * [`lint_rules`] — the offline `ruletest lint` audit over a whole
+//!   optimizer rule catalog, producing a [`LintReport`].
+//! * [`OnlineAuditor`] — a [`SubstituteAuditor`] installed on an
+//!   [`Optimizer`] in debug/CI runs, auditing real substitutes as the
+//!   explore loop produces them and feeding violations into telemetry.
+
+pub mod audit;
+pub mod keys;
+pub mod node;
+pub mod props;
+pub mod report;
+pub mod violation;
+pub mod wellformed;
+
+pub use audit::{AuditStats, CorpusTree};
+pub use node::{AuditNode, LeafKey};
+pub use report::LintReport;
+pub use violation::{dedup_violations, LintPass, LintViolation, Severity};
+
+use ruletest_optimizer::{Bound, Memo, NewTree, Optimizer, Rule, RuleAction, SubstituteAuditor};
+use ruletest_storage::Database;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Runs the full static audit over an optimizer's rule catalog.
+pub fn lint_rules(opt: &Optimizer) -> ruletest_common::Result<LintReport> {
+    let db = opt.database();
+    let mut stats = AuditStats::default();
+    let mut violations = Vec::new();
+
+    let all_ids: Vec<_> = opt
+        .exploration_rule_ids()
+        .into_iter()
+        .chain(opt.implementation_rule_ids())
+        .collect();
+    let all_rules: Vec<&Rule> = all_ids.iter().map(|&id| opt.rule(id)).collect();
+
+    // Static pattern satisfiability for every rule, exploration and
+    // implementation alike.
+    for rule in &all_rules {
+        violations.extend(audit::validate_pattern(rule.name, &rule.pattern));
+    }
+
+    // Corpus instantiation + substitute audit per exploration rule. The
+    // corpora double as the necessity-probe tree pool.
+    let mut corpora = Vec::new();
+    for &id in &opt.exploration_rule_ids() {
+        let rule = opt.rule(id);
+        let corpus = audit::build_corpus(db, rule)?;
+        stats.corpus_trees += corpus.len();
+        for ct in &corpus {
+            // Self-check: corpus trees must themselves be well-formed, or
+            // the audit would chase bugs in its own inputs.
+            violations.extend(wellformed::check_tree(
+                &db.catalog,
+                &ct.tree,
+                &format!("corpus for {}", ct.origin),
+            ));
+        }
+        violations.extend(audit::audit_rule(db, rule, &corpus, &mut stats));
+        corpora.extend(corpus);
+    }
+
+    violations.extend(audit::necessity_probe(&all_rules, &corpora, &mut stats));
+
+    Ok(LintReport {
+        rules_audited: all_rules.len(),
+        stats,
+        violations: dedup_violations(violations),
+    })
+}
+
+/// Runs [`lint_rules`] with only the named rule's substitute audit — used
+/// to focus a fault investigation. Pattern validation and the necessity
+/// probe still cover the full catalog (they are cheap and a fault can
+/// perturb either).
+pub fn lint_rules_focused(opt: &Optimizer, rule_name: &str) -> ruletest_common::Result<LintReport> {
+    let report = lint_rules(opt)?;
+    Ok(LintReport {
+        rules_audited: report.rules_audited,
+        stats: report.stats,
+        violations: report
+            .violations
+            .into_iter()
+            .filter(|v| v.rule.as_deref() == Some(rule_name) || v.rule.is_none())
+            .collect(),
+    })
+}
+
+/// Online auditor for debug-mode optimization runs: audits every
+/// exploration substitute in place and accumulates the violations.
+/// Install with [`Optimizer::set_substitute_auditor`].
+#[derive(Default)]
+pub struct OnlineAuditor {
+    violations: Mutex<Vec<LintViolation>>,
+}
+
+impl OnlineAuditor {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains everything collected so far, deduplicated.
+    pub fn take_violations(&self) -> Vec<LintViolation> {
+        let mut guard = self.violations.lock().expect("auditor poisoned");
+        dedup_violations(std::mem::take(&mut *guard))
+    }
+}
+
+impl SubstituteAuditor for OnlineAuditor {
+    fn audit(
+        &self,
+        db: &Database,
+        memo: &Memo,
+        bound: &Bound,
+        rule_name: &str,
+        substitute: &NewTree,
+    ) -> usize {
+        // Online matches carry no corpus, so concrete shapes come from the
+        // bound input itself: any group the substitute references that the
+        // input match covers resolves to its concrete subtree.
+        let mut resolve = HashMap::new();
+        AuditNode::from_bound(bound, &HashMap::new()).index_by_group(&mut resolve);
+        let found = audit::audit_substitute(db, memo, bound, &resolve, rule_name, substitute);
+        let n = found.len();
+        if n > 0 {
+            self.violations
+                .lock()
+                .expect("auditor poisoned")
+                .extend(found);
+        }
+        n
+    }
+}
+
+/// Convenience used by tests and the CLI: the exploration-action arity of
+/// a rule (explore rules return logical substitutes the auditor can
+/// check; implementation rules only participate in pattern validation and
+/// the necessity probe).
+pub fn is_explorable(rule: &Rule) -> bool {
+    matches!(rule.action, RuleAction::Explore(_))
+}

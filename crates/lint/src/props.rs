@@ -1,0 +1,273 @@
+//! Abstract row-provenance analysis: for every base leaf of a plan, two
+//! boolean properties of the plan's output with respect to that leaf.
+//!
+//! * `padded(G)` — the output may contain rows in which G's columns are
+//!   NULL-padded by an outer join (G appeared on a null-supplying side and
+//!   nothing above rejected those rows).
+//! * `preserved(G)` — every source row of G contributes at least one
+//!   output row (G sits on row-preserving operators only).
+//!
+//! A correct substitute must agree with its input group on both properties
+//! for every shared leaf: a substitute that turns `padded` on emits
+//! NULL-padded rows the input never produces (e.g. pushing a filter below
+//! the null-supplying side of an outer join), one that turns it off drops
+//! them (e.g. simplifying an outer join to an inner join without a
+//! null-rejecting predicate above), and a `preserved` flip changes
+//! which source rows reach the output at all (e.g. merging a filter into
+//! an outer join's ON clause, where the join then preserves rows the
+//! filter used to remove). These are exactly the outer-join rule bugs the
+//! dynamic campaign otherwise needs executed queries to catch.
+
+use crate::node::{AuditNode, LeafKey};
+use crate::violation::{LintPass, LintViolation, Severity};
+use ruletest_expr::is_null_rejecting;
+use ruletest_logical::{JoinKind, Operator};
+use ruletest_optimizer::Memo;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Provenance properties of one base leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafProps {
+    pub padded: bool,
+    pub preserved: bool,
+    /// Columns of this leaf still visible in the (sub)plan output. Padding
+    /// is only observable through visible columns.
+    pub visible: BTreeSet<ruletest_common::ColId>,
+}
+
+pub type PropMap = BTreeMap<LeafKey, LeafProps>;
+
+/// Row preservation per join kind: (left preserved, right preserved).
+/// Note `LeftAnti` does *not* preserve its left input in the row sense —
+/// matched rows are dropped — even though `JoinKind::preserves_left`
+/// reports it as preserving for nullability purposes.
+fn row_preservation(kind: JoinKind) -> (bool, bool) {
+    match kind {
+        JoinKind::Inner => (false, false),
+        JoinKind::LeftOuter => (true, false),
+        JoinKind::RightOuter => (false, true),
+        JoinKind::FullOuter => (true, true),
+        JoinKind::LeftSemi => (false, false),
+        JoinKind::LeftAnti => (false, false),
+    }
+}
+
+/// Sides whose surviving non-padded rows must have satisfied the ON
+/// predicate (so a null-rejecting ON predicate clears `padded` coming from
+/// below). Anti join is excluded: its survivors *failed* the predicate.
+fn on_pred_filters(kind: JoinKind) -> (bool, bool) {
+    match kind {
+        JoinKind::Inner => (true, true),
+        JoinKind::LeftOuter => (false, true),
+        JoinKind::RightOuter => (true, false),
+        JoinKind::FullOuter => (false, false),
+        JoinKind::LeftSemi => (true, false),
+        JoinKind::LeftAnti => (false, false),
+    }
+}
+
+/// Padding introduced by this join: (pads left side, pads right side).
+fn pads(kind: JoinKind) -> (bool, bool) {
+    match kind {
+        JoinKind::LeftOuter => (false, true),
+        JoinKind::RightOuter => (true, false),
+        JoinKind::FullOuter => (true, true),
+        _ => (false, false),
+    }
+}
+
+/// Merges a leaf entry into a map, OR-ing both properties and unioning
+/// visibility when the leaf already occurs (a relation referenced by both
+/// branches of a union, e.g. after distributing a join over a union).
+fn merge(map: &mut PropMap, key: LeafKey, props: LeafProps) {
+    match map.get_mut(&key) {
+        Some(p) => {
+            p.padded |= props.padded;
+            p.preserved |= props.preserved;
+            p.visible.extend(props.visible);
+        }
+        None => {
+            map.insert(key, props);
+        }
+    }
+}
+
+/// Computes the per-leaf provenance map of `node`. `memo` supplies schemas
+/// for opaque group leaves; `anon` numbers leaves with no group identity.
+pub fn analyze(node: &AuditNode, memo: &Memo, anon: &mut u32) -> PropMap {
+    match node {
+        AuditNode::Group(g) => {
+            let visible = memo.schema(*g).iter().map(|c| c.id).collect();
+            let mut m = PropMap::new();
+            m.insert(
+                LeafKey::Group(*g),
+                LeafProps {
+                    padded: false,
+                    preserved: true,
+                    visible,
+                },
+            );
+            m
+        }
+        AuditNode::Op { op, gid, children } => match op {
+            Operator::Get { cols, .. } => {
+                let key = match gid {
+                    Some(g) => LeafKey::Group(*g),
+                    None => {
+                        *anon += 1;
+                        LeafKey::Anon(*anon)
+                    }
+                };
+                let mut m = PropMap::new();
+                m.insert(
+                    key,
+                    LeafProps {
+                        padded: false,
+                        preserved: true,
+                        visible: cols.iter().copied().collect(),
+                    },
+                );
+                m
+            }
+            Operator::Select { predicate } => {
+                let mut m = analyze(&children[0], memo, anon);
+                let keep_all = predicate.is_true_lit();
+                for p in m.values_mut() {
+                    p.preserved &= keep_all;
+                    if p.padded && is_null_rejecting(predicate, &p.visible) {
+                        p.padded = false;
+                    }
+                }
+                m
+            }
+            Operator::Project { outputs } => {
+                let mut m = analyze(&children[0], memo, anon);
+                // Only bare column passthroughs keep a leaf column visible;
+                // computed expressions produce new, unattributed columns.
+                let passthru: BTreeMap<_, _> = outputs
+                    .iter()
+                    .filter_map(|(id, e)| match e {
+                        ruletest_expr::Expr::Col(c) => Some((*c, *id)),
+                        _ => None,
+                    })
+                    .collect();
+                for p in m.values_mut() {
+                    p.visible = p
+                        .visible
+                        .iter()
+                        .filter_map(|c| passthru.get(c).copied())
+                        .collect();
+                }
+                m
+            }
+            Operator::Join { kind, predicate } => {
+                let ml = analyze(&children[0], memo, anon);
+                let mr = analyze(&children[1], memo, anon);
+                let (pres_l, pres_r) = row_preservation(*kind);
+                let (filt_l, filt_r) = on_pred_filters(*kind);
+                let (pad_l, pad_r) = pads(*kind);
+                let emits_right = kind.emits_both_sides();
+                let mut m = PropMap::new();
+                for (side_map, pres, filt, pad, visible_side) in [
+                    (ml, pres_l, filt_l, pad_l, true),
+                    (mr, pres_r, filt_r, pad_r, emits_right),
+                ] {
+                    for (key, mut p) in side_map {
+                        p.preserved &= pres;
+                        if p.padded && filt && is_null_rejecting(predicate, &p.visible) {
+                            p.padded = false;
+                        }
+                        p.padded |= pad;
+                        if !visible_side {
+                            p.visible.clear();
+                        }
+                        merge(&mut m, key, p);
+                    }
+                }
+                m
+            }
+            Operator::GbAgg { group_by, .. } => {
+                let mut m = analyze(&children[0], memo, anon);
+                let gb: BTreeSet<_> = group_by.iter().copied().collect();
+                for p in m.values_mut() {
+                    p.visible = p.visible.intersection(&gb).copied().collect();
+                }
+                m
+            }
+            Operator::UnionAll {
+                outputs,
+                left_cols,
+                right_cols,
+            } => {
+                let ml = analyze(&children[0], memo, anon);
+                let mr = analyze(&children[1], memo, anon);
+                let mut m = PropMap::new();
+                for (side_map, side_cols) in [(ml, left_cols), (mr, right_cols)] {
+                    let remap: BTreeMap<_, _> = side_cols
+                        .iter()
+                        .copied()
+                        .zip(outputs.iter().copied())
+                        .collect();
+                    for (key, mut p) in side_map {
+                        p.visible = p
+                            .visible
+                            .iter()
+                            .filter_map(|c| remap.get(c).copied())
+                            .collect();
+                        merge(&mut m, key, p);
+                    }
+                }
+                m
+            }
+            Operator::Distinct | Operator::Sort { .. } => analyze(&children[0], memo, anon),
+            Operator::Top { .. } => {
+                let mut m = analyze(&children[0], memo, anon);
+                for p in m.values_mut() {
+                    p.preserved = false;
+                }
+                m
+            }
+        },
+    }
+}
+
+/// Compares the provenance maps of an input match and one substitute;
+/// every disagreement on a shared leaf is a violation. Padding is compared
+/// effectively — a padded leaf with no visible columns cannot be observed.
+pub fn compare(input: &PropMap, substitute: &PropMap, rule: &str) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    for (key, i) in input {
+        let Some(s) = substitute.get(key) else {
+            continue;
+        };
+        let leaf = match key {
+            LeafKey::Group(g) => format!("{g}"),
+            LeafKey::Anon(n) => format!("anon#{n}"),
+        };
+        let eff_i = i.padded && !i.visible.is_empty();
+        let eff_s = s.padded && !s.visible.is_empty();
+        if eff_i != eff_s {
+            out.push(LintViolation::new(
+                LintPass::RowProvenance,
+                Severity::Error,
+                Some(rule),
+                format!(
+                    "substitute {} NULL-padded rows of leaf {leaf} (input padded={eff_i}, substitute padded={eff_s})",
+                    if eff_s { "introduces" } else { "drops" },
+                ),
+            ));
+        }
+        if i.preserved != s.preserved {
+            out.push(LintViolation::new(
+                LintPass::RowProvenance,
+                Severity::Error,
+                Some(rule),
+                format!(
+                    "substitute changes row preservation of leaf {leaf} (input preserved={}, substitute preserved={})",
+                    i.preserved, s.preserved,
+                ),
+            ));
+        }
+    }
+    out
+}

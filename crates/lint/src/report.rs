@@ -1,0 +1,168 @@
+//! The lint report: per-pass violation counts, audit coverage stats, and
+//! a canonical JSON rendering (reusing the telemetry crate's zero-dep
+//! JSON model) for CI artifacts.
+
+use crate::audit::AuditStats;
+use crate::violation::{LintPass, LintViolation};
+use ruletest_telemetry::Json;
+
+/// Result of one full static lint run over an optimizer's rule catalog.
+#[derive(Debug)]
+pub struct LintReport {
+    pub rules_audited: usize,
+    pub stats: AuditStats,
+    /// Deduplicated violations, in discovery order.
+    pub violations: Vec<LintViolation>,
+}
+
+impl LintReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    pub fn count_for(&self, pass: LintPass) -> usize {
+        self.violations.iter().filter(|v| v.pass == pass).count()
+    }
+
+    /// Rules with at least one violation, sorted and deduplicated.
+    pub fn flagged_rules(&self) -> Vec<String> {
+        let mut rules: Vec<String> = self
+            .violations
+            .iter()
+            .filter_map(|v| v.rule.clone())
+            .collect();
+        rules.sort();
+        rules.dedup();
+        rules
+    }
+
+    pub fn to_json(&self) -> Json {
+        const PASSES: [LintPass; 5] = [
+            LintPass::WellFormed,
+            LintPass::SchemaEquivalence,
+            LintPass::RowProvenance,
+            LintPass::DuplicateSensitivity,
+            LintPass::PatternNecessity,
+        ];
+        let by_pass = PASSES
+            .iter()
+            .map(|p| (p.name().to_string(), Json::count(self.count_for(*p) as u64)))
+            .collect();
+        Json::obj(vec![
+            ("schema_version", Json::count(1)),
+            ("rules_audited", Json::count(self.rules_audited as u64)),
+            (
+                "coverage",
+                Json::obj(vec![
+                    ("corpus_trees", Json::count(self.stats.corpus_trees as u64)),
+                    (
+                        "bindings_audited",
+                        Json::count(self.stats.bindings_audited as u64),
+                    ),
+                    (
+                        "substitutes_audited",
+                        Json::count(self.stats.substitutes_audited as u64),
+                    ),
+                    (
+                        "necessity_probes",
+                        Json::count(self.stats.necessity_probes as u64),
+                    ),
+                ]),
+            ),
+            ("clean", Json::Bool(self.is_clean())),
+            ("violations_by_pass", Json::Obj(by_pass)),
+            (
+                "violations",
+                Json::Arr(
+                    self.violations
+                        .iter()
+                        .map(|v| {
+                            Json::obj(vec![
+                                ("pass", Json::str(v.pass.name())),
+                                ("severity", Json::str(v.severity.name())),
+                                (
+                                    "rule",
+                                    v.rule.as_deref().map(Json::str).unwrap_or(Json::Null),
+                                ),
+                                ("detail", Json::str(v.detail.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human-readable summary for terminal output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "lint: {} rules audited, {} corpus trees, {} substitutes checked, {} necessity probes\n",
+            self.rules_audited,
+            self.stats.corpus_trees,
+            self.stats.substitutes_audited,
+            self.stats.necessity_probes,
+        ));
+        if self.is_clean() {
+            out.push_str("lint: clean — no violations\n");
+        } else {
+            out.push_str(&format!("lint: {} violation(s)\n", self.violations.len()));
+            for v in &self.violations {
+                out.push_str(&format!("  {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::violation::Severity;
+
+    fn report(violations: Vec<LintViolation>) -> LintReport {
+        LintReport {
+            rules_audited: 3,
+            stats: AuditStats {
+                corpus_trees: 5,
+                bindings_audited: 7,
+                substitutes_audited: 11,
+                necessity_probes: 13,
+                firings_matched: 7,
+            },
+            violations,
+        }
+    }
+
+    #[test]
+    fn clean_report_json_shape() {
+        let r = report(vec![]);
+        assert!(r.is_clean());
+        let j = r.to_json();
+        let obj = j.as_obj().unwrap();
+        assert_eq!(obj["clean"], Json::Bool(true));
+        assert_eq!(obj["rules_audited"].as_u64(), Some(3));
+        assert_eq!(obj["violations"].as_arr().unwrap().len(), 0);
+        // Canonical round trip through the shared parser.
+        let text = j.to_string_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn violations_grouped_by_pass() {
+        let r = report(vec![
+            LintViolation::new(LintPass::RowProvenance, Severity::Error, Some("RuleA"), "x"),
+            LintViolation::new(LintPass::RowProvenance, Severity::Error, Some("RuleB"), "y"),
+            LintViolation::new(LintPass::WellFormed, Severity::Error, None, "z"),
+        ]);
+        assert_eq!(r.count_for(LintPass::RowProvenance), 2);
+        assert_eq!(r.count_for(LintPass::WellFormed), 1);
+        assert_eq!(r.count_for(LintPass::PatternNecessity), 0);
+        assert_eq!(
+            r.flagged_rules(),
+            vec!["RuleA".to_string(), "RuleB".to_string()]
+        );
+        let text = r.render_text();
+        assert!(text.contains("3 violation(s)"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Plan well-formedness passes over a single tree: column-binding
+//! resolution and type checking through `derive_schema`/`output_schema`,
+//! explicit predicate typing, and outer-join nullability / Union
+//! invariants re-asserted on the derived schemas.
+
+use crate::node::AuditNode;
+use crate::violation::{LintPass, LintViolation, Severity};
+use ruletest_common::Result;
+use ruletest_expr::infer_type;
+use ruletest_logical::{derive_schema, output_schema, LogicalTree, Operator, Schema};
+use ruletest_optimizer::Memo;
+use ruletest_storage::Catalog;
+
+/// Checks a concrete logical tree. Returns every violation found; a
+/// well-formed tree yields none.
+pub fn check_tree(catalog: &Catalog, tree: &LogicalTree, context: &str) -> Vec<LintViolation> {
+    let mut out = Vec::new();
+    walk(catalog, tree, context, &mut out);
+    out
+}
+
+fn walk(
+    catalog: &Catalog,
+    tree: &LogicalTree,
+    context: &str,
+    out: &mut Vec<LintViolation>,
+) -> Option<Schema> {
+    let mut child_schemas = Vec::with_capacity(tree.children.len());
+    for c in &tree.children {
+        child_schemas.push(walk(catalog, c, context, out)?);
+    }
+    let refs: Vec<&Schema> = child_schemas.iter().collect();
+    let schema = match output_schema(catalog, &tree.op, &refs) {
+        Ok(s) => s,
+        Err(e) => {
+            out.push(LintViolation::new(
+                LintPass::WellFormed,
+                Severity::Error,
+                None,
+                format!("{context}: {} does not type-check: {e}", tree.op.label()),
+            ));
+            return None;
+        }
+    };
+    check_node(&tree.op, &refs, &schema, context, out);
+    Some(schema)
+}
+
+/// Invariants re-asserted on a node whose `output_schema` succeeded —
+/// these guard the schema derivation itself (a regression there would
+/// otherwise silently weaken every downstream pass).
+fn check_node(
+    op: &Operator,
+    children: &[&Schema],
+    schema: &Schema,
+    context: &str,
+    out: &mut Vec<LintViolation>,
+) {
+    match op {
+        Operator::Select { predicate } => {
+            // Predicates must type as booleans over the visible columns.
+            let child = children[0];
+            let col_type = |id| child.iter().find(|c| c.id == id).map(|c| c.data_type);
+            match infer_type(predicate, &col_type) {
+                Ok(Some(t)) if t != ruletest_common::DataType::Bool => {
+                    out.push(LintViolation::new(
+                        LintPass::WellFormed,
+                        Severity::Error,
+                        None,
+                        format!("{context}: Select predicate types as {t:?}, not Bool"),
+                    ));
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    out.push(LintViolation::new(
+                        LintPass::WellFormed,
+                        Severity::Error,
+                        None,
+                        format!("{context}: Select predicate does not type-check: {e}"),
+                    ));
+                }
+            }
+        }
+        // Outer-join nullability: every column of a null-supplying side
+        // must be nullable in the output.
+        Operator::Join { kind, .. } if kind.emits_both_sides() => {
+            let left_len = children[0].len();
+            let nullable_ok = schema.iter().enumerate().all(|(i, c)| {
+                let padded = if i < left_len {
+                    kind.preserves_right()
+                } else {
+                    kind.preserves_left()
+                };
+                !padded || c.nullable
+            });
+            if !nullable_ok {
+                out.push(LintViolation::new(
+                    LintPass::WellFormed,
+                    Severity::Error,
+                    None,
+                    format!(
+                        "{context}: {kind:?} join output leaves a null-supplied column non-nullable"
+                    ),
+                ));
+            }
+        }
+        // Arity invariants beyond what output_schema enforces.
+        Operator::UnionAll {
+            outputs,
+            left_cols,
+            right_cols,
+        } if outputs.len() != left_cols.len() || outputs.len() != right_cols.len() => {
+            out.push(LintViolation::new(
+                LintPass::WellFormed,
+                Severity::Error,
+                None,
+                format!("{context}: UnionAll side-column maps disagree with output arity"),
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// Derives the output schema of a substitute tree whose leaves are memo
+/// groups — the type-check half of the substitute audit.
+pub fn substitute_schema(catalog: &Catalog, memo: &Memo, node: &AuditNode) -> Result<Schema> {
+    match node {
+        AuditNode::Group(g) => Ok(memo.schema(*g).clone()),
+        AuditNode::Op { op, children, .. } => {
+            let schemas = children
+                .iter()
+                .map(|c| substitute_schema(catalog, memo, c))
+                .collect::<Result<Vec<_>>>()?;
+            let refs: Vec<&Schema> = schemas.iter().collect();
+            output_schema(catalog, op, &refs)
+        }
+    }
+}
+
+/// Schema equivalence for the substitute audit: same column-id set with
+/// identical types. Order is excluded (commutativity permutes it) and so
+/// is nullability — outer-join simplification legitimately narrows it and
+/// aggregate splitting legitimately widens it; nullability bugs are caught
+/// by the row-provenance pass instead.
+pub fn schemas_equivalent(a: &Schema, b: &Schema) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .all(|c| b.iter().any(|d| d.id == c.id && d.data_type == c.data_type))
+}
+
+/// Convenience wrapper: `derive_schema` as a pass (used by tests and the
+/// corpus self-check).
+pub fn derives(catalog: &Catalog, tree: &LogicalTree) -> Result<Schema> {
+    derive_schema(catalog, tree)
+}

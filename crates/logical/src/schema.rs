@@ -283,6 +283,53 @@ mod tests {
     }
 
     #[test]
+    fn full_and_right_outer_nullability() {
+        let cat = tpch_catalog();
+        let mut ids = IdGen::new();
+        let l = get(&cat, "region", &mut ids);
+        let r = get(&cat, "nation", &mut ids);
+        let pred = Expr::eq(Expr::col(l.output_col(0)), Expr::col(r.output_col(2)));
+
+        // Full outer: unmatched rows pad BOTH sides, so every column of
+        // both inputs must come out nullable.
+        let foj = LogicalTree::join(JoinKind::FullOuter, l.clone(), r.clone(), pred.clone());
+        let s = derive_schema(&cat, &foj).unwrap();
+        assert_eq!(s.len(), 5);
+        assert!(
+            s.iter().all(|c| c.nullable),
+            "full outer join must nullify every column of both sides"
+        );
+
+        // Right outer mirrors left outer: the left side is null-supplied.
+        let roj = LogicalTree::join(JoinKind::RightOuter, l, r, pred);
+        let s = derive_schema(&cat, &roj).unwrap();
+        assert!(s[0].nullable, "null-supplied left side becomes nullable");
+        assert!(!s[2].nullable, "preserved right side keeps its nullability");
+    }
+
+    #[test]
+    fn anti_join_hides_right_side_and_keeps_left_nullability() {
+        let cat = tpch_catalog();
+        let mut ids = IdGen::new();
+        let l = get(&cat, "region", &mut ids);
+        let r = get(&cat, "nation", &mut ids);
+        let rk = r.output_col(2);
+        let left_schema = derive_schema(&cat, &l).unwrap();
+        let pred = Expr::eq(Expr::col(l.output_col(0)), Expr::col(rk));
+
+        let anti = LogicalTree::join(JoinKind::LeftAnti, l, r, pred);
+        let s = derive_schema(&cat, &anti).unwrap();
+        assert_eq!(
+            s, left_schema,
+            "anti join passes the left schema through untouched"
+        );
+        assert!(
+            s.iter().all(|c| c.id != rk),
+            "right-side columns are invisible above a semi/anti join"
+        );
+    }
+
+    #[test]
     fn select_requires_boolean_predicate_over_visible_columns() {
         let cat = tpch_catalog();
         let mut ids = IdGen::new();
@@ -339,8 +386,22 @@ mod tests {
 
         // Unknown side column id.
         let outs = vec![ids.fresh(), ids.fresh()];
-        let dangling = LogicalTree::union_all(a, c, outs, vec![a0, ColId(999)], vec![c0, c1]);
+        let dangling = LogicalTree::union_all(
+            a.clone(),
+            c.clone(),
+            outs,
+            vec![a0, ColId(999)],
+            vec![c0, c1],
+        );
         assert!(derive_schema(&cat, &dangling).is_err());
+
+        // Column-count mismatch: two outputs but only one left-side column.
+        let outs = vec![ids.fresh(), ids.fresh()];
+        let short = LogicalTree::union_all(a, c, outs, vec![a0], vec![c0, c1]);
+        assert!(
+            derive_schema(&cat, &short).is_err(),
+            "side-column lists shorter than the output list must be rejected"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub mod rules_impl;
 pub use cache::{CacheKey, CacheStats, OptCache};
 pub use mask::RuleMask;
 pub use memo::{GroupId, Memo};
-pub use optimizer::{OptimizeResult, Optimizer, OptimizerConfig};
+pub use optimizer::{
+    match_bindings, OptimizeResult, Optimizer, OptimizerConfig, SubstituteAuditor,
+};
 pub use pattern::{OpMatcher, PatternTree};
 pub use physical::{PhysOp, PhysicalPlan};
-pub use rule::{Bound, BoundChild, NewChild, NewTree, Rule, RuleAction, RuleKind};
+pub use rule::{
+    Bound, BoundChild, NewChild, NewTree, PhysCandidate, Rule, RuleAction, RuleCtx, RuleKind,
+};

@@ -48,7 +48,7 @@ impl RuleMask {
     /// True iff the rule is disabled by this mask.
     pub fn is_disabled(&self, rule: RuleId) -> bool {
         let (word, bit) = (rule.0 as usize / 64, rule.0 as usize % 64);
-        self.bits.get(word).map_or(false, |w| w & (1 << bit) != 0)
+        self.bits.get(word).is_some_and(|w| w & (1 << bit) != 0)
     }
 
     /// The disabled rules, ascending.

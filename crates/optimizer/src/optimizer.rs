@@ -119,6 +119,27 @@ pub struct Optimizer {
     /// Injected sink for memo dumps; `None` falls back to stderr when the
     /// `RULETEST_DUMP_MEMO` environment variable requests dumps.
     memo_sink: Mutex<Option<Box<dyn Write + Send>>>,
+    /// Debug-mode static auditor run on every exploration substitute
+    /// before it is inserted into the memo (see the `ruletest-lint`
+    /// crate); `None` (the default) costs one branch per rule firing.
+    auditor: Mutex<Option<Arc<dyn SubstituteAuditor>>>,
+}
+
+/// Hook for statically auditing rule substitutes as they are produced,
+/// before memo insertion. Implemented by the lint crate's online auditor;
+/// kept as a trait here so the optimizer does not depend on it.
+pub trait SubstituteAuditor: Send + Sync {
+    /// Inspects one substitute `rule_name` produced for the match `bound`
+    /// and returns the number of violations found (zero when clean); the
+    /// optimizer feeds the count into telemetry.
+    fn audit(
+        &self,
+        db: &Database,
+        memo: &Memo,
+        bound: &Bound,
+        rule_name: &str,
+        substitute: &crate::rule::NewTree,
+    ) -> usize;
 }
 
 /// Tree-only fingerprint used to correlate trace events (cache lookups
@@ -203,6 +224,7 @@ impl Optimizer {
             cache: OptCache::default(),
             telemetry: OnceLock::new(),
             memo_sink: Mutex::new(None),
+            auditor: Mutex::new(None),
         }
     }
 
@@ -223,6 +245,13 @@ impl Optimizer {
     /// `None` to uninstall.
     pub fn set_memo_sink(&self, sink: Option<Box<dyn Write + Send>>) {
         *self.memo_sink.lock().expect("memo sink poisoned") = sink;
+    }
+
+    /// Installs a debug-mode substitute auditor, invoked on every
+    /// exploration substitute before memo insertion. Takes `&self` so it
+    /// works through an `Arc<Optimizer>`; pass `None` to uninstall.
+    pub fn set_substitute_auditor(&self, auditor: Option<Arc<dyn SubstituteAuditor>>) {
+        *self.auditor.lock().expect("auditor poisoned") = auditor;
     }
 
     pub fn database(&self) -> &Arc<Database> {
@@ -399,6 +428,7 @@ impl Optimizer {
         let mut memo = Memo::new();
         let (root, _) = memo.insert(&self.db, &newtree_from_logical(tree), None, true)?;
         let ids = RefCell::new(IdGen::above(tree));
+        let auditor = self.auditor.lock().expect("auditor poisoned").clone();
         let mut exercised: BTreeSet<RuleId> = BTreeSet::new();
         let mut rule_dependencies: BTreeSet<(RuleId, RuleId)> = BTreeSet::new();
         let mut truncated = false;
@@ -412,7 +442,7 @@ impl Optimizer {
         // previous split). Organic-ness is intrinsic to an expression's
         // derivation, hence independent of the rule mask — which preserves
         // cost monotonicity under masking.
-        let mut applied: HashSet<(u32, usize, u16, Vec<(u32, usize)>)> = HashSet::new();
+        let mut applied: HashSet<AppliedKey> = HashSet::new();
         // (group, expr, rule) -> sum of child group sizes when last matched;
         // re-matching is pointless until some child group grows.
         let mut match_watermark: HashMap<(u32, u32, u16), usize> = HashMap::new();
@@ -481,6 +511,16 @@ impl Optimizer {
                                     phase: RulePhase::Explore,
                                     produced,
                                 });
+                            }
+                            if let Some(aud) = &auditor {
+                                for nt in &results {
+                                    let violations =
+                                        aud.audit(&self.db, &memo, &bound, rule.name, nt);
+                                    if violations > 0 {
+                                        tel.add(Counter::LintViolations, violations as u64);
+                                        tel.event(|| Event::LintViolation { rule: rid.0 });
+                                    }
+                                }
                             }
                             let organic = !rule.mints_fresh_ids && memo.is_organic(gid, ei);
                             for nt in results {
@@ -594,15 +634,24 @@ fn write_memo_dump(memo: &Memo, out: &mut dyn Write) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Signature of one concrete binding: the (group, expression) pairs
+/// chosen for nested pattern nodes, used to deduplicate applications.
+pub type BindingSig = Vec<(u32, usize)>;
+
+/// One rule application, for the explore loop's dedup set: expression
+/// coordinates, rule id, and the concrete binding signature.
+type AppliedKey = (u32, usize, u16, BindingSig);
+
 /// Enumerates pattern bindings of `pattern` against expression `ei` of
 /// group `gid`. Returns each binding plus a signature identifying the
-/// nested expressions chosen (for deduplication).
-fn match_bindings(
+/// nested expressions chosen (for deduplication). Public so the lint
+/// crate's corpus auditor can bind rules exactly as the explore loop does.
+pub fn match_bindings(
     memo: &Memo,
     pattern: &PatternTree,
     gid: GroupId,
     ei: usize,
-) -> Vec<(Bound, Vec<(u32, usize)>)> {
+) -> Vec<(Bound, BindingSig)> {
     let expr = &memo.group(gid).exprs[ei];
     let PatternTree::Op { matcher, children } = pattern else {
         // A bare placeholder pattern matches trivially but binds nothing a
@@ -617,7 +666,7 @@ fn match_bindings(
     }
     // For each child slot, the list of possible (BoundChild, signature)
     // alternatives.
-    let mut slot_options: Vec<Vec<(BoundChild, Vec<(u32, usize)>)>> = Vec::new();
+    let mut slot_options: Vec<Vec<(BoundChild, BindingSig)>> = Vec::new();
     for (pat_child, &cg) in children.iter().zip(&expr.children) {
         match pat_child {
             PatternTree::Any => {
@@ -639,7 +688,7 @@ fn match_bindings(
         }
     }
     // Cartesian product over slots.
-    let mut out: Vec<(Vec<BoundChild>, Vec<(u32, usize)>)> = vec![(vec![], vec![])];
+    let mut out: Vec<(Vec<BoundChild>, BindingSig)> = vec![(vec![], vec![])];
     for opts in slot_options {
         let mut next = Vec::with_capacity(out.len() * opts.len());
         for (partial, psig) in &out {
@@ -837,7 +886,7 @@ impl Extractor<'_> {
                         // happened to generate.
                         let rows = self.memo.est_rows(g);
                         let cost = phys_cost(&cand.op, &child_rows, &child_costs, rows);
-                        if best.as_ref().map_or(true, |(_, bc)| cost < *bc) {
+                        if best.as_ref().is_none_or(|(_, bc)| cost < *bc) {
                             best = Some((
                                 PhysicalPlan {
                                     op: cand.op,

@@ -25,7 +25,7 @@ impl OpMatcher {
         match self {
             OpMatcher::Kind(k) => *k == kind,
             OpMatcher::Join(kinds) => {
-                kind == OpKind::Join && jk.map_or(false, |j| kinds.contains(&j))
+                kind == OpKind::Join && jk.is_some_and(|j| kinds.contains(&j))
             }
         }
     }

@@ -96,7 +96,7 @@ fn eager_push(ctx: &RuleCtx, b: &Bound, side: usize) -> Vec<NewTree> {
     // argument and is side-agnostic.
     if !aggs
         .iter()
-        .all(|a| a.arg.map_or(true, |c| side_cols.contains(&c)))
+        .all(|a| a.arg.is_none_or(|c| side_cols.contains(&c)))
     {
         return vec![];
     }

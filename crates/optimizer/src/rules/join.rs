@@ -333,7 +333,7 @@ fn semi_join_to_inner_on_key(ctx: &RuleCtx, b: &Bound) -> Vec<NewTree> {
     // conjunct) — otherwise uniqueness does not bound the match count.
     let ord_of = |col| cols.iter().position(|&g| g == col);
     let unique_hit = ruletest_expr::conjuncts(predicate).iter().any(|c| {
-        try_col_eq_col(c).map_or(false, |(a, bcol)| match (ord_of(a), ord_of(bcol)) {
+        try_col_eq_col(c).is_some_and(|(a, bcol)| match (ord_of(a), ord_of(bcol)) {
             (Some(ord), None) | (None, Some(ord)) => def.is_unique_column(ord),
             _ => false,
         })

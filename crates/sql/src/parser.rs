@@ -832,10 +832,10 @@ impl Parser<'_> {
             .iter()
             .filter(|c| {
                 c.name.eq_ignore_ascii_case(name)
-                    && qualifier.map_or(true, |q| {
+                    && qualifier.is_none_or(|q| {
                         c.qualifier
                             .as_deref()
-                            .map_or(false, |cq| cq.eq_ignore_ascii_case(q))
+                            .is_some_and(|cq| cq.eq_ignore_ascii_case(q))
                     })
             })
             .collect();

@@ -57,10 +57,12 @@ pub enum Counter {
     MinimizationSteps,
     /// Findings collapsed into an existing bug signature by triage dedup.
     DuplicatesCollapsed,
+    /// Static lint violations flagged by the debug-mode substitute auditor.
+    LintViolations,
 }
 
 impl Counter {
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 19;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::OptInvocations,
@@ -81,6 +83,7 @@ impl Counter {
         Counter::BugsMinimized,
         Counter::MinimizationSteps,
         Counter::DuplicatesCollapsed,
+        Counter::LintViolations,
     ];
 
     /// Stable dotted name used in reports and traces.
@@ -104,6 +107,7 @@ impl Counter {
             Counter::BugsMinimized => "triage.bugs_minimized",
             Counter::MinimizationSteps => "triage.minimization_steps",
             Counter::DuplicatesCollapsed => "triage.duplicates_collapsed",
+            Counter::LintViolations => "lint.violations",
         }
     }
 }

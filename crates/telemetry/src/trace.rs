@@ -77,6 +77,8 @@ pub enum Event {
         query: u32,
         outcome: &'static str,
     },
+    /// The debug-mode substitute auditor flagged a rule firing.
+    LintViolation { rule: u16 },
 }
 
 impl Event {
@@ -88,6 +90,7 @@ impl Event {
             Event::GenOutcome { .. } => "gen_outcome",
             Event::GraphProbe { .. } => "graph_probe",
             Event::Validation { .. } => "validation",
+            Event::LintViolation { .. } => "lint_violation",
         }
     }
 
@@ -152,6 +155,7 @@ impl Event {
                 ("query", Json::count(*query as u64)),
                 ("outcome", Json::str(*outcome)),
             ],
+            Event::LintViolation { rule } => vec![("rule", Json::count(*rule as u64))],
         }
     }
 

@@ -13,6 +13,7 @@
 //! ruletest report <run-report.json>      summarize a --metrics-json run report (--check fails on dead instrumentation)
 //! ruletest triage [--fault F] [--out P]  campaign + bug triage: minimize, dedup, emit repro bundles
 //! ruletest triage replay <bugs.jsonl>    re-execute bundles in a fresh process (--check fails unless all confirm)
+//! ruletest lint [--fault F] [--json P]   static rule audit: catch rule bugs without executing queries
 //!
 //! common options: --seed N   --pad N   --random   --trials N   --threads N   --scale N
 //! telemetry:      --metrics-json PATH   --trace-out PATH
@@ -59,6 +60,16 @@ fn main() -> ExitCode {
     if cmd == "triage" {
         // Builds its own (possibly fault-injected, scaled) framework.
         return match run_triage(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "lint" {
+        // Purely static: no executor, no framework, no query runs.
+        return match run_lint(&opts) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -207,7 +218,7 @@ fn main() -> ExitCode {
         "impact" => run_impact(&fw, &opts),
         _ => {
             eprintln!(
-                "usage: ruletest <rules|pattern|gen|pair|relevant|sql|audit|impact|report|triage> [options]\n\
+                "usage: ruletest <rules|pattern|gen|pair|relevant|sql|audit|impact|report|triage|lint> [options]\n\
                  see the module docs (`ruletest --help` equivalent) in src/bin/ruletest.rs"
             );
             Ok(())
@@ -373,6 +384,52 @@ fn run_audit(fw: &Framework, opts: &Opts) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{} correctness bugs found", report.bugs.len()))
+    }
+}
+
+/// Runs the static rule audit (`ruletest lint`): pattern-instantiated
+/// corpora, sandboxed substitute checks, and the pattern-necessity
+/// cross-check — no query is ever executed. Without `--fault` the command
+/// fails when the catalog has violations; with `--fault F` the named
+/// fault is injected and the command fails unless the audit catches it.
+fn run_lint(opts: &Opts) -> Result<(), String> {
+    let fault = match &opts.fault {
+        Some(name) => Some(Fault::from_name(name).ok_or_else(|| {
+            let known: Vec<&str> = Fault::ALL.iter().map(|f| f.name()).collect();
+            format!("unknown fault '{name}' (known: {})", known.join(", "))
+        })?),
+        None => None,
+    };
+    // Data scale is irrelevant to a static audit; only the catalog is read.
+    let db = Arc::new(tpch_database(&TpchConfig::default()).map_err(|e| e.to_string())?);
+    let optimizer = match fault {
+        Some(f) => buggy_optimizer(db, f),
+        None => Optimizer::new(db),
+    };
+    let started = Instant::now();
+    let report = ruletest::lint::lint_rules(&optimizer).map_err(|e| e.to_string())?;
+    print!("{}", report.render_text());
+    println!("lint: finished in {:?}", started.elapsed());
+    if let Some(path) = &opts.json {
+        std::fs::write(path, report.to_json().to_string_pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("lint: report written to {path}");
+    }
+    match fault {
+        Some(f) => {
+            let caught = report.flagged_rules().iter().any(|r| r == f.rule_name());
+            if caught {
+                println!("lint: fault {} caught statically", f.name());
+                Ok(())
+            } else {
+                Err(format!("fault {} NOT caught by the static audit", f.name()))
+            }
+        }
+        None if report.is_clean() => Ok(()),
+        None => Err(format!(
+            "{} lint violation(s) in the rule catalog",
+            report.violations.len()
+        )),
     }
 }
 

@@ -32,6 +32,8 @@ pub struct Opts {
     pub fault: Option<String>,
     /// Write JSONL repro bundles here (`ruletest triage --out PATH`).
     pub out: Option<String>,
+    /// Write a machine-readable report here (`ruletest lint --json PATH`).
+    pub json: Option<String>,
     /// Test-database scale factor (1 = default table sizes).
     pub scale: usize,
     pub positional: Vec<String>,
@@ -52,6 +54,7 @@ impl Default for Opts {
             check: false,
             fault: None,
             out: None,
+            json: None,
             scale: 1,
             positional: Vec::new(),
         }
@@ -93,6 +96,7 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<(String, Opts), S
             "--trace-out" => opts.trace_out = Some(value_of(&a, &mut args)?),
             "--fault" => opts.fault = Some(value_of(&a, &mut args)?),
             "--out" => opts.out = Some(value_of(&a, &mut args)?),
+            "--json" => opts.json = Some(value_of(&a, &mut args)?),
             "--scale" => opts.scale = parse_value(&a, &mut args)?,
             "--random" => opts.random = true,
             "--check" => opts.check = true,
@@ -206,6 +210,25 @@ mod tests {
         // missing values fail loudly
         assert!(parse(argv(&["triage", "--fault"])).is_err());
         assert!(parse(argv(&["triage", "--scale", "x"])).is_err());
+    }
+
+    #[test]
+    fn lint_flags_parse() {
+        let (cmd, opts) = parse(argv(&[
+            "lint",
+            "--fault",
+            "OuterJoinSimplifyUnconditional",
+            "--json",
+            "lint.json",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "lint");
+        assert_eq!(
+            opts.fault.as_deref(),
+            Some("OuterJoinSimplifyUnconditional")
+        );
+        assert_eq!(opts.json.as_deref(), Some("lint.json"));
+        assert!(parse(argv(&["lint", "--json"])).is_err());
     }
 
     #[test]

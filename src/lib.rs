@@ -23,7 +23,11 @@
 //!   and fault injection;
 //! * [`telemetry`] — std-only campaign metrics, structured event tracing,
 //!   and JSON run reports (surfaced via `ruletest report` and the
-//!   `--metrics-json` / `--trace-out` flags).
+//!   `--metrics-json` / `--trace-out` flags);
+//! * [`lint`] — the static plan auditor and rule linter (`ruletest
+//!   lint`): per-rule substitute audits over pattern-instantiated
+//!   corpora, catching schema, row-provenance, and duplicate-sensitivity
+//!   rule bugs before any query executes.
 //!
 //! ## Quickstart
 //!
@@ -47,6 +51,7 @@ pub use ruletest_common as common;
 pub use ruletest_core as core;
 pub use ruletest_executor as executor;
 pub use ruletest_expr as expr;
+pub use ruletest_lint as lint;
 pub use ruletest_logical as logical;
 pub use ruletest_optimizer as optimizer;
 pub use ruletest_sql as sql;
