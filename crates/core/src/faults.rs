@@ -2,17 +2,19 @@
 //!
 //! The framework's purpose is to *find* correctness bugs (§2.3: "it is
 //! possible to find test cases where the rule has not been correctly
-//! implemented"). These sabotaged rules reproduce classic optimizer bug
-//! classes; injecting one via [`buggy_optimizer`] and running the
-//! correctness pipeline must surface a [`crate::BugReport`].
+//! implemented"). The sabotaged rules themselves now live in the
+//! [`crate::mutate`] catalog; [`Fault`] is a thin, stable shim over
+//! three canonical mutants, kept because CLI flags (`--fault F`) and
+//! repro bundles name faults by these exact strings.
 
-use ruletest_expr::{conjoin, Expr};
-use ruletest_logical::{JoinKind, OpKind, Operator};
-use ruletest_optimizer::{Bound, NewChild, NewTree, Optimizer, PatternTree, Rule};
+use crate::mutate::{mutant_optimizer, Mutant};
+use ruletest_common::{Error, Result};
+use ruletest_optimizer::{Optimizer, Rule};
 use ruletest_storage::Database;
 use std::sync::Arc;
 
-/// Which sabotage to inject.
+/// Which sabotage to inject. Each variant is an alias for the mutation
+/// catalog entry of the same id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
     /// `OuterJoinSimplify` without the null-rejection precondition:
@@ -36,7 +38,8 @@ impl Fault {
         Fault::SelectMergedIntoOuterJoin,
     ];
 
-    /// Stable name used in CLI flags and repro bundles.
+    /// Stable name used in CLI flags and repro bundles. Identical to the
+    /// backing mutant's id.
     pub fn name(self) -> &'static str {
         match self {
             Fault::OuterJoinSimplifyUnconditional => "OuterJoinSimplifyUnconditional",
@@ -46,241 +49,78 @@ impl Fault {
     }
 
     /// Inverse of [`Fault::name`] — parses CLI flags and repro bundles.
-    pub fn from_name(name: &str) -> Option<Fault> {
-        Fault::ALL.into_iter().find(|f| f.name() == name)
+    /// Fails with the offending name and the known faults.
+    pub fn from_name(name: &str) -> Result<Fault> {
+        Fault::ALL
+            .into_iter()
+            .find(|f| f.name() == name)
+            .ok_or_else(|| {
+                Error::unsupported(format!(
+                    "unknown fault '{name}' (known: {})",
+                    Fault::ALL.map(|f| f.name()).join(", ")
+                ))
+            })
+    }
+
+    /// The backing catalog entry.
+    pub fn mutant(self) -> &'static Mutant {
+        Mutant::by_id(self.name()).expect("canonical fault mutants are in the catalog")
     }
 
     /// Name of the rule the fault replaces.
     pub fn rule_name(self) -> &'static str {
-        match self {
-            Fault::OuterJoinSimplifyUnconditional => "OuterJoinSimplify",
-            Fault::PushBelowNullSupplyingSide => "SelectPushBelowOuterJoin",
-            Fault::SelectMergedIntoOuterJoin => "SelectIntoInnerJoin",
-        }
+        self.mutant().rule_name
     }
 
     /// The sabotaged rule.
     pub fn rule(self) -> Rule {
-        match self {
-            Fault::OuterJoinSimplifyUnconditional => Rule::explore(
-                "OuterJoinSimplify",
-                PatternTree::kind(
-                    OpKind::Select,
-                    vec![PatternTree::join(
-                        vec![JoinKind::LeftOuter, JoinKind::RightOuter],
-                        PatternTree::Any,
-                        PatternTree::Any,
-                    )],
-                ),
-                "BUGGY: no null-rejection check",
-                buggy_outer_simplify,
-            ),
-            Fault::PushBelowNullSupplyingSide => Rule::explore(
-                "SelectPushBelowOuterJoin",
-                PatternTree::kind(
-                    OpKind::Select,
-                    vec![PatternTree::join(
-                        vec![JoinKind::LeftOuter],
-                        PatternTree::Any,
-                        PatternTree::Any,
-                    )],
-                ),
-                "BUGGY: pushes below the null-supplying side",
-                buggy_push_below_null_side,
-            ),
-            Fault::SelectMergedIntoOuterJoin => Rule::explore(
-                "SelectIntoInnerJoin",
-                PatternTree::kind(
-                    OpKind::Select,
-                    vec![PatternTree::join(
-                        vec![JoinKind::LeftOuter],
-                        PatternTree::Any,
-                        PatternTree::Any,
-                    )],
-                ),
-                "BUGGY: merges the filter into an outer join's ON clause",
-                buggy_select_into_outer_join,
-            ),
-        }
+        self.mutant().rule()
     }
 }
 
 /// An optimizer over `db` with `fault` injected in place of the correct
 /// rule.
 pub fn buggy_optimizer(db: Arc<Database>, fault: Fault) -> Optimizer {
-    Optimizer::new_with_overrides(db, vec![fault.rule()])
-}
-
-fn buggy_outer_simplify(_ctx: &ruletest_optimizer::rule::RuleCtx, b: &Bound) -> Vec<NewTree> {
-    let Operator::Select { predicate } = &b.op else {
-        return vec![];
-    };
-    let Some(join) = b.children[0].nested() else {
-        return vec![];
-    };
-    let Operator::Join { predicate: jp, .. } = &join.op else {
-        return vec![];
-    };
-    // BUG: no null-rejection analysis at all.
-    vec![NewTree::new(
-        Operator::Select {
-            predicate: predicate.clone(),
-        },
-        vec![NewChild::Tree(NewTree::new(
-            Operator::Join {
-                kind: JoinKind::Inner,
-                predicate: jp.clone(),
-            },
-            vec![
-                NewChild::Group(join.children[0].group()),
-                NewChild::Group(join.children[1].group()),
-            ],
-        ))],
-    )]
-}
-
-fn buggy_push_below_null_side(ctx: &ruletest_optimizer::rule::RuleCtx, b: &Bound) -> Vec<NewTree> {
-    let Operator::Select { predicate } = &b.op else {
-        return vec![];
-    };
-    let Some(join) = b.children[0].nested() else {
-        return vec![];
-    };
-    let Operator::Join {
-        kind,
-        predicate: jp,
-    } = &join.op
-    else {
-        return vec![];
-    };
-    // BUG: partitions conjuncts onto the RIGHT (null-supplying) side of a
-    // left outer join.
-    let right_cols: std::collections::BTreeSet<_> = ctx
-        .schema(join.children[1].group())
-        .iter()
-        .map(|c| c.id)
-        .collect();
-    let (push, keep): (Vec<Expr>, Vec<Expr>) = ruletest_expr::conjuncts(predicate)
-        .into_iter()
-        .partition(|c| ruletest_expr::columns_of(c).is_subset(&right_cols));
-    if push.is_empty() {
-        return vec![];
-    }
-    let pushed = NewTree::new(
-        Operator::Select {
-            predicate: conjoin(push),
-        },
-        vec![NewChild::Group(join.children[1].group())],
-    );
-    let new_join = NewTree::new(
-        Operator::Join {
-            kind: *kind,
-            predicate: jp.clone(),
-        },
-        vec![
-            NewChild::Group(join.children[0].group()),
-            NewChild::Tree(pushed),
-        ],
-    );
-    vec![if keep.is_empty() {
-        new_join
-    } else {
-        NewTree::new(
-            Operator::Select {
-                predicate: conjoin(keep),
-            },
-            vec![NewChild::Tree(new_join)],
-        )
-    }]
-}
-
-fn buggy_select_into_outer_join(
-    _ctx: &ruletest_optimizer::rule::RuleCtx,
-    b: &Bound,
-) -> Vec<NewTree> {
-    let Operator::Select { predicate } = &b.op else {
-        return vec![];
-    };
-    let Some(join) = b.children[0].nested() else {
-        return vec![];
-    };
-    let Operator::Join {
-        kind,
-        predicate: jp,
-    } = &join.op
-    else {
-        return vec![];
-    };
-    // BUG: valid for inner joins only; for a LEFT OUTER JOIN, rows failing
-    // the filter come back NULL-padded instead of being dropped.
-    let merged = if jp.is_true_lit() {
-        predicate.clone()
-    } else {
-        Expr::and(predicate.clone(), jp.clone())
-    };
-    vec![NewTree::new(
-        Operator::Join {
-            kind: *kind,
-            predicate: merged,
-        },
-        vec![
-            NewChild::Group(join.children[0].group()),
-            NewChild::Group(join.children[1].group()),
-        ],
-    )]
+    mutant_optimizer(db, fault.mutant())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::framework::Framework;
-    use ruletest_common::multisets_equal;
-    use ruletest_executor::execute;
-    use ruletest_optimizer::OptimizerConfig;
+    use crate::mutate::{detect_with_methodology, MutationBudget};
     use ruletest_storage::{tpch_database, TpchConfig};
 
     /// For each fault: find a query where the buggy rule fires, then show
     /// Plan(q) and Plan(q, ¬rule) disagree on executed results — the §2.3
-    /// methodology detecting the bug.
+    /// methodology detecting the bug, via the shared detection harness.
     #[test]
     fn every_fault_is_detectable_by_the_methodology() {
         let db = Arc::new(tpch_database(&TpchConfig::default()).unwrap());
-        for fault in [
-            Fault::OuterJoinSimplifyUnconditional,
-            Fault::PushBelowNullSupplyingSide,
-            Fault::SelectMergedIntoOuterJoin,
-        ] {
+        for fault in Fault::ALL {
             let opt = Arc::new(buggy_optimizer(db.clone(), fault));
-            let fw = Framework::with_optimizer(opt.clone());
-            let rule = opt.rule_id(fault.rule_name()).unwrap();
-            let mut detected = false;
-            for seed in 0..200u64 {
-                let cfg = crate::generate::GenConfig {
-                    seed,
-                    max_trials: 20,
-                    ..Default::default()
-                };
-                let Ok(out) =
-                    fw.find_query_for_rule(rule, crate::generate::Strategy::Pattern, &cfg)
-                else {
-                    continue;
-                };
-                let base = opt.optimize(&out.query).unwrap();
-                let masked = opt
-                    .optimize_with(&out.query, &OptimizerConfig::disabling(&[rule]))
-                    .unwrap();
-                if base.plan.same_shape(&masked.plan) {
-                    continue;
-                }
-                let (Ok(a), Ok(b)) = (execute(&db, &base.plan), execute(&db, &masked.plan)) else {
-                    continue;
-                };
-                if !multisets_equal(&a, &b) {
-                    detected = true;
-                    break;
-                }
-            }
-            assert!(detected, "fault {fault:?} was never detected");
+            let det = detect_with_methodology(&opt, fault.rule_name(), &MutationBudget::default())
+                .unwrap();
+            assert!(
+                det.dynamic.is_some(),
+                "fault {fault:?} was never detected (fired={}, diverged={})",
+                det.fired,
+                det.plans_diverged
+            );
         }
+    }
+
+    #[test]
+    fn fault_names_round_trip_and_bad_names_fail_loudly() {
+        for fault in Fault::ALL {
+            assert_eq!(Fault::from_name(fault.name()).unwrap(), fault);
+            // The shim must stay aligned with the catalog: same id, same
+            // target rule.
+            assert_eq!(fault.mutant().id, fault.name());
+            assert_eq!(fault.rule().name, fault.rule_name());
+        }
+        let err = Fault::from_name("NoSuchFault").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("NoSuchFault"), "{msg}");
+        assert!(msg.contains("OuterJoinSimplifyUnconditional"), "{msg}");
     }
 }

@@ -10,6 +10,7 @@ pub mod correctness;
 pub mod faults;
 pub mod framework;
 pub mod generate;
+pub mod mutate;
 pub mod perf;
 pub mod suite;
 pub mod triage;
@@ -18,6 +19,10 @@ pub use compress::{Instance, Solution};
 pub use correctness::{BugReport, CorrectnessReport};
 pub use framework::{DbProfile, Framework, FrameworkConfig};
 pub use generate::{GenConfig, GenOutcome, Strategy};
+pub use mutate::{
+    detect_with_methodology, mutant_optimizer, run_mutation_campaign, BugClass, Detection,
+    DynamicKill, Mutant, MutantOutcome, MutationBudget, MutationConfig, MutationReport, Verdict,
+};
 pub use perf::{rule_impact, RuleImpact};
 pub use suite::{
     build_graph, build_graph_pruned, generate_suite, generate_suite_lenient, pair_targets,

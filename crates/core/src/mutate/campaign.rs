@@ -1,0 +1,135 @@
+//! The mutation campaign: every selected mutant through the static
+//! linter *and* the dynamic differential-execution pipeline.
+//!
+//! Each mutant gets its own optimizer (the sabotaged rule swapped in
+//! for the real one via `Optimizer::new_with_overrides`), a focused
+//! static lint pass, and a [`detect_with_methodology`] sweep. Mutants
+//! run in parallel via the deterministic `par_map` pool; outcomes come
+//! back in catalog order and telemetry is merged afterwards, so the
+//! report is byte-identical at any thread count.
+
+use super::detect::{detect_with_methodology, Detection, DynamicKill, MutationBudget};
+use super::report::MutationReport;
+use super::{mutant_optimizer, BugClass, Mutant, Verdict};
+use ruletest_common::{par_map, Result};
+use ruletest_storage::Database;
+use ruletest_telemetry::{Counter, Telemetry};
+use std::sync::Arc;
+
+/// Selection and effort knobs for one campaign run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MutationConfig {
+    /// Restrict to one bug class (`--class`).
+    pub class: Option<BugClass>,
+    /// Stratified sample: keep at most this many mutants *per class*, in
+    /// declaration order (`--sample`). Guarantees every class stays
+    /// represented, which is what a smoke run wants.
+    pub sample: Option<usize>,
+    /// Worker threads (0 = sequential).
+    pub threads: usize,
+    pub budget: MutationBudget,
+}
+
+impl MutationConfig {
+    /// The mutants this configuration selects, in catalog order.
+    pub fn select(&self) -> Vec<&'static Mutant> {
+        let mut per_class = [0usize; BugClass::ALL.len()];
+        Mutant::all()
+            .iter()
+            .filter(|m| self.class.is_none_or(|c| m.class == c))
+            .filter(|m| {
+                let Some(n) = self.sample else { return true };
+                let slot = BugClass::ALL.iter().position(|&c| c == m.class).unwrap();
+                per_class[slot] += 1;
+                per_class[slot] <= n
+            })
+            .collect()
+    }
+}
+
+/// What the campaign observed for one mutant.
+#[derive(Debug)]
+pub struct MutantOutcome {
+    pub mutant: &'static Mutant,
+    /// The static rule linter flagged the sabotaged rule.
+    pub static_caught: bool,
+    /// The dynamic sweep's observations.
+    pub detection: Detection,
+}
+
+impl MutantOutcome {
+    pub fn dynamic(&self) -> Option<DynamicKill> {
+        self.detection.dynamic
+    }
+
+    /// Detected at all, by either layer.
+    pub fn killed(&self) -> bool {
+        self.static_caught || self.detection.dynamic.is_some()
+    }
+
+    /// A lint-escape row: invisible to the static linter, killed by
+    /// dynamic differential execution — the measured justification for
+    /// running queries at all.
+    pub fn lint_escape(&self) -> bool {
+        self.detection.dynamic.is_some() && !self.static_caught
+    }
+
+    /// Did the methodology do what the mutant's verdict demands?
+    pub fn passes_expectation(&self) -> bool {
+        match self.mutant.expected {
+            Verdict::DetectableDynamic => self.detection.dynamic.is_some(),
+            Verdict::DetectableStatic => self.static_caught,
+            // A benign mutant reported as a bug by either layer is a
+            // false positive.
+            Verdict::Benign => self.detection.dynamic.is_none() && !self.static_caught,
+        }
+    }
+}
+
+/// Runs the campaign over `cfg.select()` and assembles the report.
+///
+/// Telemetry counters (`mutate.killed`, `mutate.survived`,
+/// `mutate.lint_escapes`) are incremented in catalog order after the
+/// parallel phase completes, keeping metric output deterministic.
+pub fn run_mutation_campaign(
+    db: &Arc<Database>,
+    cfg: &MutationConfig,
+    tel: &Telemetry,
+) -> Result<MutationReport> {
+    let selected = cfg.select();
+    let budget = cfg.budget;
+    let outcomes: Vec<Result<MutantOutcome>> =
+        par_map(cfg.threads, &selected, move |_idx, m: &&'static Mutant| {
+            run_one(db.clone(), m, &budget)
+        });
+    let outcomes: Vec<MutantOutcome> = outcomes.into_iter().collect::<Result<_>>()?;
+    for o in &outcomes {
+        if o.mutant.expected != Verdict::Benign {
+            tel.incr(if o.killed() {
+                Counter::MutantsKilled
+            } else {
+                Counter::MutantsSurvived
+            });
+        }
+        if o.lint_escape() {
+            tel.incr(Counter::LintEscapes);
+        }
+    }
+    Ok(MutationReport::from_outcomes(outcomes, &budget))
+}
+
+fn run_one(
+    db: Arc<Database>,
+    mutant: &'static Mutant,
+    budget: &MutationBudget,
+) -> Result<MutantOutcome> {
+    let opt = Arc::new(mutant_optimizer(db, mutant));
+    let lint = ruletest_lint::lint_rules_focused(&opt, mutant.rule_name)?;
+    let static_caught = lint.flagged_rules().iter().any(|r| r == mutant.rule_name);
+    let detection = detect_with_methodology(&opt, mutant.rule_name, budget)?;
+    Ok(MutantOutcome {
+        mutant,
+        static_caught,
+        detection,
+    })
+}

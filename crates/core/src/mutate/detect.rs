@@ -1,0 +1,163 @@
+//! The dynamic detection harness: the §2.3 methodology packaged as a
+//! reusable function.
+//!
+//! For a (possibly sabotaged) optimizer and a target rule, sweep seeds:
+//! generate a query where the rule fires (pattern strategy), optimize
+//! it twice — once normally, once with the rule masked — and execute
+//! both plans. A result-multiset mismatch is a *kill*. This is the
+//! exact loop the hand-written fault tests used inline; both the fault
+//! tests and the mutation campaign now share it.
+
+use crate::framework::Framework;
+use crate::generate::pattern::instantiate_pattern;
+use crate::generate::{GenConfig, Strategy};
+use ruletest_common::{multisets_equal, Rng};
+use ruletest_executor::execute;
+use ruletest_logical::IdGen;
+use ruletest_optimizer::{Optimizer, OptimizerConfig};
+use std::sync::Arc;
+
+/// Effort bounds for one mutant's detection sweep. Deliberately modest:
+/// real bugs fall in the first handful of seeds, and the budget is paid
+/// in full by every *surviving* mutant (benign controls, static-only
+/// mutants whose dynamic effect needs data the generator never hits).
+#[derive(Debug, Clone, Copy)]
+pub struct MutationBudget {
+    /// Seeds to sweep (`0..seeds`).
+    pub seeds: u64,
+    /// Generation trials per seed before giving up on it.
+    pub max_trials: usize,
+    /// Extra random operators stacked on the instantiated pattern.
+    pub pad_ops: usize,
+}
+
+impl Default for MutationBudget {
+    fn default() -> Self {
+        MutationBudget {
+            seeds: 48,
+            max_trials: 20,
+            pad_ops: 0,
+        }
+    }
+}
+
+/// A successful dynamic detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicKill {
+    /// The seed whose query exposed the bug.
+    pub seed: u64,
+    /// Cumulative generation trials spent up to and including the kill
+    /// (failed seeds charge their full `max_trials`) — the paper's
+    /// trials-to-detection efficiency metric applied to mutants.
+    pub trials: u64,
+    /// The kill was a *differential crash*: one plan executed and the
+    /// other failed. The masked plan uses only unmutated rules, so an
+    /// asymmetric failure means the mutant's ill-formed plan surfaced at
+    /// runtime (e.g. an unbound column reference).
+    pub crashed: bool,
+}
+
+/// What the dynamic sweep observed for one mutant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Detection {
+    /// The target rule fired in at least one generated query.
+    pub fired: bool,
+    /// `Plan(q)` vs `Plan(q, ¬rule)` differed in shape at least once.
+    pub plans_diverged: bool,
+    /// The differential oracle found a result mismatch.
+    pub dynamic: Option<DynamicKill>,
+}
+
+/// Runs the generation → differential-execution methodology against
+/// `rule_name` on `opt` (normally a [`super::mutant_optimizer`]).
+///
+/// Returns as soon as a kill lands; otherwise exhausts the budget and
+/// reports what was observed (`fired` / `plans_diverged` distinguish "the
+/// mutant never executed" from "it executed and the results still
+/// matched" — the difference between a vacuous and a meaningful
+/// survival).
+pub fn detect_with_methodology(
+    opt: &Arc<Optimizer>,
+    rule_name: &str,
+    budget: &MutationBudget,
+) -> ruletest_common::Result<Detection> {
+    let rule = opt.rule_id(rule_name).ok_or_else(|| {
+        ruletest_common::Error::unsupported(format!("unknown rule '{rule_name}'"))
+    })?;
+    let db = opt.database();
+    let fw = Framework::with_optimizer(opt.clone());
+    let mut det = Detection::default();
+    let mut trials = 0u64;
+    for seed in 0..budget.seeds {
+        let cfg = GenConfig {
+            seed,
+            max_trials: budget.max_trials,
+            pad_ops: budget.pad_ops,
+            ..Default::default()
+        };
+        // Stage 1: the paper's differential-execution oracle on a query
+        // where the (mutated) rule fires.
+        if let Ok(out) = fw.find_query_for_rule(rule, Strategy::Pattern, &cfg) {
+            trials += out.trials as u64;
+            det.fired = true;
+            let base = opt.optimize(&out.query)?;
+            let masked = opt.optimize_with(&out.query, &OptimizerConfig::disabling(&[rule]))?;
+            if !base.plan.same_shape(&masked.plan) {
+                det.plans_diverged = true;
+                match (execute(db, &base.plan), execute(db, &masked.plan)) {
+                    (Ok(a), Ok(b)) => {
+                        if !multisets_equal(&a, &b) {
+                            det.dynamic = Some(DynamicKill {
+                                seed,
+                                trials,
+                                crashed: false,
+                            });
+                            return Ok(det);
+                        }
+                    }
+                    (Ok(_), Err(_)) | (Err(_), Ok(_)) => {
+                        det.dynamic = Some(DynamicKill {
+                            seed,
+                            trials,
+                            crashed: true,
+                        });
+                        return Ok(det);
+                    }
+                    (Err(_), Err(_)) => {}
+                }
+            }
+        } else {
+            trials += budget.max_trials as u64;
+        }
+        // Stage 2: the plan-time crash probe. Generation optimizes each
+        // candidate and discards the ones that error — which silently
+        // hides mutants whose substitute makes *optimization itself* blow
+        // up (e.g. an unbound column failing schema derivation). Replay
+        // this seed's candidates: if the mutant-enabled optimizer errors
+        // on a pattern-matching query the masked optimizer handles fine,
+        // the mutant is implicated — a plan-time differential crash.
+        let pattern = opt.rule_pattern(rule).clone();
+        let mut rng = Rng::new(seed);
+        for _ in 0..budget.max_trials {
+            let mut ids = IdGen::new();
+            let Some(built) = instantiate_pattern(db, &mut rng, &mut ids, &pattern) else {
+                continue;
+            };
+            if opt.optimize(&built.tree).is_err()
+                && opt
+                    .optimize_with(&built.tree, &OptimizerConfig::disabling(&[rule]))
+                    .is_ok()
+            {
+                det.fired = true;
+                det.plans_diverged = true;
+                det.dynamic = Some(DynamicKill {
+                    seed,
+                    trials,
+                    crashed: true,
+                });
+                return Ok(det);
+            }
+        }
+    }
+    Ok(det)
+}

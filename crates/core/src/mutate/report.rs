@@ -1,0 +1,297 @@
+//! `MUTATION_REPORT.json`: per-mutant rows, per-class detection rates,
+//! and the lint-escape matrix.
+//!
+//! The report is fully deterministic — catalog order, no wall-clock —
+//! so the same seed produces byte-identical JSON at any thread count.
+
+use super::campaign::MutantOutcome;
+use super::detect::MutationBudget;
+use super::{BugClass, Verdict};
+use ruletest_telemetry::Json;
+
+/// Aggregates for one bug class.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassStats {
+    pub class: BugClass,
+    /// Mutants in this class that the run selected.
+    pub total: usize,
+    /// Expected-detectable mutants killed (static or dynamic).
+    pub killed: usize,
+    /// Expected-detectable mutants that escaped both layers.
+    pub survived: usize,
+    /// Benign mutants correctly reported as non-bugs.
+    pub benign_ok: usize,
+    /// Benign mutants wrongly reported as bugs.
+    pub false_positives: usize,
+    /// Mean cumulative generation trials over this class's dynamic
+    /// kills (the paper's efficiency metric), if any landed.
+    pub mean_trials_to_kill: Option<f64>,
+}
+
+impl ClassStats {
+    /// Killed fraction over expected-detectable mutants (1.0 when the
+    /// class holds only benign controls).
+    pub fn detection_rate(&self) -> f64 {
+        let detectable = self.killed + self.survived;
+        if detectable == 0 {
+            1.0
+        } else {
+            self.killed as f64 / detectable as f64
+        }
+    }
+}
+
+/// The full campaign result.
+#[derive(Debug)]
+pub struct MutationReport {
+    pub outcomes: Vec<MutantOutcome>,
+    pub budget: MutationBudget,
+}
+
+impl MutationReport {
+    pub(super) fn from_outcomes(outcomes: Vec<MutantOutcome>, budget: &MutationBudget) -> Self {
+        MutationReport {
+            outcomes,
+            budget: *budget,
+        }
+    }
+
+    /// Per-class aggregates, in [`BugClass::ALL`] order, classes with no
+    /// selected mutants omitted.
+    pub fn class_stats(&self) -> Vec<ClassStats> {
+        BugClass::ALL
+            .into_iter()
+            .filter_map(|class| {
+                let of_class: Vec<_> = self
+                    .outcomes
+                    .iter()
+                    .filter(|o| o.mutant.class == class)
+                    .collect();
+                if of_class.is_empty() {
+                    return None;
+                }
+                let mut s = ClassStats {
+                    class,
+                    total: of_class.len(),
+                    killed: 0,
+                    survived: 0,
+                    benign_ok: 0,
+                    false_positives: 0,
+                    mean_trials_to_kill: None,
+                };
+                let mut trials = Vec::new();
+                for o in &of_class {
+                    if o.mutant.expected == Verdict::Benign {
+                        if o.passes_expectation() {
+                            s.benign_ok += 1;
+                        } else {
+                            s.false_positives += 1;
+                        }
+                    } else if o.killed() {
+                        s.killed += 1;
+                    } else {
+                        s.survived += 1;
+                    }
+                    if let Some(k) = o.dynamic() {
+                        trials.push(k.trials as f64);
+                    }
+                }
+                if !trials.is_empty() {
+                    s.mean_trials_to_kill = Some(trials.iter().sum::<f64>() / trials.len() as f64);
+                }
+                Some(s)
+            })
+            .collect()
+    }
+
+    /// The lint-escape matrix: ids of mutants the static linter missed
+    /// but dynamic differential execution killed.
+    pub fn lint_escapes(&self) -> Vec<&'static str> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.lint_escape())
+            .map(|o| o.mutant.id)
+            .collect()
+    }
+
+    /// Outcomes violating their mutant's expected verdict.
+    pub fn failures(&self) -> Vec<&MutantOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.passes_expectation())
+            .collect()
+    }
+
+    /// Exit semantics: any expected-detectable mutant surviving (or any
+    /// benign mutant reported as a bug) fails the run.
+    pub fn failed(&self) -> bool {
+        !self.failures().is_empty()
+    }
+
+    /// Deterministic JSON (no wall-clock, catalog order).
+    pub fn to_json(&self) -> Json {
+        let mutants = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                let (seed, trials, kind) = match o.dynamic() {
+                    Some(k) => (
+                        Json::count(k.seed),
+                        Json::count(k.trials),
+                        Json::str(if k.crashed { "crash" } else { "diff" }),
+                    ),
+                    None => (Json::Null, Json::Null, Json::Null),
+                };
+                Json::obj(vec![
+                    ("id", Json::str(o.mutant.id)),
+                    ("class", Json::str(o.mutant.class.name())),
+                    ("rule", Json::str(o.mutant.rule_name)),
+                    ("note", Json::str(o.mutant.note)),
+                    ("expected", Json::str(o.mutant.expected.name())),
+                    ("static_caught", Json::Bool(o.static_caught)),
+                    ("dynamic_caught", Json::Bool(o.dynamic().is_some())),
+                    ("fired", Json::Bool(o.detection.fired)),
+                    ("plans_diverged", Json::Bool(o.detection.plans_diverged)),
+                    ("kill_seed", seed),
+                    ("kill_trials", trials),
+                    ("kill_kind", kind),
+                    ("pass", Json::Bool(o.passes_expectation())),
+                ])
+            })
+            .collect();
+        let classes = self
+            .class_stats()
+            .iter()
+            .map(|s| {
+                let mean = match s.mean_trials_to_kill {
+                    Some(m) => Json::num(m),
+                    None => Json::Null,
+                };
+                Json::obj(vec![
+                    ("class", Json::str(s.class.name())),
+                    ("total", Json::count(s.total as u64)),
+                    ("killed", Json::count(s.killed as u64)),
+                    ("survived", Json::count(s.survived as u64)),
+                    ("benign_ok", Json::count(s.benign_ok as u64)),
+                    ("false_positives", Json::count(s.false_positives as u64)),
+                    ("detection_rate", Json::num(s.detection_rate())),
+                    ("mean_trials_to_kill", mean),
+                ])
+            })
+            .collect();
+        let (killed, survived) = self.kill_counts();
+        Json::obj(vec![
+            (
+                "budget",
+                Json::obj(vec![
+                    ("seeds", Json::count(self.budget.seeds)),
+                    ("max_trials", Json::count(self.budget.max_trials as u64)),
+                    ("pad_ops", Json::count(self.budget.pad_ops as u64)),
+                ]),
+            ),
+            ("mutants", Json::Arr(mutants)),
+            ("classes", Json::Arr(classes)),
+            (
+                "lint_escapes",
+                Json::Arr(
+                    self.lint_escapes()
+                        .iter()
+                        .map(|&id| Json::str(id))
+                        .collect(),
+                ),
+            ),
+            (
+                "summary",
+                Json::obj(vec![
+                    ("total", Json::count(self.outcomes.len() as u64)),
+                    ("killed", Json::count(killed)),
+                    ("survived", Json::count(survived)),
+                    (
+                        "lint_escapes",
+                        Json::count(self.lint_escapes().len() as u64),
+                    ),
+                    ("failures", Json::count(self.failures().len() as u64)),
+                    ("pass", Json::Bool(!self.failed())),
+                ]),
+            ),
+        ])
+    }
+
+    fn kill_counts(&self) -> (u64, u64) {
+        let mut killed = 0;
+        let mut survived = 0;
+        for o in &self.outcomes {
+            if o.mutant.expected == Verdict::Benign {
+                continue;
+            }
+            if o.killed() {
+                killed += 1;
+            } else {
+                survived += 1;
+            }
+        }
+        (killed, survived)
+    }
+
+    /// Human-readable summary for the CLI.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<38} {:<24} {:<19} {:>6} {:>7} {:>5}",
+            "mutant", "class", "expected", "lint", "dyn", "pass"
+        );
+        for o in &self.outcomes {
+            let dynamic = match o.dynamic() {
+                Some(k) => format!("s{}{}", k.seed, if k.crashed { "!" } else { "" }),
+                None if o.detection.fired => "-".to_string(),
+                None => "never".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<38} {:<24} {:<19} {:>6} {:>7} {:>5}",
+                o.mutant.id,
+                o.mutant.class.name(),
+                o.mutant.expected.name(),
+                if o.static_caught { "flag" } else { "-" },
+                dynamic,
+                if o.passes_expectation() { "ok" } else { "FAIL" },
+            );
+        }
+        let _ = writeln!(out);
+        for s in self.class_stats() {
+            let mean = s
+                .mean_trials_to_kill
+                .map(|m| format!("{m:.1}"))
+                .unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                out,
+                "{:<24} detection {:>3}/{:<3} ({:.0}%)  benign {}/{} ok  mean-trials {}",
+                s.class.name(),
+                s.killed,
+                s.killed + s.survived,
+                s.detection_rate() * 100.0,
+                s.benign_ok,
+                s.benign_ok + s.false_positives,
+                mean,
+            );
+        }
+        let escapes = self.lint_escapes();
+        let _ = writeln!(
+            out,
+            "\nlint escapes (dynamic-only kills): {}",
+            if escapes.is_empty() {
+                "none".to_string()
+            } else {
+                escapes.join(", ")
+            }
+        );
+        let _ = writeln!(
+            out,
+            "verdict: {}",
+            if self.failed() { "FAIL" } else { "PASS" }
+        );
+        out
+    }
+}

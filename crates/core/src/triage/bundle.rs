@@ -176,8 +176,7 @@ pub fn replay(bundle: &ReproBundle) -> Result<ReplayOutcome> {
     ))?);
     let optimizer = match &bundle.fault {
         Some(name) => {
-            let fault = Fault::from_name(name)
-                .ok_or_else(|| Error::invalid(format!("unknown fault '{name}'")))?;
+            let fault = Fault::from_name(name)?;
             buggy_optimizer(db.clone(), fault)
         }
         None => Optimizer::new(db.clone()),

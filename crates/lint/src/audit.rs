@@ -21,8 +21,7 @@ use ruletest_logical::{
     derive_schema, IdGen, JoinKind, LogicalTree, OpKind, Operator, Schema, SortKey,
 };
 use ruletest_optimizer::{
-    match_bindings, Bound, GroupId, Memo, NewChild, NewTree, OpMatcher, PatternTree, Rule,
-    RuleAction, RuleCtx,
+    match_bindings, Bound, GroupId, Memo, NewChild, NewTree, OpMatcher, PatternTree, Rule, RuleCtx,
 };
 use ruletest_storage::{Database, TableDef};
 use std::cell::RefCell;
@@ -338,8 +337,7 @@ impl<'a> Instantiator<'a> {
                         .into_iter()
                         .map(LogicalTree::distinct)
                         .collect(),
-                    OpKind::Sort => self
-                        .unary_sorted(&children[0], forced, LogicalTree::sort),
+                    OpKind::Sort => self.unary_sorted(&children[0], forced, LogicalTree::sort),
                     OpKind::Top => self
                         .unary_sorted(&children[0], forced, |c, keys| LogicalTree::top(c, 5, keys)),
                 }
@@ -491,9 +489,9 @@ pub fn audit_rule(
     corpus: &[CorpusTree],
     stats: &mut AuditStats,
 ) -> Vec<LintViolation> {
-    let RuleAction::Explore(action) = &rule.action else {
+    if !rule.action.is_explore() {
         return vec![];
-    };
+    }
     let mut out = Vec::new();
     for ct in corpus {
         let bindings = match_bindings(&ct.memo, &rule.pattern, ct.root, 0);
@@ -506,7 +504,7 @@ pub fn audit_rule(
                     memo: &ct.memo,
                     ids: &ids,
                 };
-                action(&ctx, &bound)
+                rule.action.apply_explore(&ctx, &bound).unwrap()
             };
             if !results.is_empty() {
                 // Contract check on the recorded firing: the exported

@@ -35,7 +35,7 @@ pub use node::{AuditNode, LeafKey};
 pub use report::LintReport;
 pub use violation::{dedup_violations, LintPass, LintViolation, Severity};
 
-use ruletest_optimizer::{Bound, Memo, NewTree, Optimizer, Rule, RuleAction, SubstituteAuditor};
+use ruletest_optimizer::{Bound, Memo, NewTree, Optimizer, Rule, SubstituteAuditor};
 use ruletest_storage::Database;
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -156,5 +156,5 @@ impl SubstituteAuditor for OnlineAuditor {
 /// check; implementation rules only participate in pattern validation and
 /// the necessity probe).
 pub fn is_explorable(rule: &Rule) -> bool {
-    matches!(rule.action, RuleAction::Explore(_))
+    rule.action.is_explore()
 }

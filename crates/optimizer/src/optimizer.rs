@@ -495,10 +495,9 @@ impl Optimizer {
                                     memo: &memo,
                                     ids: &ids,
                                 };
-                                match &rule.action {
-                                    RuleAction::Explore(f) => f(&ctx, &bound),
-                                    RuleAction::Implement(_) => unreachable!(),
-                                }
+                                rule.action
+                                    .apply_explore(&ctx, &bound)
+                                    .expect("exploration task on implementation rule")
                             };
                             if !results.is_empty() {
                                 exercised.insert(rid);
@@ -851,7 +850,7 @@ impl Extractor<'_> {
                         };
                         match &rule.action {
                             RuleAction::Implement(f) => f(&ctx, &bound),
-                            RuleAction::Explore(_) => unreachable!(),
+                            _ => unreachable!(),
                         }
                     };
                     if !candidates.is_empty() {

@@ -105,12 +105,38 @@ impl RuleCtx<'_> {
     }
 }
 
+/// A boxed exploration substitute, shared by [`RuleAction::ExploreDyn`]
+/// and [`Rule::explore_dyn`].
+pub type DynExplore = std::sync::Arc<dyn Fn(&RuleCtx, &Bound) -> Vec<NewTree> + Send + Sync>;
+
 /// The substitution function of a rule.
 pub enum RuleAction {
     /// Produces zero or more equivalent logical substitutes.
     Explore(fn(&RuleCtx, &Bound) -> Vec<NewTree>),
+    /// An exploration substitute carried as a closure. The catalog proper
+    /// uses plain fn pointers; this variant exists so derived rules (the
+    /// mutation engine's buggy variants) can wrap a real rule's action
+    /// with a transformation without a named top-level function per
+    /// mutant.
+    ExploreDyn(DynExplore),
     /// Produces zero or more physical alternatives.
     Implement(fn(&RuleCtx, &Bound) -> Vec<PhysCandidate>),
+}
+
+impl RuleAction {
+    /// True for either exploration form.
+    pub fn is_explore(&self) -> bool {
+        !matches!(self, RuleAction::Implement(_))
+    }
+
+    /// Runs the exploration substitute, if this is an exploration action.
+    pub fn apply_explore(&self, ctx: &RuleCtx, bound: &Bound) -> Option<Vec<NewTree>> {
+        match self {
+            RuleAction::Explore(f) => Some(f(ctx, bound)),
+            RuleAction::ExploreDyn(f) => Some(f(ctx, bound)),
+            RuleAction::Implement(_) => None,
+        }
+    }
 }
 
 /// A transformation rule: name, pattern, substitution (§3.1).
@@ -143,6 +169,24 @@ impl Rule {
             pattern,
             precondition,
             action: RuleAction::Explore(f),
+            mints_fresh_ids: false,
+        }
+    }
+
+    /// Like [`Rule::explore`], but the substitute is a closure. Used by
+    /// derived (mutated) rule variants; catalog rules stay fn pointers.
+    pub fn explore_dyn(
+        name: &'static str,
+        pattern: PatternTree,
+        precondition: &'static str,
+        f: DynExplore,
+    ) -> Rule {
+        Rule {
+            name,
+            kind: RuleKind::Exploration,
+            pattern,
+            precondition,
+            action: RuleAction::ExploreDyn(f),
             mints_fresh_ids: false,
         }
     }

@@ -59,10 +59,18 @@ pub enum Counter {
     DuplicatesCollapsed,
     /// Static lint violations flagged by the debug-mode substitute auditor.
     LintViolations,
+    /// Mutants killed by the mutation campaign (statically or dynamically,
+    /// per their expected verdict).
+    MutantsKilled,
+    /// Expected-detectable mutants that survived the mutation campaign.
+    MutantsSurvived,
+    /// Mutants invisible to the static linter but caught by dynamic
+    /// differential execution (the lint-escape matrix rows).
+    LintEscapes,
 }
 
 impl Counter {
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 22;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::OptInvocations,
@@ -84,6 +92,9 @@ impl Counter {
         Counter::MinimizationSteps,
         Counter::DuplicatesCollapsed,
         Counter::LintViolations,
+        Counter::MutantsKilled,
+        Counter::MutantsSurvived,
+        Counter::LintEscapes,
     ];
 
     /// Stable dotted name used in reports and traces.
@@ -108,6 +119,9 @@ impl Counter {
             Counter::MinimizationSteps => "triage.minimization_steps",
             Counter::DuplicatesCollapsed => "triage.duplicates_collapsed",
             Counter::LintViolations => "lint.violations",
+            Counter::MutantsKilled => "mutate.killed",
+            Counter::MutantsSurvived => "mutate.survived",
+            Counter::LintEscapes => "mutate.lint_escapes",
         }
     }
 }

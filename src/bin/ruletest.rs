@@ -14,6 +14,8 @@
 //! ruletest triage [--fault F] [--out P]  campaign + bug triage: minimize, dedup, emit repro bundles
 //! ruletest triage replay <bugs.jsonl>    re-execute bundles in a fresh process (--check fails unless all confirm)
 //! ruletest lint [--fault F] [--json P]   static rule audit: catch rule bugs without executing queries
+//! ruletest mutate [--class C] [--sample N] [--json P]  rule-mutation campaign: measure fault-detection power
+//! ruletest mutate --list                 print the mutant catalog
 //!
 //! common options: --seed N   --pad N   --random   --trials N   --threads N   --scale N
 //! telemetry:      --metrics-json PATH   --trace-out PATH
@@ -60,6 +62,16 @@ fn main() -> ExitCode {
     if cmd == "triage" {
         // Builds its own (possibly fault-injected, scaled) framework.
         return match run_triage(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "mutate" {
+        // Builds one optimizer per mutant; no shared framework.
+        return match run_mutate(&opts) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -218,7 +230,7 @@ fn main() -> ExitCode {
         "impact" => run_impact(&fw, &opts),
         _ => {
             eprintln!(
-                "usage: ruletest <rules|pattern|gen|pair|relevant|sql|audit|impact|report|triage|lint> [options]\n\
+                "usage: ruletest <rules|pattern|gen|pair|relevant|sql|audit|impact|report|triage|lint|mutate> [options]\n\
                  see the module docs (`ruletest --help` equivalent) in src/bin/ruletest.rs"
             );
             Ok(())
@@ -394,10 +406,7 @@ fn run_audit(fw: &Framework, opts: &Opts) -> Result<(), String> {
 /// fault is injected and the command fails unless the audit catches it.
 fn run_lint(opts: &Opts) -> Result<(), String> {
     let fault = match &opts.fault {
-        Some(name) => Some(Fault::from_name(name).ok_or_else(|| {
-            let known: Vec<&str> = Fault::ALL.iter().map(|f| f.name()).collect();
-            format!("unknown fault '{name}' (known: {})", known.join(", "))
-        })?),
+        Some(name) => Some(Fault::from_name(name).map_err(|e| e.to_string())?),
         None => None,
     };
     // Data scale is irrelevant to a static audit; only the catalog is read.
@@ -440,6 +449,75 @@ fn run_lint(opts: &Opts) -> Result<(), String> {
 /// Unlike `audit`, finding bugs here is *success*: the command's job is
 /// producing repro bundles, and it fails only when a requested fault
 /// injection yields nothing to triage.
+/// Runs the rule-mutation campaign (`ruletest mutate`): derives buggy
+/// variants of real catalog rules, runs the static linter *and* the §2.3
+/// generation → differential-execution pipeline against each, and fails
+/// unless every mutant meets its expected verdict — expected-detectable
+/// mutants must be killed, benign (cost-only) mutants must *not* be
+/// reported as bugs.
+fn run_mutate(opts: &Opts) -> Result<(), String> {
+    use ruletest::core::mutate::{BugClass, Mutant, MutationConfig};
+    if opts.list {
+        println!(
+            "{:<38} {:<24} {:<28} expected",
+            "mutant", "class", "rule"
+        );
+        for m in Mutant::all() {
+            println!(
+                "{:<38} {:<24} {:<28} {}",
+                m.id,
+                m.class.name(),
+                m.rule_name,
+                m.expected.name()
+            );
+        }
+        return Ok(());
+    }
+    let class = match &opts.class {
+        Some(name) => Some(BugClass::from_name(name).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let telemetry = if opts.metrics_json.is_some() {
+        Telemetry::metrics_only()
+    } else {
+        Telemetry::disabled()
+    };
+    // Data scale: the differential oracle wants the default corpus the
+    // detection budgets were tuned against.
+    let db = Arc::new(tpch_database(&TpchConfig::default()).map_err(|e| e.to_string())?);
+    let cfg = MutationConfig {
+        class,
+        sample: opts.sample,
+        threads: opts.threads,
+        ..Default::default()
+    };
+    let started = Instant::now();
+    let report = ruletest::core::mutate::run_mutation_campaign(&db, &cfg, &telemetry)
+        .map_err(|e| e.to_string())?;
+    print!("{}", report.render_text());
+    println!("mutate: finished in {:?}", started.elapsed());
+    if let Some(path) = &opts.json {
+        std::fs::write(path, report.to_json().to_string_pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("mutate: report written to {path}");
+    }
+    if let Some(path) = &opts.metrics_json {
+        let mut run = telemetry.run_report(&[]);
+        run.wall_seconds = started.elapsed().as_secs_f64();
+        std::fs::write(path, run.to_json().to_string_pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote run report to {path}");
+    }
+    if report.failed() {
+        Err(format!(
+            "{} mutants violated their expected verdict",
+            report.failures().len()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 fn run_triage(opts: &Opts) -> Result<(), String> {
     if opts.positional.first().map(String::as_str) == Some("replay") {
         return run_triage_replay(opts);
@@ -458,10 +536,7 @@ fn run_triage(opts: &Opts) -> Result<(), String> {
         Telemetry::disabled()
     };
     let fault = match &opts.fault {
-        Some(name) => Some(Fault::from_name(name).ok_or_else(|| {
-            let known: Vec<&str> = Fault::ALL.iter().map(|f| f.name()).collect();
-            format!("unknown fault '{name}' (known: {})", known.join(", "))
-        })?),
+        Some(name) => Some(Fault::from_name(name).map_err(|e| e.to_string())?),
         None => None,
     };
     let scale = opts.scale.max(1);

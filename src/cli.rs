@@ -36,6 +36,13 @@ pub struct Opts {
     pub json: Option<String>,
     /// Test-database scale factor (1 = default table sizes).
     pub scale: usize,
+    /// `ruletest mutate --class C`: restrict to one bug class.
+    pub class: Option<String>,
+    /// `ruletest mutate --sample N`: stratified sample, ≤N mutants per
+    /// class.
+    pub sample: Option<usize>,
+    /// `ruletest mutate --list`: print the mutant catalog and exit.
+    pub list: bool,
     pub positional: Vec<String>,
 }
 
@@ -56,6 +63,9 @@ impl Default for Opts {
             out: None,
             json: None,
             scale: 1,
+            class: None,
+            sample: None,
+            list: false,
             positional: Vec::new(),
         }
     }
@@ -98,8 +108,11 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<(String, Opts), S
             "--out" => opts.out = Some(value_of(&a, &mut args)?),
             "--json" => opts.json = Some(value_of(&a, &mut args)?),
             "--scale" => opts.scale = parse_value(&a, &mut args)?,
+            "--class" => opts.class = Some(value_of(&a, &mut args)?),
+            "--sample" => opts.sample = Some(parse_value(&a, &mut args)?),
             "--random" => opts.random = true,
             "--check" => opts.check = true,
+            "--list" => opts.list = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}'"));
             }
@@ -229,6 +242,29 @@ mod tests {
         );
         assert_eq!(opts.json.as_deref(), Some("lint.json"));
         assert!(parse(argv(&["lint", "--json"])).is_err());
+    }
+
+    #[test]
+    fn mutate_flags_parse() {
+        let (cmd, opts) = parse(argv(&[
+            "mutate",
+            "--class",
+            "boundary-bug",
+            "--sample",
+            "2",
+            "--json",
+            "MUTATION_REPORT.json",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "mutate");
+        assert_eq!(opts.class.as_deref(), Some("boundary-bug"));
+        assert_eq!(opts.sample, Some(2));
+        assert_eq!(opts.json.as_deref(), Some("MUTATION_REPORT.json"));
+        let (_, opts) = parse(argv(&["mutate", "--list"])).unwrap();
+        assert!(opts.list);
+        // missing/unparseable values fail loudly
+        assert!(parse(argv(&["mutate", "--class"])).is_err());
+        assert!(parse(argv(&["mutate", "--sample", "few"])).is_err());
     }
 
     #[test]

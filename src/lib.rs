@@ -20,7 +20,9 @@
 //!   (§3), test suite compression (§4–5: BASELINE / SetMultiCover /
 //!   TopKIndependent / exact / bipartite matching), monotonicity-pruned
 //!   bipartite-graph construction (§5.3.1), correctness execution (§2.3),
-//!   and fault injection;
+//!   fault injection, and the rule-mutation engine (`ruletest mutate`):
+//!   buggy rule variants across six bug classes measuring the
+//!   framework's fault-detection power;
 //! * [`telemetry`] — std-only campaign metrics, structured event tracing,
 //!   and JSON run reports (surfaced via `ruletest report` and the
 //!   `--metrics-json` / `--trace-out` flags);

@@ -60,6 +60,166 @@ fn pipeline_matches_reference_on_random_queries() {
     });
 }
 
+/// Edge cases the random corpora rarely hit, on a hand-built database
+/// whose shape forces them: an *empty* null-supplying side, join keys
+/// that are NULL in every row, duplicate-heavy inputs (the set/bag
+/// mutants' feeding ground), and TopN ties exactly at the limit
+/// boundary. Each query runs through the full optimize → execute
+/// pipeline and must agree with the brute-force reference evaluator.
+mod edge_cases {
+    use super::*;
+    use ruletest_common::{DataType, Row, Value};
+    use ruletest_executor::{execute_with, reference_eval, ExecConfig};
+    use ruletest_optimizer::Optimizer;
+    use ruletest_sql::parse_sql;
+    use ruletest_storage::{Catalog, ColumnDef, Database, TableDef};
+    use std::sync::Arc;
+
+    fn int(v: i64) -> Value {
+        Value::Int(v)
+    }
+
+    /// left(5 rows), empty(0 rows), nulls(3 rows, all-NULL join column),
+    /// dups(8 rows over 3 distinct values, ties straddling LIMIT 3).
+    fn mini_db() -> Arc<Database> {
+        let mut catalog = Catalog::new();
+        let table = |id: u32, name: &str, cols: Vec<ColumnDef>| TableDef {
+            id: ruletest_common::TableId(id),
+            name: name.to_string(),
+            columns: cols,
+            primary_key: vec![0],
+            unique_keys: vec![],
+            foreign_keys: vec![],
+        };
+        let lt = catalog
+            .add_table(table(
+                0,
+                "lt",
+                vec![
+                    ColumnDef::new("lk", DataType::Int, false),
+                    ColumnDef::new("lv", DataType::Int, true),
+                ],
+            ))
+            .unwrap();
+        let et = catalog
+            .add_table(table(
+                1,
+                "et",
+                vec![
+                    ColumnDef::new("ek", DataType::Int, false),
+                    ColumnDef::new("ev", DataType::Int, true),
+                ],
+            ))
+            .unwrap();
+        let nt = catalog
+            .add_table(table(
+                2,
+                "nt",
+                vec![
+                    ColumnDef::new("nk", DataType::Int, false),
+                    ColumnDef::new("nv", DataType::Int, true),
+                ],
+            ))
+            .unwrap();
+        let dt = catalog
+            .add_table(table(
+                3,
+                "dt",
+                vec![
+                    ColumnDef::new("dk", DataType::Int, false),
+                    ColumnDef::new("dv", DataType::Int, true),
+                ],
+            ))
+            .unwrap();
+        let mut db = Database::new(catalog);
+        db.load_table(
+            lt,
+            vec![
+                vec![int(1), int(10)],
+                vec![int(2), int(20)],
+                vec![int(3), Value::Null],
+                vec![int(4), int(20)],
+                vec![int(5), int(50)],
+            ],
+        )
+        .unwrap();
+        db.load_table(et, Vec::<Row>::new()).unwrap();
+        db.load_table(
+            nt,
+            vec![
+                vec![int(1), Value::Null],
+                vec![int(2), Value::Null],
+                vec![int(3), Value::Null],
+            ],
+        )
+        .unwrap();
+        // dv multiset {10×3, 20×3, 30×2}: the LIMIT-3 boundary falls
+        // inside the 10/20 tie region when ordered by dv.
+        db.load_table(
+            dt,
+            vec![
+                vec![int(1), int(10)],
+                vec![int(2), int(10)],
+                vec![int(3), int(10)],
+                vec![int(4), int(20)],
+                vec![int(5), int(20)],
+                vec![int(6), int(20)],
+                vec![int(7), int(30)],
+                vec![int(8), int(30)],
+            ],
+        )
+        .unwrap();
+        Arc::new(db)
+    }
+
+    fn check_sql(db: &Arc<Database>, opt: &Optimizer, sql: &str) {
+        let exec = ExecConfig::default();
+        let tree = parse_sql(&db.catalog, sql).unwrap_or_else(|e| panic!("parse {sql}: {e}"));
+        let res = opt
+            .optimize(&tree)
+            .unwrap_or_else(|e| panic!("optimize {sql}: {e}"));
+        let actual =
+            execute_with(db, &res.plan, &exec).unwrap_or_else(|e| panic!("execute {sql}: {e}"));
+        let expected =
+            reference_eval(db, &tree, &exec).unwrap_or_else(|e| panic!("reference {sql}: {e}"));
+        assert!(
+            multisets_equal(&actual, &expected),
+            "pipeline disagrees with the reference on {sql}\nplan:\n{}",
+            res.plan.explain()
+        );
+    }
+
+    #[test]
+    fn pipeline_matches_reference_on_boundary_shaped_inputs() {
+        let db = mini_db();
+        let opt = Optimizer::new(db.clone());
+        for sql in [
+            // Empty null-supplying side: every left row must come back
+            // exactly once, NULL-padded.
+            "SELECT lk, ev FROM lt LEFT JOIN et ON lk = ek",
+            "SELECT lk FROM lt LEFT JOIN et ON lk = ek WHERE ev IS NULL",
+            // All-NULL join keys: NULL never equals anything, so the
+            // inner join is empty and the outer join pads every row.
+            "SELECT lk, nk FROM lt JOIN nt ON lv = nv",
+            "SELECT lk, nk FROM lt LEFT JOIN nt ON lv = nv",
+            // Duplicate-heavy inputs: multiplicities must survive the
+            // join (dv 10×3 meets lv 10×1, dv 20×3 meets lv 20×2 → 9
+            // rows) and DISTINCT must collapse them exactly once.
+            "SELECT dk FROM dt JOIN lt ON dv = lv",
+            "SELECT DISTINCT dv FROM dt",
+            "SELECT DISTINCT dv FROM dt JOIN lt ON dv = lv",
+            // TopN ties at the limit boundary: the cut falls inside a
+            // tie group; projecting only the ordered column keeps the
+            // answer multiset well-defined.
+            "SELECT dv FROM dt ORDER BY dv LIMIT 3",
+            "SELECT dv FROM dt ORDER BY dv LIMIT 6",
+            "SELECT dv FROM dt ORDER BY dv DESC LIMIT 3",
+        ] {
+            check_sql(&db, &opt, sql);
+        }
+    }
+}
+
 #[test]
 fn pipeline_matches_reference_on_every_rules_pattern_queries() {
     let fw = fw();
