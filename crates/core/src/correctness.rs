@@ -10,9 +10,9 @@ use crate::compress::{Instance, Solution};
 use crate::framework::Framework;
 use crate::suite::{RuleTarget, TestSuite};
 use ruletest_common::{diff_multisets, try_par_map, Error, Result, Row};
-use ruletest_executor::{execute_with, ExecConfig};
+use ruletest_executor::{execute_profiled, ExecConfig};
 use ruletest_optimizer::OptimizerConfig;
-use ruletest_telemetry::{Counter, Event};
+use ruletest_telemetry::{Counter, Event, Stage};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -92,8 +92,11 @@ pub fn execute_solution(
     // `used_queries` order so the floating-point cost sum is reproducible.
     let used: Vec<usize> = sol.used_queries().into_iter().collect();
     let base_items = try_par_map(fw.parallelism.threads, &used, |_, &q| {
+        // Spans open inside the leaf closure so the tree shape is
+        // thread-count-invariant.
+        let _span = fw.telemetry.span(Stage::Correctness);
         let res = fw.optimizer.optimize_cached(&suite.queries[q].tree)?;
-        let rows = match execute_with(&fw.db, &res.plan, exec_config) {
+        let rows = match execute_profiled(&fw.db, &res.plan, exec_config, &fw.telemetry) {
             Ok(rows) => Some(rows),
             Err(Error::Budget(_) | Error::Unsupported(_)) => None,
             Err(e) => return Err(e),
@@ -118,6 +121,7 @@ pub fn execute_solution(
         .flat_map(|(t, qs)| qs.iter().map(move |&q| (t, q)))
         .collect();
     let validated = try_par_map(fw.parallelism.threads, &pairs, |_, &(t, q)| {
+        let _span = fw.telemetry.span(Stage::Correctness);
         let target = suite.targets[t];
         let rules = target.rules();
         // Both optimizations are near-guaranteed invocation-cache hits:
@@ -134,7 +138,7 @@ pub fn execute_solution(
         let Some(Some(expected)) = base_results.get(&q) else {
             return Ok((cost, Validation::Expensive));
         };
-        match execute_with(&fw.db, &masked.plan, exec_config) {
+        match execute_profiled(&fw.db, &masked.plan, exec_config, &fw.telemetry) {
             Ok(actual) => {
                 let diff = diff_multisets(expected, &actual);
                 if diff.is_empty() {

@@ -11,7 +11,7 @@ use ruletest_optimizer::{Optimizer, PatternTree};
 use ruletest_sql::to_sql;
 use ruletest_storage::{tpch_database, Database, TpchConfig};
 use ruletest_telemetry::{
-    CacheSection, Counter, Event, Hist, PoolSection, RunReport, Telemetry, TraceSection,
+    CacheSection, Counter, Event, Hist, PoolSection, RunReport, Stage, Telemetry,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -160,11 +160,6 @@ impl Framework {
             busy_ns: ps.busy_ns,
             idle_ns: ps.idle_ns,
         };
-        let ts = self.telemetry.trace_stats();
-        report.trace = TraceSection {
-            recorded: ts.recorded,
-            dropped: ts.dropped,
-        };
         report
     }
 
@@ -197,6 +192,10 @@ impl Framework {
         strategy: Strategy,
         cfg: &GenConfig,
     ) -> Result<GenOutcome> {
+        // One span per generation problem: this method runs inside the
+        // worker-pool leaf closure, so the span tree's shape is independent
+        // of the thread count.
+        let _span = self.telemetry.span(Stage::Generation);
         let start = Instant::now();
         if targets.is_empty() {
             return Err(Error::unsupported(

@@ -100,7 +100,7 @@ pub fn run_mutation_campaign(
     let budget = cfg.budget;
     let outcomes: Vec<Result<MutantOutcome>> =
         par_map(cfg.threads, &selected, move |_idx, m: &&'static Mutant| {
-            run_one(db.clone(), m, &budget)
+            run_one(db.clone(), m, &budget, tel)
         });
     let outcomes: Vec<MutantOutcome> = outcomes.into_iter().collect::<Result<_>>()?;
     for o in &outcomes {
@@ -122,8 +122,14 @@ fn run_one(
     db: Arc<Database>,
     mutant: &'static Mutant,
     budget: &MutationBudget,
+    tel: &Telemetry,
 ) -> Result<MutantOutcome> {
     let opt = Arc::new(mutant_optimizer(db, mutant));
+    // Attach the campaign telemetry so the detection sweep's spans and
+    // per-rule optimize costs are attributed under `mutation`.
+    if tel.is_enabled() {
+        opt.attach_telemetry(tel.clone());
+    }
     let lint = ruletest_lint::lint_rules_focused(&opt, mutant.rule_name)?;
     let static_caught = lint.flagged_rules().iter().any(|r| r == mutant.rule_name);
     let detection = detect_with_methodology(&opt, mutant.rule_name, budget)?;

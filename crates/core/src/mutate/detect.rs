@@ -12,7 +12,7 @@ use crate::framework::Framework;
 use crate::generate::pattern::instantiate_pattern;
 use crate::generate::{GenConfig, Strategy};
 use ruletest_common::{multisets_equal, Rng};
-use ruletest_executor::execute;
+use ruletest_executor::{execute_profiled, ExecConfig};
 use ruletest_logical::IdGen;
 use ruletest_optimizer::{Optimizer, OptimizerConfig};
 use std::sync::Arc;
@@ -84,6 +84,12 @@ pub fn detect_with_methodology(
     let rule = opt.rule_id(rule_name).ok_or_else(|| {
         ruletest_common::Error::unsupported(format!("unknown rule '{rule_name}'"))
     })?;
+    // One span per mutant sweep, attributed through the optimizer's
+    // telemetry (attached by the campaign). The internal framework below
+    // keeps disabled telemetry, so no nested generation spans appear —
+    // all optimize flushes land under this mutation span.
+    let tel = opt.telemetry().clone();
+    let _span = tel.span(ruletest_telemetry::Stage::Mutation);
     let db = opt.database();
     let fw = Framework::with_optimizer(opt.clone());
     let mut det = Detection::default();
@@ -104,7 +110,11 @@ pub fn detect_with_methodology(
             let masked = opt.optimize_with(&out.query, &OptimizerConfig::disabling(&[rule]))?;
             if !base.plan.same_shape(&masked.plan) {
                 det.plans_diverged = true;
-                match (execute(db, &base.plan), execute(db, &masked.plan)) {
+                let exec = ExecConfig::default();
+                match (
+                    execute_profiled(db, &base.plan, &exec, &tel),
+                    execute_profiled(db, &masked.plan, &exec, &tel),
+                ) {
                     (Ok(a), Ok(b)) => {
                         if !multisets_equal(&a, &b) {
                             det.dynamic = Some(DynamicKill {

@@ -9,7 +9,7 @@ use super::{RuleTarget, TestSuite};
 use crate::framework::Framework;
 use ruletest_common::{try_par_map, Result};
 use ruletest_optimizer::OptimizerConfig;
-use ruletest_telemetry::{Counter, Event};
+use ruletest_telemetry::{Counter, Event, Stage};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -106,6 +106,9 @@ pub fn build_graph(fw: &Framework, suite: &TestSuite) -> Result<BipartiteGraph> 
     // so the resulting map is identical at any thread count.
     let indexed: Vec<usize> = (0..adjacency.len()).collect();
     try_par_map(fw.parallelism.threads, &indexed, |_, &t| {
+        // Per-target span inside the leaf closure: the tree shape stays
+        // identical at any thread count.
+        let _span = fw.telemetry.span(Stage::Graph);
         for &q in &adjacency[t] {
             oracle.edge_cost(t, q)?;
         }
@@ -138,6 +141,7 @@ pub fn build_graph_pruned(fw: &Framework, suite: &TestSuite) -> Result<Bipartite
     // parallel campaign fans out across them with the pruning intact.
     let indexed: Vec<usize> = (0..adjacency.len()).collect();
     try_par_map(fw.parallelism.threads, &indexed, |_, &t| {
+        let _span = fw.telemetry.span(Stage::Graph);
         let adj = &adjacency[t];
         let mut by_node_cost = adj.clone();
         by_node_cost.sort_by(|&a, &b| node_cost[a].total_cmp(&node_cost[b]));

@@ -33,7 +33,7 @@
 use super::TriageConfig;
 use crate::framework::{DbProfile, Framework};
 use ruletest_common::{diff_multisets, Result, RuleId};
-use ruletest_executor::{execute_with, ExecConfig};
+use ruletest_executor::{execute_profiled, ExecConfig};
 use ruletest_expr::{conjoin, conjuncts, Expr};
 use ruletest_logical::{derive_schema, LogicalTree, Operator};
 use ruletest_optimizer::{Optimizer, OptimizerConfig, PhysicalPlan};
@@ -91,6 +91,7 @@ pub(crate) fn divergence(
     rules: &[RuleId],
     exec: &ExecConfig,
 ) -> Option<Divergence> {
+    let _span = fw.telemetry.span(ruletest_telemetry::Stage::Triage);
     let base = fw.optimizer.optimize_cached(tree).ok()?;
     let masked = fw
         .optimizer
@@ -99,8 +100,8 @@ pub(crate) fn divergence(
     if base.plan.same_shape(&masked.plan) {
         return None;
     }
-    let expected = execute_with(&fw.db, &base.plan, exec).ok()?;
-    let actual = execute_with(&fw.db, &masked.plan, exec).ok()?;
+    let expected = execute_profiled(&fw.db, &base.plan, exec, &fw.telemetry).ok()?;
+    let actual = execute_profiled(&fw.db, &masked.plan, exec, &fw.telemetry).ok()?;
     let diff = diff_multisets(&expected, &actual);
     if diff.is_empty() {
         return None;

@@ -93,6 +93,19 @@ pub fn execute_with(db: &Database, plan: &PhysicalPlan, config: &ExecConfig) -> 
     Ok(rows)
 }
 
+/// Executes a plan under an explicit budget inside a [`Stage::Execution`]
+/// profiling span, so executor wall time shows up under the enclosing
+/// campaign stage in the run report's profile section.
+pub fn execute_profiled(
+    db: &Database,
+    plan: &PhysicalPlan,
+    config: &ExecConfig,
+    tel: &ruletest_telemetry::Telemetry,
+) -> Result<ResultSet> {
+    let _span = tel.span(ruletest_telemetry::Stage::Execution);
+    execute_with(db, plan, config)
+}
+
 pub(crate) fn exec_node(ctx: &mut Ctx, plan: &PhysicalPlan) -> Result<ResultSet> {
     match &plan.op {
         PhysOp::SeqScan { .. } | PhysOp::IndexSeek { .. } => crate::ops_scan::exec(ctx, plan),

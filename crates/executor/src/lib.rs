@@ -18,5 +18,5 @@ mod ops_misc;
 mod ops_scan;
 pub mod reference;
 
-pub use context::{execute, execute_with, ExecConfig, ResultSet};
+pub use context::{execute, execute_profiled, execute_with, ExecConfig, ResultSet};
 pub use reference::reference_eval;

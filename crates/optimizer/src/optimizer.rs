@@ -17,7 +17,7 @@ use ruletest_logical::{
     derive_schema, output_schema, IdGen, JoinKind, LogicalTree, Operator, Schema,
 };
 use ruletest_storage::Database;
-use ruletest_telemetry::{Counter, Event, Hist, RulePhase, Telemetry};
+use ruletest_telemetry::{Counter, Event, Hist, ProfileSample, RulePhase, Telemetry};
 use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -335,13 +335,14 @@ impl Optimizer {
             fingerprint: tree_fingerprint(tree),
             hit: false,
         });
-        let result = Arc::new(self.compute(tree, config)?);
+        let (result, sample) = self.compute(tree, config)?;
+        let result = Arc::new(result);
         // Racing workers may compute the same key concurrently; only the
-        // insertion winner records the result, so telemetry aggregates
-        // count each unique optimization exactly once regardless of
-        // thread count or scheduling.
+        // insertion winner records the result (and flushes the profile
+        // sample), so telemetry aggregates count each unique optimization
+        // exactly once regardless of thread count or scheduling.
         if self.cache.insert(key, Arc::clone(&result)) {
-            self.record_result(&result);
+            self.record_result(&result, sample);
         }
         Ok(result)
     }
@@ -363,19 +364,23 @@ impl Optimizer {
         tree: &LogicalTree,
         config: &OptimizerConfig,
     ) -> Result<OptimizeResult> {
-        let result = self.compute(tree, config)?;
-        self.record_result(&result);
+        let (result, sample) = self.compute(tree, config)?;
+        self.record_result(&result, sample);
         Ok(result)
     }
 
-    /// Records a finished unique optimization into the telemetry registry.
+    /// Records a finished unique optimization into the telemetry registry
+    /// and books its profile sample under the caller's span stack.
     /// Called once per *unique* `(tree, mask, budgets)` key on the cached
     /// path (insertion winner) and once per direct [`Self::optimize_with`]
     /// call, which keeps every aggregate thread-count-invariant.
-    fn record_result(&self, result: &OptimizeResult) {
+    fn record_result(&self, result: &OptimizeResult, sample: Option<ProfileSample>) {
         let tel = self.telemetry();
         if !tel.is_enabled() {
             return;
+        }
+        if let Some(sample) = &sample {
+            tel.flush_profile(sample);
         }
         tel.incr(Counter::OptInvocations);
         if result.truncated {
@@ -398,13 +403,22 @@ impl Optimizer {
 
     /// The actual optimization (uninstrumented entry point — callers are
     /// responsible for [`Self::record_result`] so cached and uncached paths
-    /// agree on what counts as one invocation).
-    fn compute(&self, tree: &LogicalTree, config: &OptimizerConfig) -> Result<OptimizeResult> {
+    /// agree on what counts as one invocation). Returns the profile sample
+    /// alongside the result so the caller can flush it only for
+    /// deduplicated winners.
+    fn compute(
+        &self,
+        tree: &LogicalTree,
+        config: &OptimizerConfig,
+    ) -> Result<(OptimizeResult, Option<ProfileSample>)> {
         self.invocations.fetch_add(1, Ordering::Relaxed);
         let tel = self.telemetry();
         // Timestamp only when enabled: `Instant::now` is a syscall on some
         // platforms and the disabled path must stay near-free.
         let started = tel.is_enabled().then(Instant::now);
+        // Per-rule bind/substitute timing, buffered until the dedup
+        // decision (`Some` exactly when `started` is).
+        let mut sample = tel.profile_sample();
         // Fingerprint the *unpinned* tree so invocation events correlate
         // with the cache-lookup events for the same query.
         let fingerprint = tel.tracing().then(|| tree_fingerprint(tree));
@@ -478,7 +492,11 @@ impl Optimizer {
                             continue;
                         }
                         match_watermark.insert(wm_key, child_sum);
+                        let bind_started = sample.is_some().then(Instant::now);
                         let bindings = match_bindings(&memo, &rule.pattern, gid, ei);
+                        if let (Some(s), Some(t)) = (sample.as_mut(), bind_started) {
+                            s.record_bind(rid.0, RulePhase::Explore, t.elapsed().as_nanos() as u64);
+                        }
                         for (bound, sig) in bindings {
                             if rule.mints_fresh_ids
                                 && !sig.iter().all(|&(g, e)| memo.is_organic(GroupId(g), e))
@@ -489,6 +507,7 @@ impl Optimizer {
                             if !applied.insert(key) {
                                 continue;
                             }
+                            let apply_started = sample.is_some().then(Instant::now);
                             let results = {
                                 let ctx = RuleCtx {
                                     db: &self.db,
@@ -499,6 +518,14 @@ impl Optimizer {
                                     .apply_explore(&ctx, &bound)
                                     .expect("exploration task on implementation rule")
                             };
+                            if let (Some(s), Some(t)) = (sample.as_mut(), apply_started) {
+                                s.record_apply(
+                                    rid.0,
+                                    RulePhase::Explore,
+                                    t.elapsed().as_nanos() as u64,
+                                    !results.is_empty(),
+                                );
+                            }
                             if !results.is_empty() {
                                 exercised.insert(rid);
                                 if let Some(creator) = memo.created_by(gid, ei) {
@@ -560,6 +587,7 @@ impl Optimizer {
             ids: &ids,
             cache: HashMap::new(),
             exercised: &mut exercised,
+            sample: &mut sample,
         };
         let best = extractor.best_plan(root)?;
         let Some((plan, cost)) = best else {
@@ -569,8 +597,12 @@ impl Optimizer {
         };
 
         if let Some(started) = started {
-            let elapsed_us = started.elapsed().as_micros() as u64;
+            let elapsed = started.elapsed();
+            let elapsed_us = elapsed.as_micros() as u64;
             tel.observe(Hist::InvocationMicros, elapsed_us);
+            if let Some(s) = sample.as_mut() {
+                s.elapsed_ns = elapsed.as_nanos() as u64;
+            }
             let (groups, exprs) = (memo.num_groups() as u32, memo.num_exprs() as u32);
             let masked_rules = config.mask.disabled_rules().len() as u32;
             tel.event(|| Event::Invocation {
@@ -583,15 +615,18 @@ impl Optimizer {
             });
         }
 
-        Ok(OptimizeResult {
-            cost,
-            plan,
-            rule_set: exercised,
-            rule_dependencies,
-            groups: memo.num_groups(),
-            exprs: memo.num_exprs(),
-            truncated,
-        })
+        Ok((
+            OptimizeResult {
+                cost,
+                plan,
+                rule_set: exercised,
+                rule_dependencies,
+                groups: memo.num_groups(),
+                exprs: memo.num_exprs(),
+                truncated,
+            },
+            sample,
+        ))
     }
 
     /// Writes a memo dump to the injected sink (see
@@ -812,6 +847,9 @@ struct Extractor<'a> {
     ids: &'a RefCell<IdGen>,
     cache: HashMap<GroupId, CacheEntry>,
     exercised: &'a mut BTreeSet<RuleId>,
+    /// The invocation's profile buffer (implementation-phase bind/apply
+    /// timings land here, `None` when telemetry is disabled).
+    sample: &'a mut Option<ProfileSample>,
 }
 
 impl Extractor<'_> {
@@ -840,8 +878,13 @@ impl Extractor<'_> {
                 if self.config.mask.is_disabled(rid) {
                     continue;
                 }
+                let bind_started = self.sample.is_some().then(Instant::now);
                 let bindings = match_bindings(self.memo, &rule.pattern, g, ei);
+                if let (Some(s), Some(t)) = (self.sample.as_mut(), bind_started) {
+                    s.record_bind(rid.0, RulePhase::Implement, t.elapsed().as_nanos() as u64);
+                }
                 for (bound, _) in bindings {
+                    let apply_started = self.sample.is_some().then(Instant::now);
                     let candidates = {
                         let ctx = RuleCtx {
                             db,
@@ -853,6 +896,14 @@ impl Extractor<'_> {
                             _ => unreachable!(),
                         }
                     };
+                    if let (Some(s), Some(t)) = (self.sample.as_mut(), apply_started) {
+                        s.record_apply(
+                            rid.0,
+                            RulePhase::Implement,
+                            t.elapsed().as_nanos() as u64,
+                            !candidates.is_empty(),
+                        );
+                    }
                     if !candidates.is_empty() {
                         self.exercised.insert(rid);
                         let produced = candidates.len() as u32;
@@ -1026,6 +1077,40 @@ mod tests {
         // Both lookups and the computed invocation were traced.
         let events = tel.trace_stats();
         assert!(events.recorded >= 3, "lookups + rule fires + invocation");
+    }
+
+    #[test]
+    fn profile_samples_flush_once_per_unique_key() {
+        let opt = optimizer();
+        opt.attach_telemetry(Telemetry::metrics_only());
+        let tree = simple_join(&opt);
+        let res = opt.optimize_cached(&tree).unwrap();
+        let _ = opt.optimize_cached(&tree).unwrap(); // cache hit: no reflush
+        let names: Vec<String> = (0..opt.num_rules())
+            .map(|i| opt.rule(RuleId(i as u16)).name.to_string())
+            .collect();
+        let profile = opt.telemetry().profile_section(&names);
+        profile.validate().unwrap();
+        // No enclosing stage span here, so the invocation is a root row.
+        let root = profile
+            .spans
+            .iter()
+            .find(|r| r.path == "optimize")
+            .expect("optimize row");
+        assert_eq!(root.count, 1);
+        // Per-rule attribution covers both phases.
+        assert!(profile.rules.contains_key("InnerJoinCommute/explore"));
+        assert!(profile.rules.contains_key("GetToSeqScan/implement"));
+        let scan = &profile.rules["GetToSeqScan/implement"];
+        assert!(scan.binds >= 1 && scan.fires >= 1);
+        // Every rule in the result's rule set shows up in the cost table.
+        for rid in &res.rule_set {
+            let name = opt.rule(*rid).name;
+            assert!(
+                profile.rules.keys().any(|k| k.starts_with(name)),
+                "missing cost row for {name}"
+            );
+        }
     }
 
     #[test]

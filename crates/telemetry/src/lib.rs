@@ -21,17 +21,21 @@
 //! when telemetry is off, which is what keeps the Figure 11–14
 //! reproductions and the campaign determinism guarantees unchanged.
 
+pub mod diff;
 pub mod json;
 pub mod metrics;
 pub mod report;
+pub mod span;
 pub mod trace;
 
+pub use diff::{diff_reports, DiffItem, DiffReport};
 pub use json::Json;
 pub use metrics::{
     bucket_index, Counter, Hist, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot,
     HIST_BUCKETS, MAX_RULES,
 };
 pub use report::{CacheSection, PoolSection, RunReport, TraceSection, SCHEMA_VERSION};
+pub use span::{ProfileSample, ProfileSection, Profiler, RuleCostRow, SpanGuard, SpanRow, Stage};
 pub use trace::{Event, RulePhase, TraceStats, Tracer, DEFAULT_SHARD_CAPACITY};
 
 use std::io;
@@ -40,6 +44,7 @@ use std::sync::Arc;
 struct Inner {
     metrics: Metrics,
     tracer: Option<Tracer>,
+    profiler: Arc<Profiler>,
 }
 
 /// Shared telemetry handle. Clones share one registry/tracer; a disabled
@@ -80,6 +85,7 @@ impl Telemetry {
             inner: Some(Arc::new(Inner {
                 metrics: Metrics::default(),
                 tracer: None,
+                profiler: Arc::new(Profiler::default()),
             })),
         }
     }
@@ -91,6 +97,7 @@ impl Telemetry {
             inner: Some(Arc::new(Inner {
                 metrics: Metrics::default(),
                 tracer: Some(Tracer::new(shard_capacity)),
+                profiler: Arc::new(Profiler::default()),
             })),
         }
     }
@@ -181,10 +188,54 @@ impl Telemetry {
             .map_or_else(|| Metrics::default().snapshot(), |i| i.metrics.snapshot())
     }
 
-    /// Builds the aggregate report from the current registry state; the
+    /// Opens a hierarchical profiling span attributed to `stage` on the
+    /// current thread. The returned RAII guard closes it; disabled
+    /// handles hand back an inert guard.
+    #[inline]
+    pub fn span(&self, stage: Stage) -> SpanGuard {
+        match &self.inner {
+            Some(i) => Profiler::enter(&i.profiler, span::SpanKey::Stage(stage)),
+            None => SpanGuard::noop(),
+        }
+    }
+
+    /// A fresh per-invocation profile buffer, `None` when disabled —
+    /// callers thread it through `compute` and hand it back via
+    /// [`Telemetry::flush_profile`] only for deduplicated winners.
+    #[inline]
+    pub fn profile_sample(&self) -> Option<ProfileSample> {
+        self.inner.as_ref().map(|_| ProfileSample::default())
+    }
+
+    /// Books one optimizer invocation's profile under the current
+    /// thread's span stack.
+    #[inline]
+    pub fn flush_profile(&self, sample: &ProfileSample) {
+        if let Some(i) = &self.inner {
+            i.profiler.flush_optimize(sample);
+        }
+    }
+
+    /// Snapshot of the aggregated span/rule-cost profile (empty when
+    /// disabled).
+    pub fn profile_section(&self, rule_names: &[String]) -> ProfileSection {
+        self.inner
+            .as_ref()
+            .map_or_else(ProfileSection::default, |i| i.profiler.section(rule_names))
+    }
+
+    /// Builds the aggregate report from the current registry state,
+    /// including the trace and profile sections this handle owns; the
     /// caller fills the cache/pool/wall sections it owns.
     pub fn run_report(&self, rule_names: &[String]) -> RunReport {
-        RunReport::from_snapshot(&self.metrics_snapshot(), rule_names)
+        let mut report = RunReport::from_snapshot(&self.metrics_snapshot(), rule_names);
+        let stats = self.trace_stats();
+        report.trace = TraceSection {
+            recorded: stats.recorded,
+            dropped: stats.dropped,
+        };
+        report.profile = self.profile_section(rule_names);
+        report
     }
 }
 

@@ -231,6 +231,37 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Percentile estimate (`p` in 0–100), linearly interpolated inside
+    /// the covering power-of-two bucket. Bucket `i` spans `[2^i, 2^(i+1))`
+    /// (bucket 0 starts at 0), so the estimate is exact at bucket bounds
+    /// and at worst off by the bucket width inside one.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (p / 100.0).clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            if b == 0 {
+                continue;
+            }
+            let before = seen as f64;
+            seen += b;
+            if seen as f64 >= target {
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let hi = if i + 1 >= 64 {
+                    u64::MAX as f64
+                } else {
+                    (1u64 << (i + 1)) as f64
+                };
+                let frac = ((target - before) / b as f64).clamp(0.0, 1.0);
+                return lo + (hi - lo) * frac;
+            }
+        }
+        // Unreachable when count > 0, but stay total.
+        0.0
+    }
+
     /// Serialized with trailing empty buckets trimmed.
     pub fn to_json(&self) -> Json {
         let last = self
@@ -416,6 +447,42 @@ mod tests {
         assert_eq!(snap.sum, 207 + (1 << 40));
         let rt = HistogramSnapshot::from_json(&snap.to_json()).unwrap();
         assert_eq!(rt, snap);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_bucket_bounds() {
+        let h = Histogram::default();
+        // 10 observations of 5 → all in bucket 2, which spans [4, 8).
+        for _ in 0..10 {
+            h.observe(5);
+        }
+        let snap = h.snapshot();
+        // p50 lands halfway into the bucket: 4 + (8-4)*0.5.
+        assert!((snap.percentile(50.0) - 6.0).abs() < 1e-9);
+        // p0/p100 pin to the bucket bounds.
+        assert!((snap.percentile(0.0) - 4.0).abs() < 1e-9);
+        assert!((snap.percentile(100.0) - 8.0).abs() < 1e-9);
+        // Monotone in p across a multi-bucket distribution.
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 5, 8, 13, 40, 100, 300, 2000] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let (p50, p95, p99) = (
+            snap.percentile(50.0),
+            snap.percentile(95.0),
+            snap.percentile(99.0),
+        );
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // p95 of ten values must land in the top bucket's range.
+        assert!(p95 >= 1024.0 && p99 <= 4096.0, "{p95} {p99}");
+        // Empty histogram: defined, zero.
+        assert_eq!(
+            HistogramSnapshot::from_json(&Histogram::default().snapshot().to_json())
+                .unwrap()
+                .percentile(50.0),
+            0.0
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use crate::json::Json;
 use crate::metrics::{Counter, Hist, HistogramSnapshot, MetricsSnapshot};
+use crate::span::ProfileSection;
 use std::collections::BTreeMap;
 
 /// Invocation-cache section (mirrors the optimizer's `CacheStats`).
@@ -74,6 +75,19 @@ pub struct TraceSection {
 /// Current report schema version (bump on breaking layout changes).
 pub const SCHEMA_VERSION: u64 = 1;
 
+/// Human-scale duration: picks ns/us/ms/s by magnitude.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
 /// The aggregated campaign report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
@@ -90,6 +104,8 @@ pub struct RunReport {
     pub cache: CacheSection,
     pub pool: PoolSection,
     pub trace: TraceSection,
+    /// Hierarchical span profile (per-stage / per-rule wall attribution).
+    pub profile: ProfileSection,
     /// Campaign wall time as measured by the caller (0 when unset).
     pub wall_seconds: f64,
 }
@@ -126,6 +142,7 @@ impl RunReport {
             cache: CacheSection::default(),
             pool: PoolSection::default(),
             trace: TraceSection::default(),
+            profile: ProfileSection::default(),
             wall_seconds: 0.0,
         }
     }
@@ -199,6 +216,7 @@ impl RunReport {
                     ("dropped", Json::count(self.trace.dropped)),
                 ]),
             ),
+            ("profile", self.profile.to_json()),
         ])
     }
 
@@ -238,6 +256,7 @@ impl RunReport {
                 ),
             ),
             ("histograms", Json::Obj(det_hists)),
+            ("profile", self.profile.deterministic_json()),
         ])
         .to_string_compact()
     }
@@ -246,6 +265,12 @@ impl RunReport {
     /// [`RunReport::to_json`].
     pub fn from_json(text: &str) -> Result<RunReport, String> {
         let doc = Json::parse(text)?;
+        RunReport::from_json_value(&doc)
+    }
+
+    /// Parses an already-decoded JSON report (used by `ruletest diff`,
+    /// which also accepts bench documents wrapping a report).
+    pub fn from_json_value(doc: &Json) -> Result<RunReport, String> {
         let schema = doc
             .get("schema")
             .and_then(Json::as_u64)
@@ -298,6 +323,12 @@ impl RunReport {
                 recorded: section("trace", "recorded"),
                 dropped: section("trace", "dropped"),
             },
+            profile: match doc.get("profile") {
+                // Absent in pre-profiler reports; tolerated for diffing
+                // old baselines.
+                None => ProfileSection::default(),
+                Some(p) => ProfileSection::from_json(p)?,
+            },
             wall_seconds: doc
                 .get("wall_seconds")
                 .and_then(Json::as_f64)
@@ -316,6 +347,9 @@ impl RunReport {
         }
         if self.cache.hits + self.cache.misses == 0 {
             return Err("invocation cache saw no traffic".to_string());
+        }
+        if !self.profile.is_empty() {
+            self.profile.validate()?;
         }
         Ok(())
     }
@@ -374,6 +408,90 @@ impl RunReport {
                 "  trace                {:>10} events recorded, {} dropped",
                 self.trace.recorded, self.trace.dropped
             );
+            if self.trace.dropped > 0 {
+                let _ = writeln!(
+                    out,
+                    "  WARNING: the trace ring wrapped and overwrote {} events — raise the shard capacity to keep them",
+                    self.trace.dropped
+                );
+            }
+        }
+        let populated: Vec<(&String, &HistogramSnapshot)> = self
+            .histograms
+            .iter()
+            .filter(|(_, h)| h.count > 0)
+            .collect();
+        if !populated.is_empty() {
+            let _ = writeln!(out, "  histograms");
+            for (name, h) in populated {
+                let _ = writeln!(
+                    out,
+                    "    {name:<34} count {:>8}  mean {:>9.1}  p50 {:>9.1}  p95 {:>9.1}  p99 {:>9.1}",
+                    h.count,
+                    h.mean(),
+                    h.percentile(50.0),
+                    h.percentile(95.0),
+                    h.percentile(99.0)
+                );
+            }
+        }
+        if !self.profile.is_empty() {
+            let total = self.profile.root_wall_ns();
+            let _ = writeln!(
+                out,
+                "  profile              {:>10} span paths, {} total wall (self-time sum {})",
+                self.profile.spans.len(),
+                fmt_ns(total),
+                fmt_ns(self.profile.total_self_ns())
+            );
+            let _ = writeln!(
+                out,
+                "    {:<40} {:>10} {:>10} {:>10}",
+                "span", "calls", "wall", "self"
+            );
+            const MAX_SPAN_ROWS: usize = 40;
+            for row in self.profile.spans.iter().take(MAX_SPAN_ROWS) {
+                let label = format!("{}{}", "  ".repeat(row.depth()), row.leaf());
+                let _ = writeln!(
+                    out,
+                    "    {label:<40} {:>10} {:>10} {:>10}",
+                    row.count,
+                    fmt_ns(row.wall_ns),
+                    fmt_ns(row.self_ns())
+                );
+            }
+            if self.profile.spans.len() > MAX_SPAN_ROWS {
+                let _ = writeln!(
+                    out,
+                    "    ... {} more span paths",
+                    self.profile.spans.len() - MAX_SPAN_ROWS
+                );
+            }
+            if !self.profile.rules.is_empty() {
+                let mut costly: Vec<_> = self.profile.rules.iter().collect();
+                costly.sort_by(|a, b| b.1.total_ns().cmp(&a.1.total_ns()).then(a.0.cmp(b.0)));
+                let _ = writeln!(
+                    out,
+                    "  rule costs           {:>10} (rule, phase) rows, top {} by time",
+                    costly.len(),
+                    costly.len().min(15)
+                );
+                let _ = writeln!(
+                    out,
+                    "    {:<40} {:>8} {:>8} {:>10} {:>10}",
+                    "rule/phase", "binds", "fires", "bind", "subst"
+                );
+                for (name, c) in costly.iter().take(15) {
+                    let _ = writeln!(
+                        out,
+                        "    {name:<40} {:>8} {:>8} {:>10} {:>10}",
+                        c.binds,
+                        c.fires,
+                        fmt_ns(c.bind_ns),
+                        fmt_ns(c.subst_ns)
+                    );
+                }
+            }
         }
         let mut fired: Vec<(&String, &u64)> =
             self.rule_firings.iter().filter(|(_, &v)| v > 0).collect();
@@ -497,5 +615,110 @@ mod tests {
         assert!(s.contains("invocations"));
         assert!(s.contains("RuleA"));
         assert!(s.contains("75.0% hit ratio"));
+        // Percentiles of the populated histograms print alongside mean.
+        assert!(s.contains("p50"), "{s}");
+        assert!(s.contains("p95"), "{s}");
+        assert!(s.contains("p99"), "{s}");
+    }
+
+    fn profiled_report() -> RunReport {
+        use crate::span::{RuleCostRow, SpanRow};
+        let mut r = sample_report();
+        r.profile = ProfileSection {
+            spans: vec![
+                SpanRow {
+                    path: "correctness".to_string(),
+                    count: 4,
+                    wall_ns: 9_000_000,
+                    child_ns: 6_000_000,
+                },
+                SpanRow {
+                    path: "correctness;execution".to_string(),
+                    count: 8,
+                    wall_ns: 6_000_000,
+                    child_ns: 0,
+                },
+            ],
+            rules: [(
+                "RuleA/explore".to_string(),
+                RuleCostRow {
+                    binds: 12,
+                    fires: 3,
+                    bind_ns: 500,
+                    subst_ns: 700,
+                },
+            )]
+            .into_iter()
+            .collect(),
+        };
+        r
+    }
+
+    #[test]
+    fn profile_section_survives_the_json_roundtrip() {
+        let r = profiled_report();
+        let back = RunReport::from_json(&r.to_json().to_string_pretty()).unwrap();
+        assert_eq!(back, r);
+        // Pre-profiler reports (no "profile" key) still parse.
+        let mut legacy = sample_report();
+        legacy.profile = ProfileSection::default();
+        let json = legacy.to_json();
+        let Json::Obj(mut fields) = json else {
+            panic!("report JSON is an object")
+        };
+        fields.remove("profile");
+        let back = RunReport::from_json(&Json::Obj(fields).to_string_pretty()).unwrap();
+        assert_eq!(back, legacy);
+    }
+
+    #[test]
+    fn malformed_profile_fails_with_a_field_path() {
+        let r = profiled_report();
+        let mut text = r.to_json().to_string_pretty();
+        text = text.replace("\"wall_ns\": 6000000", "\"wall_ns\": \"fast\"");
+        let err = RunReport::from_json(&text).unwrap_err();
+        assert!(err.contains("profile.spans[1].wall_ns"), "{err}");
+    }
+
+    #[test]
+    fn check_validates_the_profile_section() {
+        let mut r = profiled_report();
+        assert!(r.check().is_ok());
+        // Break the parent/child accounting: check must now fail.
+        r.profile.spans[0].child_ns = 1;
+        let err = r.check().unwrap_err();
+        assert!(err.contains("sum of children"), "{err}");
+    }
+
+    #[test]
+    fn deterministic_json_keeps_span_shape_but_not_durations() {
+        let a = profiled_report();
+        let mut b = profiled_report();
+        b.profile.spans[0].wall_ns += 12_345;
+        b.profile.spans[0].child_ns += 12_345;
+        let rule = b.profile.rules.get_mut("RuleA/explore").unwrap();
+        rule.bind_ns = 1;
+        assert_eq!(a.deterministic_json(), b.deterministic_json());
+        b.profile.spans[1].count += 1;
+        assert_ne!(a.deterministic_json(), b.deterministic_json());
+    }
+
+    #[test]
+    fn summary_shows_stage_and_rule_profile() {
+        let s = profiled_report().summary();
+        assert!(s.contains("profile"), "{s}");
+        assert!(s.contains("correctness"), "{s}");
+        assert!(s.contains("RuleA/explore"), "{s}");
+        assert!(s.contains("9.0ms"), "{s}");
+    }
+
+    #[test]
+    fn summary_warns_about_dropped_trace_events() {
+        let mut r = sample_report();
+        assert!(!r.summary().contains("WARNING"));
+        r.trace.dropped = 17;
+        let s = r.summary();
+        assert!(s.contains("WARNING"), "{s}");
+        assert!(s.contains("17"), "{s}");
     }
 }

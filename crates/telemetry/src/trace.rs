@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Which optimizer phase a rule firing happened in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RulePhase {
     Explore,
     Implement,
@@ -30,6 +30,14 @@ impl RulePhase {
         match self {
             RulePhase::Explore => "explore",
             RulePhase::Implement => "implement",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<RulePhase> {
+        match name {
+            "explore" => Some(RulePhase::Explore),
+            "implement" => Some(RulePhase::Implement),
+            _ => None,
         }
     }
 }

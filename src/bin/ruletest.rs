@@ -11,6 +11,7 @@
 //! ruletest audit [--rules N] [--k K]     compression + correctness campaign
 //! ruletest impact [--rules N]            workload-level rule performance impact (§1's third dimension)
 //! ruletest report <run-report.json>      summarize a --metrics-json run report (--check fails on dead instrumentation)
+//! ruletest diff <BASE.json> <CUR.json>    compare two run reports; exits nonzero on regression (--threshold-pct N)
 //! ruletest triage [--fault F] [--out P]  campaign + bug triage: minimize, dedup, emit repro bundles
 //! ruletest triage replay <bugs.jsonl>    re-execute bundles in a fresh process (--check fails unless all confirm)
 //! ruletest lint [--fault F] [--json P]   static rule audit: catch rule bugs without executing queries
@@ -18,7 +19,7 @@
 //! ruletest mutate --list                 print the mutant catalog
 //!
 //! common options: --seed N   --pad N   --random   --trials N   --threads N   --scale N
-//! telemetry:      --metrics-json PATH   --trace-out PATH
+//! telemetry:      --metrics-json PATH   --trace-out PATH   --profile-folded PATH
 //! ```
 
 use ruletest::cli::{self, Opts};
@@ -36,7 +37,7 @@ use ruletest::executor::{execute, ExecConfig};
 use ruletest::optimizer::{Optimizer, RuleKind};
 use ruletest::sql::parse_sql;
 use ruletest::storage::{tpch_database, TpchConfig};
-use ruletest::telemetry::{RunReport, Telemetry};
+use ruletest::telemetry::{diff_reports, Json, RunReport, Telemetry};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -53,6 +54,22 @@ fn main() -> ExitCode {
         // Pure file analysis: no framework (or test database) needed.
         return match run_report_cmd(&opts) {
             Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "diff" {
+        // Pure file analysis: compares two saved run reports.
+        return match run_diff_cmd(&opts) {
+            Ok(regressed) => {
+                if regressed {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE
@@ -99,7 +116,7 @@ fn main() -> ExitCode {
     // only allocated when a trace is actually wanted.
     let telemetry = if opts.trace_out.is_some() {
         Telemetry::enabled()
-    } else if opts.metrics_json.is_some() {
+    } else if opts.metrics_json.is_some() || opts.profile_folded.is_some() {
         Telemetry::metrics_only()
     } else {
         Telemetry::disabled()
@@ -230,7 +247,7 @@ fn main() -> ExitCode {
         "impact" => run_impact(&fw, &opts),
         _ => {
             eprintln!(
-                "usage: ruletest <rules|pattern|gen|pair|relevant|sql|audit|impact|report|triage|lint|mutate> [options]\n\
+                "usage: ruletest <rules|pattern|gen|pair|relevant|sql|audit|impact|report|diff|triage|lint|mutate> [options]\n\
                  see the module docs (`ruletest --help` equivalent) in src/bin/ruletest.rs"
             );
             Ok(())
@@ -271,23 +288,62 @@ fn write_telemetry_outputs(fw: &Framework, opts: &Opts, started: Instant) -> Res
             stats.dropped
         );
     }
+    if let Some(path) = &opts.profile_folded {
+        let section = fw.telemetry.profile_section(&fw.rule_names());
+        std::fs::write(path, section.folded()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {} folded stack(s) to {path}", section.spans.len());
+    }
     Ok(())
 }
 
-/// `ruletest report <run-report.json> [--check]`.
+/// `ruletest report <run-report.json> [--check] [--profile-folded OUT]`.
 fn run_report_cmd(opts: &Opts) -> Result<(), String> {
-    let path = opts
-        .positional
-        .first()
-        .ok_or_else(|| "usage: ruletest report <run-report.json> [--check]".to_string())?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let report = RunReport::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    let path = opts.positional.first().ok_or_else(|| {
+        "usage: ruletest report <run-report.json> [--check] [--profile-folded OUT]".to_string()
+    })?;
+    let report = load_run_report(path)?;
     print!("{}", report.summary());
+    if let Some(out) = &opts.profile_folded {
+        std::fs::write(out, report.profile.folded()).map_err(|e| format!("writing {out}: {e}"))?;
+        println!(
+            "wrote {} folded stack(s) to {out}",
+            report.profile.spans.len()
+        );
+    }
     if opts.check {
         report.check().map_err(|e| format!("check failed: {e}"))?;
         println!("check: ok");
     }
     Ok(())
+}
+
+/// Loads a `RunReport` from a JSON file — either a bare report (the
+/// `--metrics-json` output) or a document embedding one under a
+/// `run_report` key (the campaign bench's `BENCH_campaign.json`).
+fn load_run_report(path: &str) -> Result<RunReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let report = doc.get("run_report").unwrap_or(&doc);
+    RunReport::from_json_value(report).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `ruletest diff <BASE.json> <CUR.json> [--threshold-pct N] [--json OUT]`.
+/// Returns `Ok(true)` when the comparison regressed (nonzero exit).
+fn run_diff_cmd(opts: &Opts) -> Result<bool, String> {
+    let usage = "usage: ruletest diff <BASE.json> <CUR.json> [--threshold-pct N] [--json OUT]";
+    let base_path = opts.positional.first().ok_or_else(|| usage.to_string())?;
+    let cur_path = opts.positional.get(1).ok_or_else(|| usage.to_string())?;
+    let base = load_run_report(base_path)?;
+    let cur = load_run_report(cur_path)?;
+    let threshold = opts.threshold_pct.unwrap_or(10);
+    let diff = diff_reports(&base, &cur, threshold);
+    print!("{}", diff.render_text());
+    if let Some(out) = &opts.json {
+        std::fs::write(out, diff.to_json().to_string_pretty())
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("diff: report written to {out}");
+    }
+    Ok(diff.regressed())
 }
 
 fn run_sql(fw: &Framework, text: &str) -> Result<(), String> {
@@ -458,10 +514,7 @@ fn run_lint(opts: &Opts) -> Result<(), String> {
 fn run_mutate(opts: &Opts) -> Result<(), String> {
     use ruletest::core::mutate::{BugClass, Mutant, MutationConfig};
     if opts.list {
-        println!(
-            "{:<38} {:<24} {:<28} expected",
-            "mutant", "class", "rule"
-        );
+        println!("{:<38} {:<24} {:<28} expected", "mutant", "class", "rule");
         for m in Mutant::all() {
             println!(
                 "{:<38} {:<24} {:<28} {}",
@@ -477,7 +530,7 @@ fn run_mutate(opts: &Opts) -> Result<(), String> {
         Some(name) => Some(BugClass::from_name(name).map_err(|e| e.to_string())?),
         None => None,
     };
-    let telemetry = if opts.metrics_json.is_some() {
+    let telemetry = if opts.metrics_json.is_some() || opts.profile_folded.is_some() {
         Telemetry::metrics_only()
     } else {
         Telemetry::disabled()
@@ -508,6 +561,11 @@ fn run_mutate(opts: &Opts) -> Result<(), String> {
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote run report to {path}");
     }
+    if let Some(path) = &opts.profile_folded {
+        let section = telemetry.profile_section(&[]);
+        std::fs::write(path, section.folded()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {} folded stack(s) to {path}", section.spans.len());
+    }
     if report.failed() {
         Err(format!(
             "{} mutants violated their expected verdict",
@@ -530,7 +588,7 @@ fn run_triage(opts: &Opts) -> Result<(), String> {
     parallelism.seed = opts.seed;
     let telemetry = if opts.trace_out.is_some() {
         Telemetry::enabled()
-    } else if opts.metrics_json.is_some() {
+    } else if opts.metrics_json.is_some() || opts.profile_folded.is_some() {
         Telemetry::metrics_only()
     } else {
         Telemetry::disabled()

@@ -43,6 +43,12 @@ pub struct Opts {
     pub sample: Option<usize>,
     /// `ruletest mutate --list`: print the mutant catalog and exit.
     pub list: bool,
+    /// Write the profile section as collapsed/folded stacks here
+    /// (`path self_us` per line; enables telemetry on live commands).
+    pub profile_folded: Option<String>,
+    /// `ruletest diff --threshold-pct N`: allowed relative drift for
+    /// timing/cache comparisons, in whole percent (default 10).
+    pub threshold_pct: Option<u32>,
     pub positional: Vec<String>,
 }
 
@@ -66,6 +72,8 @@ impl Default for Opts {
             class: None,
             sample: None,
             list: false,
+            profile_folded: None,
+            threshold_pct: None,
             positional: Vec::new(),
         }
     }
@@ -110,6 +118,8 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<(String, Opts), S
             "--scale" => opts.scale = parse_value(&a, &mut args)?,
             "--class" => opts.class = Some(value_of(&a, &mut args)?),
             "--sample" => opts.sample = Some(parse_value(&a, &mut args)?),
+            "--profile-folded" => opts.profile_folded = Some(value_of(&a, &mut args)?),
+            "--threshold-pct" => opts.threshold_pct = Some(parse_value(&a, &mut args)?),
             "--random" => opts.random = true,
             "--check" => opts.check = true,
             "--list" => opts.list = true,
@@ -265,6 +275,30 @@ mod tests {
         // missing/unparseable values fail loudly
         assert!(parse(argv(&["mutate", "--class"])).is_err());
         assert!(parse(argv(&["mutate", "--sample", "few"])).is_err());
+    }
+
+    #[test]
+    fn diff_and_profile_flags_parse() {
+        let (cmd, opts) = parse(argv(&[
+            "diff",
+            "base.json",
+            "cur.json",
+            "--threshold-pct",
+            "25",
+            "--json",
+            "diff.json",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "diff");
+        assert_eq!(opts.positional, vec!["base.json", "cur.json"]);
+        assert_eq!(opts.threshold_pct, Some(25));
+        assert_eq!(opts.json.as_deref(), Some("diff.json"));
+        let (_, opts) = parse(argv(&["audit", "--profile-folded", "out.folded"])).unwrap();
+        assert_eq!(opts.profile_folded.as_deref(), Some("out.folded"));
+        // missing/unparseable values fail loudly
+        assert!(parse(argv(&["diff", "--threshold-pct"])).is_err());
+        assert!(parse(argv(&["diff", "--threshold-pct", "lots"])).is_err());
+        assert!(parse(argv(&["audit", "--profile-folded"])).is_err());
     }
 
     #[test]
