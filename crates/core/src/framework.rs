@@ -13,7 +13,7 @@ use ruletest_storage::{tpch_database, Database, TpchConfig};
 use ruletest_telemetry::{
     CacheSection, Counter, Event, Hist, PoolSection, RunReport, Stage, Telemetry,
 };
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Framework construction parameters.
@@ -61,6 +61,11 @@ pub struct Framework {
     pub telemetry: Telemetry,
     /// Provenance of `db`; see [`DbProfile`].
     pub db_profile: DbProfile,
+    /// Checkpointed report absorbed on `--resume`: the report snapshot the
+    /// interrupted campaign saved at its last completed stage boundary.
+    /// [`Framework::run_report`] merges it in so a resumed campaign's
+    /// aggregate report equals an uninterrupted run's.
+    report_base: Mutex<Option<RunReport>>,
 }
 
 impl Framework {
@@ -77,6 +82,7 @@ impl Framework {
                 db_seed: config.db.seed,
                 scale: config.db.scale_factor(),
             },
+            report_base: Mutex::new(None),
         }
         .with_telemetry(config.telemetry.clone()))
     }
@@ -90,6 +96,7 @@ impl Framework {
             parallelism: Parallelism::default(),
             telemetry: Telemetry::disabled(),
             db_profile: DbProfile::default(),
+            report_base: Mutex::new(None),
         }
     }
 
@@ -104,6 +111,7 @@ impl Framework {
             parallelism: Parallelism::default(),
             telemetry: Telemetry::disabled(),
             db_profile: DbProfile::default(),
+            report_base: Mutex::new(None),
         }
     }
 
@@ -140,9 +148,29 @@ impl Framework {
             .collect()
     }
 
+    /// The content fingerprint guarding this campaign's persistent cache
+    /// and checkpoints: schema catalog, rule catalog, database seed and
+    /// scale. A run whose fingerprint differs must never consume another
+    /// run's cached entries or checkpoints.
+    pub fn campaign_fingerprint(&self) -> u64 {
+        ruletest_optimizer::campaign_fingerprint(
+            &self.db.catalog,
+            (0..self.optimizer.num_rules()).map(|i| self.optimizer.rule(RuleId(i as u16))),
+            self.db_profile.db_seed,
+            self.db_profile.scale as u64,
+        )
+    }
+
+    /// Installs the checkpointed report snapshot a `--resume` run starts
+    /// from; subsequent [`Framework::run_report`] calls absorb it.
+    pub fn set_report_base(&self, base: RunReport) {
+        *self.report_base.lock().expect("report base poisoned") = Some(base);
+    }
+
     /// Rolls the campaign so far into one aggregate [`RunReport`]: the
     /// telemetry registry plus the cache, pool, and trace sections this
-    /// framework owns. `wall_seconds` is left 0 for the caller to fill.
+    /// framework owns, merged over any checkpointed base report installed
+    /// by `--resume`. `wall_seconds` is left 0 for the caller to fill.
     pub fn run_report(&self) -> RunReport {
         let mut report = self.telemetry.run_report(&self.rule_names());
         let cs = self.optimizer.cache_stats();
@@ -160,6 +188,16 @@ impl Framework {
             busy_ns: ps.busy_ns,
             idle_ns: ps.idle_ns,
         };
+        if let Some(base) = self
+            .report_base
+            .lock()
+            .expect("report base poisoned")
+            .as_ref()
+        {
+            let mut merged = base.clone();
+            merged.absorb(&report);
+            return merged;
+        }
         report
     }
 

@@ -12,6 +12,7 @@ pub mod framework;
 pub mod generate;
 pub mod mutate;
 pub mod perf;
+pub mod persist;
 pub mod suite;
 pub mod triage;
 
@@ -24,6 +25,9 @@ pub use mutate::{
     DynamicKill, Mutant, MutantOutcome, MutationBudget, MutationConfig, MutationReport, Verdict,
 };
 pub use perf::{rule_impact, RuleImpact};
+pub use persist::{
+    final_persist, run_checkpointed_campaign, CampaignParams, CampaignRun, CampaignStore,
+};
 pub use suite::{
     build_graph, build_graph_pruned, generate_suite, generate_suite_lenient, pair_targets,
     singleton_targets, BipartiteGraph, RuleTarget, SuiteQuery, TestSuite,

@@ -39,7 +39,11 @@ impl MutationConfig {
             .filter(|m| self.class.is_none_or(|c| m.class == c))
             .filter(|m| {
                 let Some(n) = self.sample else { return true };
-                let slot = BugClass::ALL.iter().position(|&c| c == m.class).unwrap();
+                // A class absent from `BugClass::ALL` has no stratum to
+                // count against; exclude the mutant instead of panicking.
+                let Some(slot) = BugClass::ALL.iter().position(|&c| c == m.class) else {
+                    return false;
+                };
                 per_class[slot] += 1;
                 per_class[slot] <= n
             })

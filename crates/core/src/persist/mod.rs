@@ -1,0 +1,654 @@
+//! Campaign checkpoint/resume: stage-boundary persistence for the audit
+//! pipeline.
+//!
+//! The optimizer-level snapshot store (`ruletest_optimizer::persist`)
+//! answers *invocation* probes across processes; this module persists
+//! *campaign progress* — the generated test suite and the bipartite graph
+//! — so a campaign killed mid-flight resumes at its last completed stage
+//! instead of restarting. Both layers are guarded by the same campaign
+//! fingerprint (catalog, rule catalog, seed, scale), so neither can ever
+//! serve state produced under a different configuration.
+//!
+//! The checkpoint protocol keeps the resumed report byte-identical to an
+//! uninterrupted run on the deterministic slice:
+//!
+//! 1. Entering stage *k*, the snapshot store's boundary stamp is set to
+//!    *k*: invocation entries recorded during the stage are tagged with
+//!    it.
+//! 2. At the boundary after stage *k*, the invocation cache is saved
+//!    (inside a [`Stage::Persist`] span), the cumulative [`RunReport`] is
+//!    snapshotted (it includes that span), and the stage file is written
+//!    via atomic rename.
+//! 3. A kill mid-stage therefore discards the partial stage from *both*
+//!    the report (the base is the previous boundary's snapshot) and the
+//!    disk cache (saves only happen at boundaries) — the resumed process
+//!    recomputes the whole stage, warm-started by entries the boundary
+//!    saves did persist.
+//!
+//! On `--resume`, disk entries whose boundary stamp is covered by the
+//! loaded checkpoint (`boundary <= counted_through`) are already counted
+//! in the base report and replay silently; later entries replay their
+//! telemetry exactly as a cold compute would.
+
+use crate::framework::Framework;
+use crate::generate::{GenConfig, Strategy};
+use crate::suite::{
+    build_graph, generate_suite, singleton_targets, BipartiteGraph, RuleTarget, SuiteQuery,
+    TestSuite,
+};
+use ruletest_common::{Error, Result, RuleId};
+use ruletest_optimizer::persist::{tree_from_json, tree_to_json};
+use ruletest_optimizer::SnapshotStore;
+use ruletest_telemetry::{Json, RunReport, Stage};
+use std::collections::{BTreeSet, HashMap};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Checkpoint layout version; a mismatch invalidates the checkpoint the
+/// same way a fingerprint mismatch does.
+pub const CHECKPOINT_FORMAT: u64 = 1;
+
+/// Stage names (also the checkpoint file names).
+pub const STAGE_SUITE: &str = "suite";
+pub const STAGE_GRAPH: &str = "graph";
+
+/// Boundary stamps for the snapshot store: which completed stage an
+/// invocation-cache entry belongs to. The final save after the execute
+/// stage uses [`BOUNDARY_EXECUTE`] and writes no stage file — compression
+/// is pure arithmetic and execution results are never checkpointed.
+pub const BOUNDARY_SUITE: u64 = 1;
+pub const BOUNDARY_GRAPH: u64 = 2;
+pub const BOUNDARY_EXECUTE: u64 = 3;
+
+fn io_err(what: &str, e: io::Error) -> Error {
+    Error::unsupported(format!("{what}: {e}"))
+}
+
+fn malformed(what: &str) -> Error {
+    Error::unsupported(format!("campaign checkpoint: malformed {what}"))
+}
+
+/// Atomic write: temp sibling + rename, same contract as the optimizer
+/// snapshot files — a kill mid-write leaves the previous file intact.
+fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+// ---------------------------------------------------------------------
+// Parameters and fingerprinting.
+
+/// The audit-campaign parameters that, together with the campaign
+/// fingerprint, identify a checkpoint. Two runs with the same fingerprint
+/// but different parameters (a different seed, `k`, target count, or
+/// generation budget) must not consume each other's checkpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignParams {
+    /// Number of (singleton) rule targets.
+    pub rules: usize,
+    /// Queries per target.
+    pub k: usize,
+    /// Generation seed.
+    pub seed: u64,
+    /// Padding operators above each instantiated pattern.
+    pub pad_ops: usize,
+    /// Generation trial budget per problem.
+    pub max_trials: usize,
+}
+
+impl CampaignParams {
+    /// The generation configuration these parameters induce.
+    pub fn gen_config(&self) -> GenConfig {
+        GenConfig {
+            seed: self.seed,
+            pad_ops: self.pad_ops,
+            max_trials: self.max_trials,
+            ..GenConfig::default()
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("rules", Json::count(self.rules as u64)),
+            ("k", Json::count(self.k as u64)),
+            ("seed", Json::count(self.seed)),
+            ("pad_ops", Json::count(self.pad_ops as u64)),
+            ("max_trials", Json::count(self.max_trials as u64)),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Suite / graph serialization. Floats are hex bit patterns for the same
+// reason as in the optimizer snapshot: costs must survive bit-exactly.
+
+fn f64_hex(f: f64) -> Json {
+    Json::str(format!("{:016x}", f.to_bits()))
+}
+
+fn f64_unhex(j: &Json, what: &str) -> Result<f64> {
+    j.as_str()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .map(f64::from_bits)
+        .ok_or_else(|| malformed(what))
+}
+
+fn usize_from(j: &Json, what: &str) -> Result<usize> {
+    j.as_u64()
+        .and_then(|v| usize::try_from(v).ok())
+        .ok_or_else(|| malformed(what))
+}
+
+fn rule_id_from(j: &Json, what: &str) -> Result<RuleId> {
+    j.as_u64()
+        .and_then(|v| u16::try_from(v).ok())
+        .map(RuleId)
+        .ok_or_else(|| malformed(what))
+}
+
+fn target_to_json(t: &RuleTarget) -> Json {
+    match t {
+        RuleTarget::Single(r) => Json::obj(vec![("s", Json::count(u64::from(r.0)))]),
+        RuleTarget::Pair(a, b) => Json::obj(vec![(
+            "p",
+            Json::Arr(vec![
+                Json::count(u64::from(a.0)),
+                Json::count(u64::from(b.0)),
+            ]),
+        )]),
+    }
+}
+
+fn target_from_json(j: &Json) -> Result<RuleTarget> {
+    if let Some(s) = j.get("s") {
+        return Ok(RuleTarget::Single(rule_id_from(s, "target")?));
+    }
+    if let Some([a, b]) = j.get("p").and_then(Json::as_arr) {
+        return Ok(RuleTarget::Pair(
+            rule_id_from(a, "target")?,
+            rule_id_from(b, "target")?,
+        ));
+    }
+    Err(malformed("target"))
+}
+
+fn targets_to_json(targets: &[RuleTarget]) -> Json {
+    Json::Arr(targets.iter().map(target_to_json).collect())
+}
+
+fn targets_from_json(j: &Json, what: &str) -> Result<Vec<RuleTarget>> {
+    j.as_arr()
+        .ok_or_else(|| malformed(what))?
+        .iter()
+        .map(target_from_json)
+        .collect()
+}
+
+fn get<'a>(j: &'a Json, field: &str) -> Result<&'a Json> {
+    j.get(field).ok_or_else(|| malformed(field))
+}
+
+/// Serializes a generated test suite for the `suite` checkpoint.
+pub fn suite_to_json(suite: &TestSuite) -> Json {
+    let queries = suite
+        .queries
+        .iter()
+        .map(|q| {
+            Json::obj(vec![
+                ("tree", tree_to_json(&q.tree)),
+                ("sql", Json::str(q.sql.clone())),
+                (
+                    "rule_set",
+                    Json::Arr(
+                        q.rule_set
+                            .iter()
+                            .map(|r| Json::count(u64::from(r.0)))
+                            .collect(),
+                    ),
+                ),
+                ("cost", f64_hex(q.cost)),
+                ("generated_for", Json::count(q.generated_for as u64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("targets", targets_to_json(&suite.targets)),
+        ("k", Json::count(suite.k as u64)),
+        ("seed", Json::count(suite.seed)),
+        ("queries", Json::Arr(queries)),
+    ])
+}
+
+/// Inverse of [`suite_to_json`].
+pub fn suite_from_json(j: &Json) -> Result<TestSuite> {
+    let queries = get(j, "queries")?
+        .as_arr()
+        .ok_or_else(|| malformed("queries"))?
+        .iter()
+        .map(|q| {
+            let rule_set: BTreeSet<RuleId> = get(q, "rule_set")?
+                .as_arr()
+                .ok_or_else(|| malformed("rule_set"))?
+                .iter()
+                .map(|r| rule_id_from(r, "rule_set"))
+                .collect::<Result<_>>()?;
+            Ok(SuiteQuery {
+                tree: tree_from_json(get(q, "tree")?).map_err(Error::unsupported)?,
+                sql: get(q, "sql")?
+                    .as_str()
+                    .ok_or_else(|| malformed("sql"))?
+                    .to_string(),
+                rule_set,
+                cost: f64_unhex(get(q, "cost")?, "cost")?,
+                generated_for: usize_from(get(q, "generated_for")?, "generated_for")?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(TestSuite {
+        targets: targets_from_json(get(j, "targets")?, "targets")?,
+        k: usize_from(get(j, "k")?, "k")?,
+        queries,
+        seed: get(j, "seed")?.as_u64().ok_or_else(|| malformed("seed"))?,
+    })
+}
+
+/// Serializes a bipartite graph for the `graph` checkpoint. Edges are
+/// written sorted by `(target, query)` so the checkpoint bytes are
+/// deterministic.
+pub fn graph_to_json(graph: &BipartiteGraph) -> Json {
+    let mut edges: Vec<(&(usize, usize), &f64)> = graph.edges.iter().collect();
+    edges.sort_by_key(|(k, _)| **k);
+    Json::obj(vec![
+        ("targets", targets_to_json(&graph.targets)),
+        ("k", Json::count(graph.k as u64)),
+        (
+            "node_cost",
+            Json::Arr(graph.node_cost.iter().map(|&c| f64_hex(c)).collect()),
+        ),
+        (
+            "adjacency",
+            Json::Arr(
+                graph
+                    .adjacency
+                    .iter()
+                    .map(|adj| Json::Arr(adj.iter().map(|&q| Json::count(q as u64)).collect()))
+                    .collect(),
+            ),
+        ),
+        (
+            "edges",
+            Json::Arr(
+                edges
+                    .into_iter()
+                    .map(|(&(t, q), &c)| {
+                        Json::obj(vec![
+                            ("t", Json::count(t as u64)),
+                            ("q", Json::count(q as u64)),
+                            ("c", f64_hex(c)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "generated_for",
+            Json::Arr(
+                graph
+                    .generated_for
+                    .iter()
+                    .map(|&g| Json::count(g as u64))
+                    .collect(),
+            ),
+        ),
+        ("optimizer_calls", Json::count(graph.optimizer_calls)),
+    ])
+}
+
+/// Inverse of [`graph_to_json`].
+pub fn graph_from_json(j: &Json) -> Result<BipartiteGraph> {
+    let node_cost = get(j, "node_cost")?
+        .as_arr()
+        .ok_or_else(|| malformed("node_cost"))?
+        .iter()
+        .map(|c| f64_unhex(c, "node_cost"))
+        .collect::<Result<Vec<_>>>()?;
+    let adjacency = get(j, "adjacency")?
+        .as_arr()
+        .ok_or_else(|| malformed("adjacency"))?
+        .iter()
+        .map(|adj| {
+            adj.as_arr()
+                .ok_or_else(|| malformed("adjacency"))?
+                .iter()
+                .map(|q| usize_from(q, "adjacency"))
+                .collect::<Result<Vec<_>>>()
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let edges = get(j, "edges")?
+        .as_arr()
+        .ok_or_else(|| malformed("edges"))?
+        .iter()
+        .map(|e| {
+            Ok((
+                (
+                    usize_from(get(e, "t")?, "edge target")?,
+                    usize_from(get(e, "q")?, "edge query")?,
+                ),
+                f64_unhex(get(e, "c")?, "edge cost")?,
+            ))
+        })
+        .collect::<Result<HashMap<_, _>>>()?;
+    let generated_for = get(j, "generated_for")?
+        .as_arr()
+        .ok_or_else(|| malformed("generated_for"))?
+        .iter()
+        .map(|g| usize_from(g, "generated_for"))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(BipartiteGraph {
+        targets: targets_from_json(get(j, "targets")?, "targets")?,
+        k: usize_from(get(j, "k")?, "k")?,
+        node_cost,
+        adjacency,
+        edges,
+        generated_for,
+        optimizer_calls: get(j, "optimizer_calls")?
+            .as_u64()
+            .ok_or_else(|| malformed("optimizer_calls"))?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The checkpoint store.
+
+/// Stage-boundary checkpoint files under `<cache-dir>/checkpoint/`. Each
+/// stage file carries the format version, campaign fingerprint, campaign
+/// parameters, the boundary stamp, the stage payload, and the cumulative
+/// run-report snapshot at that boundary.
+pub struct CampaignStore {
+    dir: PathBuf,
+    fingerprint: String,
+    params: String,
+    metrics: bool,
+}
+
+impl CampaignStore {
+    /// Opens (creating if needed) the checkpoint directory for a campaign
+    /// identified by `fingerprint` and `params`. `metrics` records whether
+    /// telemetry is observing the campaign — it is part of the checkpoint
+    /// identity, because a metrics-enabled resume merging the empty base
+    /// report of an unobserved original would claim zero invocations for
+    /// stages that very much ran (and trip `report --check`). Switching
+    /// telemetry on or off between runs recomputes instead.
+    pub fn open(
+        cache_dir: &Path,
+        fingerprint: u64,
+        params: &CampaignParams,
+        metrics: bool,
+    ) -> io::Result<Self> {
+        let dir = cache_dir.join("checkpoint");
+        fs::create_dir_all(&dir)?;
+        Ok(CampaignStore {
+            dir,
+            fingerprint: format!("{fingerprint:016x}"),
+            params: params.to_json().to_string_compact(),
+            metrics,
+        })
+    }
+
+    fn stage_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("stage-{name}.json"))
+    }
+
+    /// Writes the checkpoint for one completed stage atomically.
+    pub fn save_stage(
+        &self,
+        name: &str,
+        boundary: u64,
+        payload: Json,
+        report: &RunReport,
+    ) -> io::Result<()> {
+        let params = Json::parse(&self.params).expect("params round-trip");
+        let doc = Json::obj(vec![
+            ("format", Json::count(CHECKPOINT_FORMAT)),
+            ("fingerprint", Json::str(self.fingerprint.clone())),
+            ("params", params),
+            ("metrics", Json::Bool(self.metrics)),
+            ("boundary", Json::count(boundary)),
+            ("payload", payload),
+            ("report", report.to_json()),
+        ]);
+        write_atomic(&self.stage_path(name), doc.to_string_compact().as_bytes())
+    }
+
+    /// Loads a stage checkpoint, or `None` when it is absent, unreadable,
+    /// or was written by a different format version, fingerprint, or
+    /// parameter set — a stale checkpoint silently falls back to
+    /// recomputation, never to an error.
+    pub fn load_stage(&self, name: &str) -> Option<(u64, Json, RunReport)> {
+        let text = fs::read_to_string(self.stage_path(name)).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        if doc.get("format")?.as_u64()? != CHECKPOINT_FORMAT {
+            return None;
+        }
+        if doc.get("fingerprint")?.as_str()? != self.fingerprint {
+            return None;
+        }
+        if doc.get("params")?.to_string_compact() != self.params {
+            return None;
+        }
+        if doc.get("metrics")?.as_bool()? != self.metrics {
+            return None;
+        }
+        let boundary = doc.get("boundary")?.as_u64()?;
+        let report = RunReport::from_json_value(doc.get("report")?).ok()?;
+        Some((boundary, doc.get("payload")?.clone(), report))
+    }
+
+    /// Removes all stage files (a fresh non-resume run must not leave a
+    /// previous campaign's checkpoints behind for a later `--resume`).
+    pub fn clear(&self) -> io::Result<()> {
+        for stage in [STAGE_SUITE, STAGE_GRAPH] {
+            match fs::remove_file(self.stage_path(stage)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The checkpointed campaign driver.
+
+/// The suite and graph an audit campaign runs its compression and
+/// correctness stages over, plus which stages came from checkpoints.
+pub struct CampaignRun {
+    pub suite: TestSuite,
+    pub graph: BipartiteGraph,
+    /// Stage names answered from a checkpoint instead of recomputed.
+    pub resumed: Vec<&'static str>,
+}
+
+/// Runs the generation and graph stages of an audit campaign with
+/// optional persistence (`cache_dir`) and resume.
+///
+/// With a cache dir, the optimizer's snapshot store is attached (warm
+/// invocation entries answer probes without recomputing) and each
+/// completed stage is checkpointed; with `resume`, valid checkpoints are
+/// loaded instead of recomputed and their report snapshot becomes the
+/// framework's base report. Returns `None` when `stop_after` names the
+/// last completed stage — the test hook simulating a `kill -9` at a
+/// stage boundary (a kill mid-stage is equivalent to a kill at the
+/// previous boundary: neither the report nor the disk cache retains
+/// partial-stage state).
+///
+/// On return, the snapshot store's boundary is set to
+/// [`BOUNDARY_EXECUTE`]; the caller runs compression/execution and
+/// finishes with [`final_persist`].
+pub fn run_checkpointed_campaign(
+    fw: &Framework,
+    params: &CampaignParams,
+    cache_dir: Option<&Path>,
+    resume: bool,
+    stop_after: Option<&str>,
+) -> Result<Option<CampaignRun>> {
+    let fingerprint = fw.campaign_fingerprint();
+    let cstore = match cache_dir {
+        Some(dir) => Some(
+            CampaignStore::open(dir, fingerprint, params, fw.telemetry.is_enabled())
+                .map_err(|e| io_err("opening checkpoint dir", e))?,
+        ),
+        None => None,
+    };
+    // Load usable checkpoints before opening the snapshot store: the warm
+    // store must know which boundary the base report already covers. A
+    // graph checkpoint is only usable together with the suite it was
+    // derived from.
+    let (suite_ck, graph_ck) = match (&cstore, resume) {
+        (Some(cs), true) => {
+            let suite_ck = cs.load_stage(STAGE_SUITE);
+            let graph_ck = if suite_ck.is_some() {
+                cs.load_stage(STAGE_GRAPH)
+            } else {
+                None
+            };
+            (suite_ck, graph_ck)
+        }
+        _ => (None, None),
+    };
+    if let (Some(cs), false) = (&cstore, resume) {
+        cs.clear()
+            .map_err(|e| io_err("clearing stale checkpoints", e))?;
+    }
+    let counted_through = graph_ck
+        .as_ref()
+        .or(suite_ck.as_ref())
+        .map(|(boundary, _, _)| *boundary);
+    let store = match cache_dir {
+        Some(dir) => {
+            let s = Arc::new(
+                SnapshotStore::open(dir, fingerprint, counted_through)
+                    .map_err(|e| io_err("opening cache snapshot", e))?,
+            );
+            fw.optimizer.attach_snapshot_store(Arc::clone(&s));
+            Some(s)
+        }
+        None => None,
+    };
+    let mut resumed = Vec::new();
+    if suite_ck.is_some() {
+        resumed.push(STAGE_SUITE);
+    }
+    if graph_ck.is_some() {
+        resumed.push(STAGE_GRAPH);
+    }
+    // The newest checkpoint's report snapshot is cumulative through its
+    // boundary — it becomes the base the resumed process builds on.
+    if let Some((_, _, report)) = graph_ck.as_ref().or(suite_ck.as_ref()) {
+        fw.set_report_base(report.clone());
+    }
+
+    // Stage 1: suite generation.
+    let suite = match &suite_ck {
+        Some((_, payload, _)) => suite_from_json(payload)?,
+        None => {
+            if let Some(s) = &store {
+                s.set_boundary(BOUNDARY_SUITE);
+            }
+            let suite = generate_suite(
+                fw,
+                singleton_targets(fw, params.rules),
+                params.k,
+                Strategy::Pattern,
+                &params.gen_config(),
+            )?;
+            checkpoint(
+                fw,
+                &cstore,
+                STAGE_SUITE,
+                BOUNDARY_SUITE,
+                suite_to_json(&suite),
+            )?;
+            suite
+        }
+    };
+    if stop_after == Some(STAGE_SUITE) {
+        return Ok(None);
+    }
+
+    // Stage 2: bipartite graph.
+    let graph = match &graph_ck {
+        Some((_, payload, _)) => graph_from_json(payload)?,
+        None => {
+            if let Some(s) = &store {
+                s.set_boundary(BOUNDARY_GRAPH);
+            }
+            let graph = build_graph(fw, &suite)?;
+            checkpoint(
+                fw,
+                &cstore,
+                STAGE_GRAPH,
+                BOUNDARY_GRAPH,
+                graph_to_json(&graph),
+            )?;
+            graph
+        }
+    };
+    if stop_after == Some(STAGE_GRAPH) {
+        return Ok(None);
+    }
+    // Compression is pure arithmetic (always recomputed); execution
+    // entries recorded from here on belong to the final boundary.
+    if let Some(s) = &store {
+        s.set_boundary(BOUNDARY_EXECUTE);
+    }
+    Ok(Some(CampaignRun {
+        suite,
+        graph,
+        resumed,
+    }))
+}
+
+/// One stage boundary: persist the invocation cache (inside the persist
+/// span — the span count is part of the deterministic slice and must be
+/// identical for cold, warm, and resumed runs), then snapshot the
+/// cumulative report (which includes that span), then write the stage
+/// file.
+fn checkpoint(
+    fw: &Framework,
+    cstore: &Option<CampaignStore>,
+    name: &str,
+    boundary: u64,
+    payload: Json,
+) -> Result<()> {
+    let Some(cs) = cstore else {
+        return Ok(());
+    };
+    {
+        let _span = fw.telemetry.span(Stage::Persist);
+        fw.optimizer
+            .persist_cache()
+            .map_err(|e| io_err("persisting invocation cache", e))?;
+    }
+    let report = fw.run_report();
+    cs.save_stage(name, boundary, payload, &report)
+        .map_err(|e| io_err("writing stage checkpoint", e))
+}
+
+/// The final invocation-cache save after the execute stage. No stage file
+/// follows it: a completed campaign's checkpoints stay at the graph
+/// boundary, and the boundary stamps on the execute-stage entries tell a
+/// later resume they were never counted in any checkpointed report.
+pub fn final_persist(fw: &Framework) -> Result<u64> {
+    if fw.optimizer.snapshot_store().is_none() {
+        return Ok(0);
+    }
+    let _span = fw.telemetry.span(Stage::Persist);
+    fw.optimizer
+        .persist_cache()
+        .map_err(|e| io_err("persisting invocation cache", e))
+}

@@ -1,0 +1,225 @@
+//! NULL join-key regression tests: pinned (non-fuzz) cases where every
+//! key or a mix of keys is NULL, checked against the reference evaluator
+//! and across all three join algorithms. SQL equality treats NULL = NULL
+//! as UNKNOWN, so NULL keys must never match — but outer and anti kinds
+//! must still *preserve* the NULL-keyed rows. These cases are rare enough
+//! under the fuzz generators that they deserve explicit coverage.
+
+use ruletest_common::{multisets_equal, ColId, DataType, Row, TableId, Value};
+use ruletest_executor::{execute, reference_eval, ExecConfig};
+use ruletest_expr::Expr;
+use ruletest_logical::{ColumnInfo, JoinKind, LogicalTree};
+use ruletest_optimizer::{PhysOp, PhysicalPlan};
+use ruletest_storage::{Catalog, ColumnDef, Database, TableDef};
+
+/// `l(k, v)` and `r(k, v)` loaded with the given `(key, value)` rows.
+fn db_with(left: Vec<(Option<i64>, i64)>, right: Vec<(Option<i64>, i64)>) -> Database {
+    let mut cat = Catalog::new();
+    for (i, name) in ["l", "r"].iter().enumerate() {
+        cat.add_table(TableDef {
+            id: TableId(i as u32),
+            name: name.to_string(),
+            columns: vec![
+                ColumnDef::new("k", DataType::Int, true),
+                ColumnDef::new("v", DataType::Int, false),
+            ],
+            primary_key: vec![0, 1],
+            unique_keys: vec![],
+            foreign_keys: vec![],
+        })
+        .unwrap();
+    }
+    let to_rows = |data: Vec<(Option<i64>, i64)>| -> Vec<Row> {
+        data.into_iter()
+            .map(|(k, v)| vec![k.map(Value::Int).unwrap_or(Value::Null), Value::Int(v)])
+            .collect()
+    };
+    let mut db = Database::new(cat);
+    db.load_table(TableId(0), to_rows(left)).unwrap();
+    db.load_table(TableId(1), to_rows(right)).unwrap();
+    db
+}
+
+fn scan(table: u32, ids: [u32; 2]) -> PhysicalPlan {
+    PhysicalPlan {
+        op: PhysOp::SeqScan {
+            table: TableId(table),
+            cols: vec![ColId(ids[0]), ColId(ids[1])],
+        },
+        children: vec![],
+        schema: ids
+            .iter()
+            .map(|&i| ColumnInfo {
+                id: ColId(i),
+                data_type: DataType::Int,
+                nullable: true,
+            })
+            .collect(),
+        est_rows: 1.0,
+        est_cost: 1.0,
+    }
+}
+
+fn join_plan(op: PhysOp, kind: JoinKind) -> PhysicalPlan {
+    let schema = match kind {
+        JoinKind::LeftSemi | JoinKind::LeftAnti => scan(0, [0, 1]).schema,
+        _ => {
+            let mut s = scan(0, [0, 1]).schema;
+            s.extend(scan(1, [2, 3]).schema);
+            s
+        }
+    };
+    PhysicalPlan {
+        op,
+        children: vec![scan(0, [0, 1]), scan(1, [2, 3])],
+        schema,
+        est_rows: 1.0,
+        est_cost: 1.0,
+    }
+}
+
+fn reference_rows(db: &Database, kind: JoinKind) -> Vec<Row> {
+    let l = LogicalTree::get_with_cols(TableId(0), vec![ColId(0), ColId(1)]);
+    let r = LogicalTree::get_with_cols(TableId(1), vec![ColId(2), ColId(3)]);
+    let tree = LogicalTree::join(
+        kind,
+        l,
+        r,
+        Expr::eq(Expr::col(ColId(0)), Expr::col(ColId(2))),
+    );
+    reference_eval(db, &tree, &ExecConfig::default()).unwrap()
+}
+
+/// Runs every algorithm that supports `kind` on the equi-join and checks
+/// each against the reference evaluator's result.
+fn assert_all_algorithms_match_reference(db: &Database, kind: JoinKind) {
+    let expected = reference_rows(db, kind);
+    let pred = Expr::eq(Expr::col(ColId(0)), Expr::col(ColId(2)));
+    let nl = join_plan(
+        PhysOp::NLJoin {
+            kind,
+            predicate: pred,
+        },
+        kind,
+    );
+    let hash = join_plan(
+        PhysOp::HashJoin {
+            kind,
+            left_keys: vec![ColId(0)],
+            right_keys: vec![ColId(2)],
+            residual: Expr::true_lit(),
+        },
+        kind,
+    );
+    for (algo, plan) in [("nl", &nl), ("hash", &hash)] {
+        let actual = execute(db, plan).unwrap();
+        assert!(
+            multisets_equal(&expected, &actual),
+            "{kind:?}/{algo}: diverged from reference ({} vs {} rows)",
+            expected.len(),
+            actual.len()
+        );
+    }
+    if kind == JoinKind::Inner {
+        let merge = join_plan(
+            PhysOp::MergeJoin {
+                left_key: ColId(0),
+                right_key: ColId(2),
+                residual: Expr::true_lit(),
+            },
+            kind,
+        );
+        let actual = execute(db, &merge).unwrap();
+        assert!(
+            multisets_equal(&expected, &actual),
+            "Inner/merge: diverged from reference"
+        );
+    }
+}
+
+const ALL_KINDS: [JoinKind; 6] = [
+    JoinKind::Inner,
+    JoinKind::LeftOuter,
+    JoinKind::RightOuter,
+    JoinKind::FullOuter,
+    JoinKind::LeftSemi,
+    JoinKind::LeftAnti,
+];
+
+/// Every key on both sides is NULL: no pair matches, and the preserved
+/// sides come back NULL-padded in full.
+#[test]
+fn all_null_keys_both_sides() {
+    let db = db_with(
+        vec![(None, 1), (None, 2), (None, 3)],
+        vec![(None, 10), (None, 20)],
+    );
+    for kind in ALL_KINDS {
+        assert_all_algorithms_match_reference(&db, kind);
+    }
+    // Pin the semantics, not just cross-agreement.
+    assert!(reference_rows(&db, JoinKind::Inner).is_empty());
+    assert_eq!(reference_rows(&db, JoinKind::LeftOuter).len(), 3);
+    assert_eq!(reference_rows(&db, JoinKind::RightOuter).len(), 2);
+    assert_eq!(reference_rows(&db, JoinKind::FullOuter).len(), 5);
+    assert!(reference_rows(&db, JoinKind::LeftSemi).is_empty());
+    assert_eq!(reference_rows(&db, JoinKind::LeftAnti).len(), 3);
+}
+
+/// One side all-NULL, the other side all non-NULL: still zero matches.
+#[test]
+fn all_null_keys_one_side() {
+    let db = db_with(
+        vec![(None, 1), (None, 2)],
+        vec![(Some(7), 10), (Some(8), 20)],
+    );
+    for kind in ALL_KINDS {
+        assert_all_algorithms_match_reference(&db, kind);
+    }
+    assert!(reference_rows(&db, JoinKind::Inner).is_empty());
+    assert_eq!(reference_rows(&db, JoinKind::FullOuter).len(), 4);
+}
+
+/// NULL and non-NULL keys interleaved on both sides, with duplicate keys:
+/// only the non-NULL equal pairs match, NULL-keyed rows are preserved by
+/// outer/anti kinds and dropped by inner/semi.
+#[test]
+fn mixed_null_keys() {
+    let db = db_with(
+        vec![
+            (Some(1), 1),
+            (None, 2),
+            (Some(2), 3),
+            (None, 4),
+            (Some(1), 5),
+        ],
+        vec![(Some(1), 10), (None, 20), (Some(3), 30), (Some(1), 40)],
+    );
+    for kind in ALL_KINDS {
+        assert_all_algorithms_match_reference(&db, kind);
+    }
+    // Matches: l-keys {1, 1} × r-keys {1, 1} → 4 inner rows.
+    assert_eq!(reference_rows(&db, JoinKind::Inner).len(), 4);
+    // Left outer: 4 matches + 3 unmatched left rows (two NULL keys, key 2).
+    assert_eq!(reference_rows(&db, JoinKind::LeftOuter).len(), 7);
+    // Full outer additionally preserves r's NULL key and key 3.
+    assert_eq!(reference_rows(&db, JoinKind::FullOuter).len(), 9);
+    assert_eq!(reference_rows(&db, JoinKind::LeftSemi).len(), 2);
+    assert_eq!(reference_rows(&db, JoinKind::LeftAnti).len(), 3);
+    // NULL-keyed left rows survive anti (NULL = anything is UNKNOWN, so
+    // they have no match) and their key column stays NULL.
+    let anti = reference_rows(&db, JoinKind::LeftAnti);
+    assert_eq!(anti.iter().filter(|r| r[0].is_null()).count(), 2);
+}
+
+/// Duplicate NULL keys never pair with each other even within one table
+/// self-joined shape (l joined to a copy of itself via r).
+#[test]
+fn null_keys_do_not_match_null_keys() {
+    let db = db_with(vec![(None, 1), (None, 2)], vec![(None, 1), (None, 2)]);
+    for kind in ALL_KINDS {
+        assert_all_algorithms_match_reference(&db, kind);
+    }
+    assert!(reference_rows(&db, JoinKind::Inner).is_empty());
+    assert_eq!(reference_rows(&db, JoinKind::LeftAnti).len(), 2);
+}

@@ -498,13 +498,22 @@ pub fn audit_rule(
         for (bound, _) in bindings {
             stats.bindings_audited += 1;
             let ids = RefCell::new(IdGen::above(&ct.tree));
-            let results = {
-                let ctx = RuleCtx {
-                    db,
-                    memo: &ct.memo,
-                    ids: &ids,
-                };
-                rule.action.apply_explore(&ctx, &bound).unwrap()
+            let ctx = RuleCtx {
+                db,
+                memo: &ct.memo,
+                ids: &ids,
+            };
+            // `is_explore()` was checked on entry, so `None` here means
+            // the action classification and the action itself disagree —
+            // an audit finding in its own right, not a reason to panic.
+            let Some(results) = rule.action.apply_explore(&ctx, &bound) else {
+                out.push(LintViolation::new(
+                    LintPass::WellFormed,
+                    Severity::Error,
+                    Some(rule.name),
+                    "action claims to be an exploration but refused to apply as one",
+                ));
+                return out;
             };
             if !results.is_empty() {
                 // Contract check on the recorded firing: the exported

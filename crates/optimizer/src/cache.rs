@@ -50,6 +50,24 @@ impl CacheKey {
         }
     }
 
+    /// The logical tree this key was built from.
+    pub fn tree(&self) -> &LogicalTree {
+        &self.tree
+    }
+
+    /// Canonical (ascending) disabled rule ids.
+    pub fn disabled(&self) -> &[RuleId] {
+        &self.disabled
+    }
+
+    pub fn max_exprs(&self) -> usize {
+        self.max_exprs
+    }
+
+    pub fn max_passes(&self) -> usize {
+        self.max_passes
+    }
+
     pub fn fingerprint(&self) -> u64 {
         let mut h = DefaultHasher::new();
         self.hash(&mut h);

@@ -21,6 +21,7 @@ pub mod mask;
 pub mod memo;
 pub mod optimizer;
 pub mod pattern;
+pub mod persist;
 pub mod physical;
 pub mod rule;
 pub mod rules;
@@ -33,6 +34,7 @@ pub use optimizer::{
     match_bindings, OptimizeResult, Optimizer, OptimizerConfig, SubstituteAuditor,
 };
 pub use pattern::{OpMatcher, PatternTree};
+pub use persist::{campaign_fingerprint, Fnv64, SnapshotStore, WarmHit};
 pub use physical::{PhysOp, PhysicalPlan};
 pub use rule::{
     Bound, BoundChild, NewChild, NewTree, PhysCandidate, Rule, RuleAction, RuleCtx, RuleKind,

@@ -7,6 +7,7 @@ use crate::cost::phys_cost;
 use crate::mask::RuleMask;
 use crate::memo::{GroupId, Memo};
 use crate::pattern::{OpMatcher, PatternTree};
+use crate::persist::SnapshotStore;
 use crate::physical::{PhysOp, PhysicalPlan};
 use crate::rule::{newtree_from_logical, Bound, BoundChild, Rule, RuleAction, RuleCtx, RuleKind};
 use crate::rules::exploration_rules;
@@ -116,6 +117,9 @@ pub struct Optimizer {
     /// owns the campaign; never attached → every recording site is a
     /// near-no-op branch.
     telemetry: OnceLock<Telemetry>,
+    /// Disk-backed warm store (`--cache-dir`), attached once like
+    /// telemetry; never attached → the cached path never touches disk.
+    store: OnceLock<Arc<SnapshotStore>>,
     /// Injected sink for memo dumps; `None` falls back to stderr when the
     /// `RULETEST_DUMP_MEMO` environment variable requests dumps.
     memo_sink: Mutex<Option<Box<dyn Write + Send>>>,
@@ -223,6 +227,7 @@ impl Optimizer {
             invocations: AtomicU64::new(0),
             cache: OptCache::default(),
             telemetry: OnceLock::new(),
+            store: OnceLock::new(),
             memo_sink: Mutex::new(None),
             auditor: Mutex::new(None),
         }
@@ -238,6 +243,34 @@ impl Optimizer {
     pub fn telemetry(&self) -> &Telemetry {
         static DISABLED: Telemetry = Telemetry::disabled();
         self.telemetry.get().unwrap_or(&DISABLED)
+    }
+
+    /// Attaches the disk-backed warm store. The first attachment wins.
+    /// A store whose on-disk snapshot was fingerprint-rejected is still
+    /// attached (it starts cold and overwrites the stale snapshot on
+    /// save); the rejection is counted so reports surface it. Attach
+    /// telemetry first for the rejection counter to land.
+    pub fn attach_snapshot_store(&self, store: Arc<SnapshotStore>) {
+        if store.rejected() {
+            self.telemetry().incr(Counter::CacheFingerprintRejected);
+        }
+        let _ = self.store.set(store);
+    }
+
+    /// The attached warm store, if any.
+    pub fn snapshot_store(&self) -> Option<&Arc<SnapshotStore>> {
+        self.store.get()
+    }
+
+    /// Saves the warm store to disk (no-op without one), counting the
+    /// persisted entries under `cache.persisted`.
+    pub fn persist_cache(&self) -> std::io::Result<u64> {
+        let Some(store) = self.store.get() else {
+            return Ok(0);
+        };
+        let persisted = store.save()?;
+        self.telemetry().add(Counter::CachePersisted, persisted);
+        Ok(persisted)
     }
 
     /// Installs a sink that receives a memo dump after every optimization
@@ -335,8 +368,25 @@ impl Optimizer {
             fingerprint: tree_fingerprint(tree),
             hit: false,
         });
+        // Disk warm path: a persisted entry stands in for the compute —
+        // including its profile sample, so warm telemetry replays the
+        // cold run's exactly. Entries absorbed from a checkpoint report
+        // (`counted_in_base`) are already in the base aggregates and must
+        // not re-record.
+        if let Some(store) = self.store.get() {
+            if let Some(warm) = store.peek_warm(&key) {
+                tel.incr(Counter::CacheWarmHits);
+                if self.cache.insert(key, Arc::clone(&warm.result)) && !warm.counted_in_base {
+                    self.record_result(&warm.result, warm.sample);
+                }
+                return Ok(warm.result);
+            }
+        }
         let (result, sample) = self.compute(tree, config)?;
         let result = Arc::new(result);
+        if let Some(store) = self.store.get() {
+            store.record_fresh(&key, &result, sample.as_ref());
+        }
         // Racing workers may compute the same key concurrently; only the
         // insertion winner records the result (and flushes the profile
         // sample), so telemetry aggregates count each unique optimization
@@ -1153,6 +1203,64 @@ mod tests {
         buf.0.lock().unwrap().clear();
         let _ = opt.optimize(&tree).unwrap();
         assert!(buf.0.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn warm_store_replays_cold_telemetry_without_computing() {
+        use crate::persist::{campaign_fingerprint, SnapshotStore};
+        let dir = std::env::temp_dir().join(format!(
+            "ruletest-opt-warm-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cold = optimizer();
+        cold.attach_telemetry(Telemetry::metrics_only());
+        let fp = campaign_fingerprint(&cold.db.catalog, cold.rules.iter(), 1, 1);
+        cold.attach_snapshot_store(Arc::new(SnapshotStore::open(&dir, fp, None).unwrap()));
+        let tree = simple_join(&cold);
+        let cold_res = cold.optimize_cached(&tree).unwrap();
+        assert!(cold.persist_cache().unwrap() >= 1);
+        assert!(cold.telemetry().counter(Counter::CachePersisted) >= 1);
+
+        let warm = optimizer();
+        warm.attach_telemetry(Telemetry::metrics_only());
+        warm.attach_snapshot_store(Arc::new(SnapshotStore::open(&dir, fp, None).unwrap()));
+        let warm_res = warm.optimize_cached(&tree).unwrap();
+        assert_eq!(warm.invocation_count(), 0, "warm hit must not compute");
+        assert_eq!(warm_res.cost.to_bits(), cold_res.cost.to_bits());
+        assert_eq!(warm_res.rule_set, cold_res.rule_set);
+        assert_eq!(warm.telemetry().counter(Counter::OptInvocations), 1);
+        assert_eq!(warm.telemetry().counter(Counter::CacheWarmHits), 1);
+        // The persisted profile sample replays verbatim: warm and cold
+        // profile sections are byte-identical.
+        let names: Vec<String> = (0..cold.num_rules())
+            .map(|i| cold.rule(RuleId(i as u16)).name.to_string())
+            .collect();
+        assert_eq!(
+            cold.telemetry()
+                .profile_section(&names)
+                .to_json()
+                .to_string_compact(),
+            warm.telemetry()
+                .profile_section(&names)
+                .to_json()
+                .to_string_compact()
+        );
+
+        // A stale fingerprint is rejected and counted; the probe computes.
+        let stale = optimizer();
+        stale.attach_telemetry(Telemetry::metrics_only());
+        stale.attach_snapshot_store(Arc::new(SnapshotStore::open(&dir, fp + 1, None).unwrap()));
+        assert_eq!(
+            stale.telemetry().counter(Counter::CacheFingerprintRejected),
+            1
+        );
+        let _ = stale.optimize_cached(&tree).unwrap();
+        assert_eq!(stale.invocation_count(), 1, "rejected snapshot stays cold");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

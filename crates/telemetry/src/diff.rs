@@ -17,7 +17,7 @@
 //!   durations below stage roots, per-rule nanoseconds) is ignored.
 
 use crate::json::Json;
-use crate::metrics::Hist;
+use crate::metrics::{Counter, Hist};
 use crate::report::RunReport;
 use std::collections::BTreeSet;
 
@@ -197,11 +197,26 @@ pub fn diff_reports(base: &RunReport, cur: &RunReport, threshold_pct: u32) -> Di
         return out;
     }
 
+    // Cache-persistence counters depend on disk state (a warm run has
+    // nonzero warm_hits by design), so like wall-clock histograms they
+    // are excluded from the exact comparison — `ruletest diff` must be
+    // able to gate a warm run against a cold baseline.
+    let environmental_counter = |name: &str| {
+        Counter::ALL
+            .iter()
+            .any(|c| c.name() == name && !c.deterministic())
+    };
     diff_exact_maps(
         &mut out,
         "counters",
-        base.counters.iter().map(|(k, &v)| (k.clone(), v)),
-        cur.counters.iter().map(|(k, &v)| (k.clone(), v)),
+        base.counters
+            .iter()
+            .filter(|(k, _)| !environmental_counter(k))
+            .map(|(k, &v)| (k.clone(), v)),
+        cur.counters
+            .iter()
+            .filter(|(k, _)| !environmental_counter(k))
+            .map(|(k, &v)| (k.clone(), v)),
     );
     diff_exact_maps(
         &mut out,
@@ -251,35 +266,52 @@ pub fn diff_reports(base: &RunReport, cur: &RunReport, threshold_pct: u32) -> Di
     }
 
     // Span-tree shape (paths + counts) and per-rule bind/fire counts are
-    // deterministic; durations are not compared here.
-    diff_exact_maps(
-        &mut out,
-        "profile.spans",
-        base.profile.spans.iter().map(|r| (r.path.clone(), r.count)),
-        cur.profile.spans.iter().map(|r| (r.path.clone(), r.count)),
-    );
-    diff_exact_maps(
-        &mut out,
-        "profile.rules",
-        base.profile.rules.iter().flat_map(|(k, c)| {
-            [
-                (format!("{k}.binds"), c.binds),
-                (format!("{k}.fires"), c.fires),
-            ]
-        }),
-        cur.profile.rules.iter().flat_map(|(k, c)| {
-            [
-                (format!("{k}.binds"), c.binds),
-                (format!("{k}.fires"), c.fires),
-            ]
-        }),
-    );
+    // deterministic; durations are not compared here. A baseline written
+    // before the profiler existed has no profile section at all — that
+    // is a vintage gap, not a regression, so the comparison is skipped
+    // with a single note instead of flagging every span as "new".
+    let baseline_predates_profile = base.profile.is_empty() && !cur.profile.is_empty();
+    if baseline_predates_profile {
+        out.notes.push(DiffItem::new(
+            "profile",
+            "absent",
+            format!("{} span paths", cur.profile.spans.len()),
+            "baseline predates the profile section — span comparison skipped",
+        ));
+    } else {
+        diff_exact_maps(
+            &mut out,
+            "profile.spans",
+            base.profile.spans.iter().map(|r| (r.path.clone(), r.count)),
+            cur.profile.spans.iter().map(|r| (r.path.clone(), r.count)),
+        );
+        diff_exact_maps(
+            &mut out,
+            "profile.rules",
+            base.profile.rules.iter().flat_map(|(k, c)| {
+                [
+                    (format!("{k}.binds"), c.binds),
+                    (format!("{k}.fires"), c.fires),
+                ]
+            }),
+            cur.profile.rules.iter().flat_map(|(k, c)| {
+                [
+                    (format!("{k}.binds"), c.binds),
+                    (format!("{k}.fires"), c.fires),
+                ]
+            }),
+        );
+    }
 
     // Cache hit ratio: a drop of more than threshold_pct percentage
-    // points fails the gate (the cache is the campaign's main perf lever).
+    // points fails the gate (the cache is the campaign's main perf
+    // lever). Skipped when either run took warm hits from a persistent
+    // snapshot — disk answers displace in-memory hits (a resumed run may
+    // skip whole stages), so the ratio no longer measures cache health.
+    let warm = base.counter(Counter::CacheWarmHits) > 0 || cur.counter(Counter::CacheWarmHits) > 0;
     let (b_ratio, c_ratio) = (base.cache.hit_ratio(), cur.cache.hit_ratio());
     let ratio_drop_pp = (b_ratio - c_ratio) * 100.0;
-    if ratio_drop_pp > threshold_pct as f64 {
+    if !warm && ratio_drop_pp > threshold_pct as f64 {
         out.regressions.push(DiffItem::new(
             "cache.hit_ratio",
             format!("{:.1}%", b_ratio * 100.0),
@@ -427,6 +459,17 @@ mod tests {
         let d = diff_reports(&base, &cur, 10);
         assert!(d.regressed());
         assert!(d.regressions[0].field.contains("hit_ratio"));
+    }
+
+    #[test]
+    fn hit_ratio_is_not_gated_for_warm_cache_runs() {
+        let base = report();
+        let mut cur = report();
+        cur.cache.hits = 10; // 40pp drop, but the run was disk-warmed:
+        cur.counters
+            .insert(Counter::CacheWarmHits.name().to_string(), 25);
+        let d = diff_reports(&base, &cur, 10);
+        assert!(!d.regressed(), "{}", d.render_text());
     }
 
     #[test]

@@ -67,10 +67,19 @@ pub enum Counter {
     /// Mutants invisible to the static linter but caught by dynamic
     /// differential execution (the lint-escape matrix rows).
     LintEscapes,
+    /// Invocation-cache entries written to a disk snapshot.
+    /// Environmental: depends on whether `--cache-dir` is set.
+    CachePersisted,
+    /// Cache probes answered from a warm (disk-loaded) entry.
+    /// Environmental: zero on a cold run, nonzero on a warm one.
+    CacheWarmHits,
+    /// Snapshots discarded because the campaign fingerprint (catalog,
+    /// rule catalog, seed, scale) no longer matches. Environmental.
+    CacheFingerprintRejected,
 }
 
 impl Counter {
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 25;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::OptInvocations,
@@ -95,6 +104,9 @@ impl Counter {
         Counter::MutantsKilled,
         Counter::MutantsSurvived,
         Counter::LintEscapes,
+        Counter::CachePersisted,
+        Counter::CacheWarmHits,
+        Counter::CacheFingerprintRejected,
     ];
 
     /// Stable dotted name used in reports and traces.
@@ -122,7 +134,21 @@ impl Counter {
             Counter::MutantsKilled => "mutate.killed",
             Counter::MutantsSurvived => "mutate.survived",
             Counter::LintEscapes => "mutate.lint_escapes",
+            Counter::CachePersisted => "cache.persisted",
+            Counter::CacheWarmHits => "cache.warm_hits",
+            Counter::CacheFingerprintRejected => "cache.fingerprint_rejected",
         }
+    }
+
+    /// Whether the count is a pure function of seed + inputs. The cache
+    /// persistence counters depend on disk state (cold vs warm start), so
+    /// they are excluded from the deterministic report fingerprint, like
+    /// wall-clock histograms.
+    pub fn deterministic(self) -> bool {
+        !matches!(
+            self,
+            Counter::CachePersisted | Counter::CacheWarmHits | Counter::CacheFingerprintRejected
+        )
     }
 }
 

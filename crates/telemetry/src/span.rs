@@ -59,10 +59,12 @@ pub enum Stage {
     Optimize,
     /// One physical-plan execution.
     Execution,
+    /// Cache/checkpoint persistence work (snapshot open and save).
+    Persist,
 }
 
 impl Stage {
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Generation,
         Stage::Graph,
         Stage::Correctness,
@@ -70,6 +72,7 @@ impl Stage {
         Stage::Mutation,
         Stage::Optimize,
         Stage::Execution,
+        Stage::Persist,
     ];
 
     pub fn name(self) -> &'static str {
@@ -81,6 +84,7 @@ impl Stage {
             Stage::Mutation => "mutation",
             Stage::Optimize => "optimize",
             Stage::Execution => "execution",
+            Stage::Persist => "persist",
         }
     }
 }
@@ -255,13 +259,21 @@ impl Profiler {
     }
 
     /// Snapshot: merges the shards into a report section. Paths render
-    /// with `rule_names`, rows come out in path order (parents precede
-    /// children because a prefix sorts before its extensions).
+    /// with `rule_names`; rows come out sorted by rendered path string
+    /// (parents precede children because a prefix sorts before its
+    /// extensions). String order — rather than `SpanKey` order — keeps
+    /// the ordering reproducible for sections merged back from a
+    /// checkpointed report, where only rendered paths survive.
     pub fn section(&self, rule_names: &[String]) -> ProfileSection {
-        let mut merged: BTreeMap<Vec<SpanKey>, PathStat> = BTreeMap::new();
+        let mut merged: BTreeMap<String, PathStat> = BTreeMap::new();
         for shard in &self.shards {
             for (path, stat) in shard.lock().expect("profiler shard poisoned").iter() {
-                let row = merged.entry(path.clone()).or_default();
+                let rendered = path
+                    .iter()
+                    .map(|k| k.segment(rule_names))
+                    .collect::<Vec<_>>()
+                    .join(";");
+                let row = merged.entry(rendered).or_default();
                 row.count += stat.count;
                 row.wall_ns += stat.wall_ns;
                 row.child_ns += stat.child_ns;
@@ -270,11 +282,7 @@ impl Profiler {
         let spans = merged
             .into_iter()
             .map(|(path, stat)| SpanRow {
-                path: path
-                    .iter()
-                    .map(|k| k.segment(rule_names))
-                    .collect::<Vec<_>>()
-                    .join(";"),
+                path,
                 count: stat.count,
                 wall_ns: stat.wall_ns,
                 child_ns: stat.child_ns,
@@ -395,6 +403,64 @@ impl ProfileSample {
         if fired {
             acc.fires += 1;
         }
+    }
+
+    /// Serializes the sample for the disk-backed invocation cache, so a
+    /// warm hit can flush the exact profile rows the original compute
+    /// produced (identical span shape and per-rule bind/fire counts).
+    pub fn to_json(&self) -> Json {
+        let rules = self
+            .rules
+            .iter()
+            .map(|(&(rule, phase), acc)| {
+                Json::obj(vec![
+                    ("rule", Json::count(u64::from(rule))),
+                    ("phase", Json::str(phase.name())),
+                    ("binds", Json::count(acc.binds)),
+                    ("fires", Json::count(acc.fires)),
+                    ("bind_ns", Json::count(acc.bind_ns)),
+                    ("subst_ns", Json::count(acc.subst_ns)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("elapsed_ns", Json::count(self.elapsed_ns)),
+            ("rules", Json::Arr(rules)),
+        ])
+    }
+
+    pub fn from_json(j: &Json) -> Result<ProfileSample, String> {
+        fn u64_field(obj: &Json, field: &str) -> Result<u64, String> {
+            obj.get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("profile sample: missing or invalid '{field}'"))
+        }
+        let elapsed_ns = u64_field(j, "elapsed_ns")?;
+        let mut rules = BTreeMap::new();
+        if let Some(arr) = j.get("rules") {
+            let arr = arr
+                .as_arr()
+                .ok_or("profile sample: 'rules' must be an array")?;
+            for row in arr {
+                let rule = u16::try_from(u64_field(row, "rule")?)
+                    .map_err(|_| "profile sample: rule id out of range".to_string())?;
+                let phase = row
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .and_then(RulePhase::from_name)
+                    .ok_or("profile sample: missing or invalid 'phase'")?;
+                rules.insert(
+                    (rule, phase),
+                    RuleAcc {
+                        binds: u64_field(row, "binds")?,
+                        fires: u64_field(row, "fires")?,
+                        bind_ns: u64_field(row, "bind_ns")?,
+                        subst_ns: u64_field(row, "subst_ns")?,
+                    },
+                );
+            }
+        }
+        Ok(ProfileSample { elapsed_ns, rules })
     }
 }
 
@@ -606,6 +672,16 @@ impl ProfileSection {
     /// present, `child_ns ≤ wall_ns` per row, and `child_ns` equal to
     /// the exact sum of direct children's `wall_ns`.
     pub fn validate(&self) -> Result<(), String> {
+        self.validate_with(true)
+    }
+
+    /// [`ProfileSection::validate`] with the timing-containment check
+    /// (`child_ns ≤ wall_ns`) optional: a report containing warm-cache
+    /// replays attributes the *original* compute's span time under
+    /// parents that did almost no wall work in this process, so
+    /// containment legitimately fails there while every structural
+    /// invariant still holds.
+    pub fn validate_with(&self, strict_timing: bool) -> Result<(), String> {
         let mut child_wall: HashMap<&str, u64> = HashMap::new();
         let mut rows: HashMap<&str, &SpanRow> = HashMap::new();
         for row in &self.spans {
@@ -615,7 +691,7 @@ impl ProfileSection {
             if row.count == 0 {
                 return Err(format!("profile span '{}': zero count", row.path));
             }
-            if row.child_ns > row.wall_ns {
+            if strict_timing && row.child_ns > row.wall_ns {
                 return Err(format!(
                     "profile span '{}': child_ns {} exceeds wall_ns {}",
                     row.path, row.child_ns, row.wall_ns

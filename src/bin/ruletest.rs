@@ -29,15 +29,16 @@ use ruletest::core::faults::{buggy_optimizer, Fault};
 use ruletest::core::generate::dependency::find_dependency_query;
 use ruletest::core::generate::relevant::find_relevant_query;
 use ruletest::core::{
-    build_graph, generate_suite, read_bundles, replay, singleton_targets, to_bundles,
-    triage_report, write_bundles, DbProfile, Framework, FrameworkConfig, GenConfig, RuleTarget,
-    Strategy, TriageConfig,
+    build_graph, final_persist, generate_suite, read_bundles, replay, run_checkpointed_campaign,
+    singleton_targets, to_bundles, triage_report, write_bundles, CampaignParams, DbProfile,
+    Framework, FrameworkConfig, GenConfig, RuleTarget, Strategy, TriageConfig,
 };
 use ruletest::executor::{execute, ExecConfig};
 use ruletest::optimizer::{Optimizer, RuleKind};
 use ruletest::sql::parse_sql;
 use ruletest::storage::{tpch_database, TpchConfig};
 use ruletest::telemetry::{diff_reports, Json, RunReport, Telemetry};
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -399,20 +400,33 @@ fn run_audit(fw: &Framework, opts: &Opts) -> Result<(), String> {
         "auditing {} rules with k={} queries each...",
         opts.rules, opts.k
     );
-    let suite = generate_suite(
-        fw,
-        singleton_targets(fw, opts.rules),
-        opts.k,
-        Strategy::Pattern,
-        &GenConfig {
-            seed: opts.seed,
-            pad_ops: 2,
-            ..Default::default()
-        },
-    )
-    .map_err(|e| e.to_string())?;
-    let graph = build_graph(fw, &suite).map_err(|e| e.to_string())?;
-    let inst = Instance::from_graph(&graph);
+    // The audit pipeline's generation parameters: `pad_ops: 2` pads each
+    // pattern query a little so plans are non-trivial. They feed the
+    // checkpoint identity, so an audit with different parameters never
+    // resumes from this one's checkpoints.
+    let params = CampaignParams {
+        rules: opts.rules,
+        k: opts.k,
+        seed: opts.seed,
+        pad_ops: 2,
+        max_trials: GenConfig::default().max_trials,
+    };
+    let cache_dir = opts.cache_dir.as_deref().map(Path::new);
+    if let Some(dir) = cache_dir {
+        println!(
+            "cache-dir: {}{}",
+            dir.display(),
+            if opts.resume { " (resume)" } else { "" }
+        );
+    }
+    let run = run_checkpointed_campaign(fw, &params, cache_dir, opts.resume, None)
+        .map_err(|e| e.to_string())?
+        .expect("campaign ran without a stop hook");
+    if !run.resumed.is_empty() {
+        println!("resumed from checkpoint: {}", run.resumed.join("+"));
+    }
+    let (suite, graph) = (&run.suite, &run.graph);
+    let inst = Instance::from_graph(graph);
     println!(
         "suite: {} queries, {} edges ({} optimizer calls)",
         suite.queries.len(),
@@ -426,8 +440,14 @@ fn run_audit(fw: &Framework, opts: &Opts) -> Result<(), String> {
     println!("  BASELINE {:>12.1}", b.total_cost(&inst));
     println!("  SMC      {:>12.1}", s.total_cost(&inst));
     println!("  TOPK     {:>12.1}", t.total_cost(&inst));
-    let report = execute_solution(fw, &suite, &inst, &t, &ExecConfig::default())
+    let report = execute_solution(fw, suite, &inst, &t, &ExecConfig::default())
         .map_err(|e| e.to_string())?;
+    // Final cache save (no stage file): later runs with the same
+    // cache-dir warm-start from everything this campaign computed.
+    let persisted = final_persist(fw).map_err(|e| e.to_string())?;
+    if cache_dir.is_some() {
+        println!("cache: {persisted} invocation entries persisted");
+    }
     println!(
         "executed TOPK suite: {} validations, {} executions, {} skipped-identical, {} skipped-unsupported, {} bugs",
         report.validations,

@@ -49,6 +49,12 @@ pub struct Opts {
     /// `ruletest diff --threshold-pct N`: allowed relative drift for
     /// timing/cache comparisons, in whole percent (default 10).
     pub threshold_pct: Option<u32>,
+    /// `ruletest audit --cache-dir DIR`: persist the invocation cache and
+    /// stage checkpoints under DIR; a later run warm-starts from them.
+    pub cache_dir: Option<String>,
+    /// `ruletest audit --cache-dir DIR --resume`: resume an interrupted
+    /// campaign from its last completed stage checkpoint.
+    pub resume: bool,
     pub positional: Vec<String>,
 }
 
@@ -74,6 +80,8 @@ impl Default for Opts {
             list: false,
             profile_folded: None,
             threshold_pct: None,
+            cache_dir: None,
+            resume: false,
             positional: Vec::new(),
         }
     }
@@ -120,9 +128,11 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<(String, Opts), S
             "--sample" => opts.sample = Some(parse_value(&a, &mut args)?),
             "--profile-folded" => opts.profile_folded = Some(value_of(&a, &mut args)?),
             "--threshold-pct" => opts.threshold_pct = Some(parse_value(&a, &mut args)?),
+            "--cache-dir" => opts.cache_dir = Some(value_of(&a, &mut args)?),
             "--random" => opts.random = true,
             "--check" => opts.check = true,
             "--list" => opts.list = true,
+            "--resume" => opts.resume = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}'"));
             }
@@ -299,6 +309,26 @@ mod tests {
         assert!(parse(argv(&["diff", "--threshold-pct"])).is_err());
         assert!(parse(argv(&["diff", "--threshold-pct", "lots"])).is_err());
         assert!(parse(argv(&["audit", "--profile-folded"])).is_err());
+    }
+
+    #[test]
+    fn cache_dir_and_resume_flags_parse() {
+        let (cmd, opts) = parse(argv(&[
+            "audit",
+            "--cache-dir",
+            ".ruletest-cache",
+            "--resume",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "audit");
+        assert_eq!(opts.cache_dir.as_deref(), Some(".ruletest-cache"));
+        assert!(opts.resume);
+        // --resume without --cache-dir parses (the command decides whether
+        // that combination is meaningful); a missing value fails loudly.
+        let (_, opts) = parse(argv(&["audit", "--resume"])).unwrap();
+        assert!(opts.resume && opts.cache_dir.is_none());
+        assert!(parse(argv(&["audit", "--cache-dir"])).is_err());
+        assert!(parse(argv(&["audit", "--cache-dir", "--resume"])).is_err());
     }
 
     #[test]
