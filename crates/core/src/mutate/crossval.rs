@@ -1,0 +1,116 @@
+//! Cross-validation of the symbolic prover against the mutant corpus.
+//!
+//! The prover's verdicts are only trustworthy if they agree with ground
+//! truth, and the mutant catalog *is* ground truth: every mutant is a
+//! hand-seeded bug (or a hand-verified benign variant) in a known rule.
+//! This module injects each mutant into an optimizer over the symbolic
+//! database, runs the prover focused on the sabotaged rule, and tabulates
+//! the outcome per bug class:
+//!
+//! * a correctness mutant verdicted `Inequivalent` is a **static kill** —
+//!   the prover found the bug without executing a single query;
+//! * `Unknown` is an honest escape — the dynamic campaign remains
+//!   responsible for it;
+//! * `Equivalent` on a correctness mutant would be a prover
+//!   **unsoundness** (it "proved" a buggy rewrite correct), and
+//!   `Inequivalent` on a cost-only mutant a **false alarm** — the
+//!   cross-validation tests pin both at zero.
+
+use crate::mutate::{mutant_optimizer, BugClass, Mutant, Verdict};
+use ruletest_common::Result;
+use ruletest_lint::prove::{self, ProveVerdict};
+use ruletest_telemetry::Telemetry;
+use std::sync::Arc;
+
+/// One mutant's cross-validation outcome.
+#[derive(Debug, Clone)]
+pub struct CrossValRow {
+    pub mutant: &'static str,
+    pub class: BugClass,
+    pub rule: &'static str,
+    /// What the dynamic methodology expects of this mutant.
+    pub expected: Verdict,
+    /// What the symbolic prover concluded about the sabotaged rule.
+    pub proved: ProveVerdict,
+    pub reason: Option<String>,
+}
+
+/// Prover-vs-corpus agreement table.
+#[derive(Debug, Clone)]
+pub struct CrossValReport {
+    pub rows: Vec<CrossValRow>,
+}
+
+impl CrossValReport {
+    /// `(static kills, mutants)` for one bug class.
+    pub fn class_kills(&self, class: BugClass) -> (usize, usize) {
+        let rows = self.rows.iter().filter(|r| r.class == class);
+        let total = rows.clone().count();
+        let kills = rows
+            .filter(|r| r.proved == ProveVerdict::Inequivalent)
+            .count();
+        (kills, total)
+    }
+
+    /// Correctness mutants the prover "proved" equivalent — must be empty.
+    pub fn unsound(&self) -> Vec<&CrossValRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.class != BugClass::CostOnly && r.proved == ProveVerdict::Equivalent)
+            .collect()
+    }
+
+    /// Cost-only mutants the prover flagged inequivalent — must be empty.
+    pub fn false_alarms(&self) -> Vec<&CrossValRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.class == BugClass::CostOnly && r.proved == ProveVerdict::Inequivalent)
+            .collect()
+    }
+
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("prover vs mutant corpus\n");
+        for class in BugClass::ALL {
+            let (kills, total) = self.class_kills(class);
+            out.push_str(&format!(
+                "  {:<24} {kills}/{total} static kills\n",
+                class.name()
+            ));
+        }
+        for r in &self.rows {
+            out.push_str(&format!(
+                "  {:<34} {:<24} {}\n",
+                r.mutant,
+                r.class.name(),
+                r.proved
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the prover against every mutant in the catalog, one injected
+/// optimizer per mutant over the symbolic database.
+pub fn crossval_prove() -> Result<CrossValReport> {
+    let db = Arc::new(prove::symbolic_database());
+    let mut rows = Vec::new();
+    for m in Mutant::all() {
+        let opt = mutant_optimizer(db.clone(), m);
+        let report = prove::prove_rules_focused(&opt, m.rule_name, &Telemetry::disabled())?;
+        let proof = report
+            .rules
+            .iter()
+            .find(|r| r.rule == m.rule_name)
+            .expect("focused report contains the focused rule");
+        rows.push(CrossValRow {
+            mutant: m.id,
+            class: m.class,
+            rule: m.rule_name,
+            expected: m.expected,
+            proved: proof.verdict,
+            reason: proof.reason.clone(),
+        });
+    }
+    Ok(CrossValReport { rows })
+}

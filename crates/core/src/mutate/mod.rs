@@ -24,10 +24,12 @@
 
 mod campaign;
 mod catalog;
+pub mod crossval;
 mod detect;
 mod report;
 
 pub use campaign::{run_mutation_campaign, MutantOutcome, MutationConfig};
+pub use crossval::{crossval_prove, CrossValReport, CrossValRow};
 pub use detect::{detect_with_methodology, Detection, DynamicKill, MutationBudget};
 pub use report::{ClassStats, MutationReport};
 

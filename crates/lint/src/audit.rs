@@ -95,6 +95,11 @@ struct Instantiator<'a> {
     pool: Vec<TableDef>,
     next_table: usize,
     ids: IdGen,
+    /// Extended instantiation for the symbolic prover: adds non-key join
+    /// predicates, cross-side select conjuncts, `Count(col)` aggregates,
+    /// differing Top-over-Top keys, and two-table unions. `false`
+    /// preserves the lint corpus byte for byte.
+    extended: bool,
 }
 
 impl<'a> Instantiator<'a> {
@@ -104,6 +109,7 @@ impl<'a> Instantiator<'a> {
             pool: leaf_pool(db),
             next_table: 0,
             ids: IdGen::new(),
+            extended: false,
         }
     }
 
@@ -150,11 +156,18 @@ impl<'a> Instantiator<'a> {
         if head == tail {
             vec![head_eq.clone(), Expr::and(head_eq, tail_eq)]
         } else {
-            vec![
+            let mut out = vec![
                 head_eq.clone(),
                 tail_eq.clone(),
                 Expr::and(head_eq, tail_eq),
-            ]
+            ];
+            if self.extended {
+                // Cross-side column equality: over a join child this
+                // conjunct references both sides, exercising residual-
+                // conjunct handling in push-down rules.
+                out.push(Expr::eq(Expr::col(head), Expr::col(tail)));
+            }
+            out
         }
     }
 
@@ -183,7 +196,21 @@ impl<'a> Instantiator<'a> {
         if out.is_empty() {
             out.push(Expr::true_lit());
         }
-        out.truncate(2);
+        if self.extended {
+            // Non-key equi variant: bind the right side's *last* integer
+            // column instead of its key, so key-dependent rewrites see at
+            // least one corpus tree where the key check must fail.
+            if let Some(rlast) = last_int_col(&self.schema(right)) {
+                if rlast != rcol {
+                    if let Some(lcol) = first_int_col(&ls) {
+                        out.push(Expr::eq(Expr::col(lcol), Expr::col(rlast)));
+                    }
+                }
+            }
+            out.truncate(3);
+        } else {
+            out.truncate(2);
+        }
         out
     }
 
@@ -219,15 +246,25 @@ impl<'a> Instantiator<'a> {
                 args.push(c);
             }
         }
-        args.into_iter()
-            .map(|arg| {
-                let aggs = vec![
-                    AggCall::new(AggFunc::Sum, Some(arg), self.ids.fresh()),
-                    AggCall::new(AggFunc::CountStar, None, self.ids.fresh()),
-                ];
-                (vec![gb], aggs)
-            })
-            .collect()
+        let extended = self.extended;
+        let mut out: Vec<(Vec<ruletest_common::ColId>, Vec<AggCall>)> = Vec::new();
+        for arg in args {
+            let aggs = vec![
+                AggCall::new(AggFunc::Sum, Some(arg), self.ids.fresh()),
+                AggCall::new(AggFunc::CountStar, None, self.ids.fresh()),
+            ];
+            out.push((vec![gb], aggs));
+            if extended {
+                // `Count(col)` differs from `CountStar` exactly on NULL
+                // arguments — NULL-sensitivity bugs in aggregate rewrites
+                // need at least one corpus tree carrying it.
+                out.push((
+                    vec![gb],
+                    vec![AggCall::new(AggFunc::Count, Some(arg), self.ids.fresh())],
+                ));
+            }
+        }
+        out
     }
 
     /// Instantiates a pattern into concrete corpus trees. `forced` pins
@@ -311,7 +348,18 @@ impl<'a> Instantiator<'a> {
                             }
                         };
                         let lefts = self.capped(&children[0], Some(&table));
-                        let rights = self.capped(&children[1], Some(&table));
+                        let mut rights = self.capped(&children[1], Some(&table));
+                        if self.extended {
+                            // A right branch over a *different* table (same
+                            // arity, or the pairing is skipped below) makes
+                            // the two union sides distinguishable, so
+                            // side-confusion bugs become observable.
+                            if let Some(other) =
+                                self.pool.iter().find(|t| t.id != table.id).cloned()
+                            {
+                                rights.extend(self.capped(&children[1], Some(&other)));
+                            }
+                        }
                         let mut out = Vec::new();
                         for l in &lefts {
                             for r in &rights {
@@ -338,8 +386,29 @@ impl<'a> Instantiator<'a> {
                         .map(LogicalTree::distinct)
                         .collect(),
                     OpKind::Sort => self.unary_sorted(&children[0], forced, LogicalTree::sort),
-                    OpKind::Top => self
-                        .unary_sorted(&children[0], forced, |c, keys| LogicalTree::top(c, 5, keys)),
+                    OpKind::Top => {
+                        let mut v = self.unary_sorted(&children[0], forced, |c, keys| {
+                            LogicalTree::top(c, 5, keys)
+                        });
+                        // Extended: a Top directly over a Top also gets a
+                        // *different* row count, so Top-over-Top corpora
+                        // distinguish min-vs-max (and off-by-one) bugs in
+                        // count-combining rules.
+                        if self.extended {
+                            let outer: Vec<LogicalTree> = self
+                                .capped(&children[0], forced)
+                                .into_iter()
+                                .filter(|c| matches!(c.op, Operator::Top { .. }))
+                                .collect();
+                            for c in outer {
+                                if let Some(col) = self.schema(&c).first() {
+                                    let key = col.id;
+                                    v.push(LogicalTree::top(c, 3, vec![SortKey::asc(key)]));
+                                }
+                            }
+                        }
+                        v
+                    }
                 }
             }
         }
@@ -353,9 +422,22 @@ impl<'a> Instantiator<'a> {
     ) -> Vec<LogicalTree> {
         self.capped(child, forced)
             .into_iter()
-            .filter_map(|c| {
-                let key = self.schema(&c).first().map(|col| col.id)?;
-                Some(build(c, vec![SortKey::asc(key)]))
+            .flat_map(|c| {
+                let schema = self.schema(&c);
+                let mut out = Vec::new();
+                if let Some(col) = schema.first() {
+                    out.push(build(c.clone(), vec![SortKey::asc(col.id)]));
+                }
+                // Extended: a sorted operator directly over a Top *also*
+                // gets a different key column, so Top-over-Top corpora
+                // include both a tree where the keys-must-match
+                // precondition holds and one where it fails.
+                if self.extended && matches!(c.op, Operator::Top { .. }) {
+                    if let Some(col) = schema.get(1) {
+                        out.push(build(c, vec![SortKey::asc(col.id)]));
+                    }
+                }
+                out
             })
             .collect()
     }
@@ -370,7 +452,20 @@ impl<'a> Instantiator<'a> {
 /// Instantiates the bounded corpus for one rule and sandboxes each tree
 /// in its own memo.
 pub fn build_corpus(db: &Database, rule: &Rule) -> Result<Vec<CorpusTree>> {
+    build_corpus_with(db, rule, false)
+}
+
+/// [`build_corpus`] plus the extended instantiation variants the symbolic
+/// prover needs (non-key join predicates, cross-side select conjuncts,
+/// `Count(col)` aggregates, differing Top-over-Top keys, two-table
+/// unions). The plain lint corpus is unchanged byte for byte.
+pub fn build_corpus_extended(db: &Database, rule: &Rule) -> Result<Vec<CorpusTree>> {
+    build_corpus_with(db, rule, true)
+}
+
+fn build_corpus_with(db: &Database, rule: &Rule, extended: bool) -> Result<Vec<CorpusTree>> {
     let mut inst = Instantiator::new(db);
+    inst.extended = extended;
     if inst.pool.is_empty() {
         return Ok(vec![]);
     }

@@ -1,0 +1,155 @@
+//! Shared property-derivation core: candidate-key transfer functions over
+//! logical operators, independent of any particular plan representation.
+//!
+//! Two walkers consume these functions — the concrete-corpus auditor's
+//! [`crate::keys`] pass (over [`crate::node::AuditNode`]) and the symbolic
+//! prover's normal-form construction (over [`ruletest_logical::LogicalTree`]).
+//! Keeping one implementation here means the two classifiers cannot drift:
+//! a key the auditor tracks is exactly a key the prover tracks.
+//!
+//! Keys are tracked as column-id sets and survive only while all their
+//! columns stay in the output. Join transfer knows the one schema-aware
+//! refinement the rule catalog relies on: an equi conjunct binding a
+//! single-column key of one side leaves the other side's keys valid
+//! (each row matches at most one partner), which is what keeps
+//! `SemiJoinToInnerOnKey`-style rewrites set-preserving.
+
+use ruletest_common::ColId;
+use ruletest_expr::{conjuncts, try_col_eq_col, Expr};
+use ruletest_logical::JoinKind;
+use ruletest_storage::TableDef;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Candidate keys of a (sub)plan output. Empty = no known key = bag class.
+pub type KeySets = Vec<BTreeSet<ColId>>;
+
+/// Cardinality class derived from the tracked keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CardClass {
+    Set,
+    Bag,
+}
+
+pub fn class_of(keys: &KeySets) -> CardClass {
+    if keys.is_empty() {
+        CardClass::Bag
+    } else {
+        CardClass::Set
+    }
+}
+
+pub fn dedup_keys(mut keys: KeySets) -> KeySets {
+    keys.sort();
+    keys.dedup();
+    // Cap to keep the product transfer bounded on deep join corpora.
+    keys.truncate(16);
+    keys
+}
+
+/// Keys of a base-table scan: the primary key plus declared unique keys,
+/// mapped through the scan's minted column ids.
+pub fn get_keys(def: &TableDef, cols: &[ColId]) -> KeySets {
+    let visible: BTreeSet<ColId> = cols.iter().copied().collect();
+    let mut keys = KeySets::new();
+    for ordinals in std::iter::once(&def.primary_key).chain(def.unique_keys.iter()) {
+        let key: BTreeSet<ColId> = ordinals
+            .iter()
+            .filter_map(|&o| cols.get(o).copied())
+            .collect();
+        if key.len() == ordinals.len() && key.is_subset(&visible) {
+            keys.push(key);
+        }
+    }
+    dedup_keys(keys)
+}
+
+/// Keys surviving a projection: only keys whose every column passes
+/// through as a bare column reference, renamed to the output ids.
+pub fn project_keys(keys: KeySets, outputs: &[(ColId, Expr)]) -> KeySets {
+    let passthru: BTreeMap<ColId, ColId> = outputs
+        .iter()
+        .filter_map(|(id, e)| match e {
+            Expr::Col(c) => Some((*c, *id)),
+            _ => None,
+        })
+        .collect();
+    dedup_keys(
+        keys.into_iter()
+            .filter_map(|k| {
+                k.iter()
+                    .map(|c| passthru.get(c).copied())
+                    .collect::<Option<BTreeSet<_>>>()
+            })
+            .collect(),
+    )
+}
+
+/// Keys of a grouped aggregation: the grouping columns, plus any child
+/// key already contained in them.
+pub fn gbagg_keys(child: KeySets, group_by: &[ColId]) -> KeySets {
+    let gb: BTreeSet<ColId> = group_by.iter().copied().collect();
+    let mut keys = vec![gb.clone()];
+    keys.extend(child.into_iter().filter(|k| k.is_subset(&gb)));
+    dedup_keys(keys)
+}
+
+/// Keys of a Distinct: the child's keys plus the whole row.
+pub fn distinct_keys(child: KeySets, child_cols: BTreeSet<ColId>) -> KeySets {
+    let mut keys = child;
+    keys.push(child_cols);
+    dedup_keys(keys)
+}
+
+/// Keys of a join given both sides' keys and visible columns.
+pub fn join_keys(
+    kind: JoinKind,
+    predicate: &Expr,
+    lk: &KeySets,
+    rk: &KeySets,
+    lcols: &BTreeSet<ColId>,
+    rcols: &BTreeSet<ColId>,
+) -> KeySets {
+    match kind {
+        // Semi/anti emit each left row at most once.
+        JoinKind::LeftSemi | JoinKind::LeftAnti => lk.clone(),
+        JoinKind::Inner | JoinKind::LeftOuter | JoinKind::RightOuter | JoinKind::FullOuter => {
+            let mut keys = KeySets::new();
+            // Pairs (l, r) are unique, so any left-key ∪ right-key
+            // combination is a key of the join.
+            for l in lk {
+                for r in rk {
+                    keys.push(l.union(r).copied().collect());
+                }
+            }
+            // A cross-side equi conjunct binding a single-column key of
+            // one side gives each other-side row at most one match,
+            // keeping the other side's keys valid — unless this join
+            // NULL-pads the other side, which can make several padded
+            // rows agree on those keys.
+            let (pads_left, pads_right) = (
+                kind.preserves_right(),
+                kind.preserves_left() && kind.emits_both_sides(),
+            );
+            let single =
+                |ks: &KeySets, col: &ColId| ks.iter().any(|k| k.len() == 1 && k.contains(col));
+            for c in conjuncts(predicate) {
+                if let Some((a, b)) = try_col_eq_col(&c) {
+                    let (lcol, rcol) = if lcols.contains(&a) && rcols.contains(&b) {
+                        (a, b)
+                    } else if lcols.contains(&b) && rcols.contains(&a) {
+                        (b, a)
+                    } else {
+                        continue;
+                    };
+                    if single(rk, &rcol) && !pads_left {
+                        keys.extend(lk.iter().cloned());
+                    }
+                    if single(lk, &lcol) && !pads_right {
+                        keys.extend(rk.iter().cloned());
+                    }
+                }
+            }
+            dedup_keys(keys)
+        }
+    }
+}

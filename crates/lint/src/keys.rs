@@ -4,47 +4,19 @@
 //! bag-class output changes multiplicities — the transformation class of
 //! bug duplicate-sensitivity-guided testing targets.
 //!
-//! Keys are tracked as column-id sets and survive only while all their
-//! columns stay in the output. Join transfer knows the one schema-aware
-//! refinement the rule catalog relies on: an equi conjunct binding a
-//! single-column key of one side leaves the other side's keys valid
-//! (each row matches at most one partner), which is what keeps
-//! `SemiJoinToInnerOnKey`-style rewrites set-preserving.
+//! This module is the [`crate::node::AuditNode`] walker; the per-operator
+//! key transfer functions live in [`crate::derive`], shared with the
+//! symbolic prover so the two classifiers cannot drift.
 
 use crate::node::AuditNode;
 use crate::violation::{LintPass, LintViolation, Severity};
 use ruletest_common::ColId;
-use ruletest_expr::{conjuncts, try_col_eq_col, Expr};
 use ruletest_logical::{JoinKind, Operator};
 use ruletest_optimizer::Memo;
 use ruletest_storage::Catalog;
 use std::collections::BTreeSet;
 
-/// Candidate keys of a (sub)plan output. Empty = no known key = bag class.
-pub type KeySets = Vec<BTreeSet<ColId>>;
-
-/// Cardinality class derived from the tracked keys.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CardClass {
-    Set,
-    Bag,
-}
-
-pub fn class_of(keys: &KeySets) -> CardClass {
-    if keys.is_empty() {
-        CardClass::Bag
-    } else {
-        CardClass::Set
-    }
-}
-
-fn dedup_keys(mut keys: KeySets) -> KeySets {
-    keys.sort();
-    keys.dedup();
-    // Cap to keep the product transfer bounded on deep join corpora.
-    keys.truncate(16);
-    keys
-}
+pub use crate::derive::{class_of, CardClass, KeySets};
 
 /// Output columns of a node, for Distinct's whole-row key.
 fn output_cols(node: &AuditNode, memo: &Memo) -> BTreeSet<ColId> {
@@ -84,105 +56,31 @@ pub fn analyze(node: &AuditNode, memo: &Memo, catalog: &Catalog) -> KeySets {
                 let Ok(def) = catalog.table(*table) else {
                     return vec![];
                 };
-                let visible: BTreeSet<ColId> = cols.iter().copied().collect();
-                let mut keys = KeySets::new();
-                for ordinals in std::iter::once(&def.primary_key).chain(def.unique_keys.iter()) {
-                    let key: BTreeSet<ColId> = ordinals
-                        .iter()
-                        .filter_map(|&o| cols.get(o).copied())
-                        .collect();
-                    if key.len() == ordinals.len() && key.is_subset(&visible) {
-                        keys.push(key);
-                    }
-                }
-                dedup_keys(keys)
+                crate::derive::get_keys(def, cols)
             }
             Operator::Select { .. } | Operator::Sort { .. } | Operator::Top { .. } => {
                 analyze(&children[0], memo, catalog)
             }
             Operator::Project { outputs } => {
-                let keys = analyze(&children[0], memo, catalog);
-                let passthru: std::collections::BTreeMap<_, _> = outputs
-                    .iter()
-                    .filter_map(|(id, e)| match e {
-                        Expr::Col(c) => Some((*c, *id)),
-                        _ => None,
-                    })
-                    .collect();
-                dedup_keys(
-                    keys.into_iter()
-                        .filter_map(|k| {
-                            k.iter()
-                                .map(|c| passthru.get(c).copied())
-                                .collect::<Option<BTreeSet<_>>>()
-                        })
-                        .collect(),
-                )
+                crate::derive::project_keys(analyze(&children[0], memo, catalog), outputs)
             }
             Operator::GbAgg { group_by, .. } => {
-                let child = analyze(&children[0], memo, catalog);
-                let gb: BTreeSet<ColId> = group_by.iter().copied().collect();
-                let mut keys = vec![gb.clone()];
-                keys.extend(child.into_iter().filter(|k| k.is_subset(&gb)));
-                dedup_keys(keys)
+                crate::derive::gbagg_keys(analyze(&children[0], memo, catalog), group_by)
             }
-            Operator::Distinct => {
-                let mut keys = analyze(&children[0], memo, catalog);
-                keys.push(output_cols(&children[0], memo));
-                dedup_keys(keys)
-            }
+            Operator::Distinct => crate::derive::distinct_keys(
+                analyze(&children[0], memo, catalog),
+                output_cols(&children[0], memo),
+            ),
             Operator::Join { kind, predicate } => {
                 let lk = analyze(&children[0], memo, catalog);
-                let rk = analyze(&children[1], memo, catalog);
-                match kind {
-                    // Semi/anti emit each left row at most once.
-                    JoinKind::LeftSemi | JoinKind::LeftAnti => lk,
-                    JoinKind::Inner
-                    | JoinKind::LeftOuter
-                    | JoinKind::RightOuter
-                    | JoinKind::FullOuter => {
-                        let mut keys = KeySets::new();
-                        // Pairs (l, r) are unique, so any left-key ∪
-                        // right-key combination is a key of the join.
-                        for l in &lk {
-                            for r in &rk {
-                                keys.push(l.union(r).copied().collect());
-                            }
-                        }
-                        // A cross-side equi conjunct binding a single-column
-                        // key of one side gives each other-side row at most
-                        // one match, keeping the other side's keys valid —
-                        // unless this join NULL-pads the other side, which
-                        // can make several padded rows agree on those keys.
-                        let lcols = output_cols(&children[0], memo);
-                        let rcols = output_cols(&children[1], memo);
-                        let (pads_left, pads_right) = (
-                            kind.preserves_right(),
-                            kind.preserves_left() && kind.emits_both_sides(),
-                        );
-                        let single = |ks: &KeySets, col: &ColId| {
-                            ks.iter().any(|k| k.len() == 1 && k.contains(col))
-                        };
-                        for c in conjuncts(predicate) {
-                            if let Some((a, b)) = try_col_eq_col(&c) {
-                                let (lcol, rcol) = if lcols.contains(&a) && rcols.contains(&b) {
-                                    (a, b)
-                                } else if lcols.contains(&b) && rcols.contains(&a) {
-                                    (b, a)
-                                } else {
-                                    continue;
-                                };
-                                if single(&rk, &rcol) && !pads_left {
-                                    keys.extend(lk.iter().cloned());
-                                }
-                                if single(&lk, &lcol) && !pads_right {
-                                    keys.extend(rk.iter().cloned());
-                                }
-                            }
-                        }
-                        dedup_keys(keys)
-                    }
-                }
+                let rk = match kind {
+                    // Semi/anti ignore the right side's keys entirely.
+                    JoinKind::LeftSemi | JoinKind::LeftAnti => vec![],
+                    _ => analyze(&children[1], memo, catalog),
+                };
+                let lcols = output_cols(&children[0], memo);
+                let rcols = output_cols(&children[1], memo);
+                crate::derive::join_keys(*kind, predicate, &lk, &rk, &lcols, &rcols)
             }
             // Bag union never has keys.
             Operator::UnionAll { .. } => vec![],

@@ -23,15 +23,18 @@
 //!   explore loop produces them and feeding violations into telemetry.
 
 pub mod audit;
+pub mod derive;
 pub mod keys;
 pub mod node;
 pub mod props;
+pub mod prove;
 pub mod report;
 pub mod violation;
 pub mod wellformed;
 
 pub use audit::{AuditStats, CorpusTree};
 pub use node::{AuditNode, LeafKey};
+pub use prove::{ProofViolation, ProveReport, ProveVerdict, RuleProof};
 pub use report::LintReport;
 pub use violation::{dedup_violations, LintPass, LintViolation, Severity};
 

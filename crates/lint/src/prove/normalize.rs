@@ -1,0 +1,999 @@
+//! Canonical algebraic normal form for the symbolic equivalence prover.
+//!
+//! [`normalize`] rewrites a concrete [`LogicalTree`] into a normal form
+//! ([`Nf`]) in which every algebraic identity the rule catalog exploits
+//! maps both sides of a rewrite to the same shape:
+//!
+//! * inner joins and the filters above/between them flatten into one
+//!   n-ary *join group* whose conjuncts live in a canonical set at the
+//!   group top (children that can absorb a conjunct — outer joins'
+//!   preserved side, projections, grouping columns — take it instead);
+//! * `RightOuter` becomes `LeftOuter` with swapped children; a filter
+//!   that is null-rejecting on the null-supplying side demotes the outer
+//!   join to an inner group; an outer join whose null-supplying side no
+//!   group conjunct touches lifts out of the group;
+//! * `Project ∘ Project` composes; identity projections vanish; a
+//!   projection that hides one side of a key-bound two-way join is
+//!   recognized as a semi join, and the `LeftOuter` + `IS NULL` idiom as
+//!   an anti join;
+//! * a grouped aggregation whose keys cover a candidate key of its input
+//!   becomes a projection, and one that merely deduplicates all columns
+//!   becomes `Distinct`; `Distinct` over a provably duplicate-free input
+//!   vanishes;
+//! * `Sort` is dropped (results compare as multisets); stacked `Top`s
+//!   with identical keys collapse to the smaller limit.
+//!
+//! Conjunct sets compare modulo equality closure: `a=b ∧ a=1` and
+//! `a=1 ∧ b=1` render identically, as do `a=b` and `a=c ∧ c=b`.
+//!
+//! Everything here is a *sound* equivalence, so equal normal forms imply
+//! equal semantics; unequal normal forms imply nothing by themselves
+//! (the verdict layer decides between `Unknown` and the conjunct-diff
+//! witness). `UnionAll` is outside the fragment: [`normalize`] returns
+//! `None` and the prover falls back to witness passes alone.
+
+use crate::derive::{self, class_of, CardClass, KeySets};
+use ruletest_common::{ColId, TableId};
+use ruletest_expr::{
+    columns_of, conjoin, conjuncts, is_null_rejecting, substitute, try_col_eq_col, AggCall,
+    AggFunc, Expr,
+};
+use ruletest_logical::{JoinKind, LogicalTree, Operator, SortKey};
+use ruletest_storage::Catalog;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Normal form of a logical plan. Conjunct positions hold raw exprs;
+/// canonicalization to comparable sets happens at render time.
+#[derive(Debug, Clone)]
+pub enum Nf {
+    Leaf {
+        table: TableId,
+        cols: Vec<ColId>,
+    },
+    /// N-ary inner-join group with its filter conjuncts. One child with
+    /// conjuncts is a plain filter; one child with none is unwrapped.
+    Group {
+        children: Vec<Nf>,
+        conjuncts: Vec<Expr>,
+    },
+    /// Left (or, with `full`, full) outer join. RightOuter is
+    /// canonicalized away at construction.
+    Outer {
+        full: bool,
+        left: Box<Nf>,
+        right: Box<Nf>,
+        on: Vec<Expr>,
+    },
+    /// Semi (`anti == false`) or anti join.
+    Semi {
+        anti: bool,
+        left: Box<Nf>,
+        right: Box<Nf>,
+        on: Vec<Expr>,
+    },
+    Project {
+        outputs: Vec<(ColId, Expr)>,
+        child: Box<Nf>,
+    },
+    GbAgg {
+        group_by: Vec<ColId>,
+        aggs: Vec<AggCall>,
+        child: Box<Nf>,
+    },
+    Distinct {
+        child: Box<Nf>,
+    },
+    Top {
+        n: u64,
+        keys: Vec<SortKey>,
+        child: Box<Nf>,
+    },
+}
+
+/// Normalizes `tree`; `None` iff the tree is outside the decidable
+/// fragment (contains `UnionAll`).
+pub fn normalize(catalog: &Catalog, tree: &LogicalTree) -> Option<Nf> {
+    let mut kids = Vec::with_capacity(tree.children.len());
+    for c in &tree.children {
+        kids.push(normalize(catalog, c)?);
+    }
+    Some(match &tree.op {
+        Operator::Get { table, cols } => Nf::Leaf {
+            table: *table,
+            cols: cols.clone(),
+        },
+        Operator::Select { predicate } => {
+            let child = kids.pop()?;
+            absorb_all(catalog, child, conjuncts(predicate))
+        }
+        Operator::Project { outputs } => project_over(catalog, outputs.clone(), kids.pop()?),
+        Operator::Join { kind, predicate } => {
+            let r = kids.pop()?;
+            let l = kids.pop()?;
+            let on = conjuncts(predicate);
+            match kind {
+                JoinKind::Inner => make_group(catalog, vec![l, r], on),
+                JoinKind::LeftOuter => make_outer(catalog, false, l, r, on),
+                JoinKind::RightOuter => make_outer(catalog, false, r, l, on),
+                JoinKind::FullOuter => make_outer(catalog, true, l, r, on),
+                JoinKind::LeftSemi => make_semi(catalog, false, l, r, on),
+                JoinKind::LeftAnti => make_semi(catalog, true, l, r, on),
+            }
+        }
+        Operator::GbAgg { group_by, aggs } => {
+            make_gbagg(catalog, group_by.clone(), aggs.clone(), kids.pop()?)
+        }
+        Operator::UnionAll { .. } => return None,
+        Operator::Distinct => make_distinct(catalog, kids.pop()?),
+        Operator::Sort { .. } => kids.pop()?,
+        Operator::Top { n, keys } => make_top(*n, keys.clone(), kids.pop()?),
+    })
+}
+
+impl Nf {
+    /// Output column-id set.
+    pub fn cols(&self) -> BTreeSet<ColId> {
+        match self {
+            Nf::Leaf { cols, .. } => cols.iter().copied().collect(),
+            Nf::Group { children, .. } => children.iter().flat_map(|c| c.cols()).collect(),
+            Nf::Outer { left, right, .. } => left.cols().union(&right.cols()).copied().collect(),
+            Nf::Semi { left, .. } => left.cols(),
+            Nf::Project { outputs, .. } => outputs.iter().map(|(id, _)| *id).collect(),
+            Nf::GbAgg { group_by, aggs, .. } => group_by
+                .iter()
+                .copied()
+                .chain(aggs.iter().map(|a| a.output))
+                .collect(),
+            Nf::Distinct { child } | Nf::Top { child, .. } => child.cols(),
+        }
+    }
+
+    /// Full canonical rendering; equal strings imply equivalent plans.
+    pub fn fingerprint(&self) -> String {
+        self.render(true)
+    }
+
+    /// Rendering with every conjunct set erased — the shape against
+    /// which the conjunct-diff witness compares.
+    pub fn skeleton(&self) -> String {
+        self.render(false)
+    }
+
+    fn render(&self, with_conjuncts: bool) -> String {
+        let set = |conjs: &[Expr]| {
+            if with_conjuncts {
+                canonical_conjuncts(conjs)
+                    .into_iter()
+                    .collect::<Vec<_>>()
+                    .join(" & ")
+            } else {
+                String::new()
+            }
+        };
+        match self {
+            Nf::Leaf { table, cols } => {
+                let cs: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+                format!("get:{table}({})", cs.join(","))
+            }
+            Nf::Group {
+                children,
+                conjuncts,
+            } => {
+                let mut cs: Vec<String> =
+                    children.iter().map(|c| c.render(with_conjuncts)).collect();
+                cs.sort();
+                format!("join{{{}}}({})", set(conjuncts), cs.join(", "))
+            }
+            Nf::Outer {
+                full,
+                left,
+                right,
+                on,
+            } => {
+                let l = left.render(with_conjuncts);
+                let r = right.render(with_conjuncts);
+                // Full outer join is commutative: sort the children.
+                let (l, r) = if *full && l > r { (r, l) } else { (l, r) };
+                let tag = if *full { "foj" } else { "loj" };
+                format!("{tag}{{{}}}({l}, {r})", set(on))
+            }
+            Nf::Semi {
+                anti,
+                left,
+                right,
+                on,
+            } => {
+                let tag = if *anti { "anti" } else { "semi" };
+                format!(
+                    "{tag}{{{}}}({}, {})",
+                    set(on),
+                    left.render(with_conjuncts),
+                    right.render(with_conjuncts)
+                )
+            }
+            Nf::Project { outputs, child } => {
+                let items: Vec<String> =
+                    outputs.iter().map(|(id, e)| format!("{id}:={e}")).collect();
+                format!("pi[{}]({})", items.join(","), child.render(with_conjuncts))
+            }
+            Nf::GbAgg {
+                group_by,
+                aggs,
+                child,
+            } => {
+                let gb: Vec<String> = group_by.iter().map(|c| c.to_string()).collect();
+                let ags: Vec<String> = aggs
+                    .iter()
+                    .map(|a| {
+                        let arg = a.arg.map(|c| c.to_string()).unwrap_or_default();
+                        format!("{}:={}", a.output, a.render(&arg))
+                    })
+                    .collect();
+                format!(
+                    "agg[{}][{}]({})",
+                    gb.join(","),
+                    ags.join(","),
+                    child.render(with_conjuncts)
+                )
+            }
+            Nf::Distinct { child } => format!("distinct({})", child.render(with_conjuncts)),
+            Nf::Top { n, keys, child } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{}{}", k.col, if k.descending { " desc" } else { "" }))
+                    .collect();
+                format!(
+                    "top[{n};{}]({})",
+                    ks.join(","),
+                    child.render(with_conjuncts)
+                )
+            }
+        }
+    }
+}
+
+/// Candidate keys of a normal form, via the shared transfer functions in
+/// [`crate::derive`] (the same ones the concrete auditor's key pass uses).
+pub fn nf_keys(catalog: &Catalog, nf: &Nf) -> KeySets {
+    match nf {
+        Nf::Leaf { table, cols } => match catalog.table(*table) {
+            Ok(def) => derive::get_keys(def, cols),
+            Err(_) => vec![],
+        },
+        Nf::Group {
+            children,
+            conjuncts,
+        } => {
+            let pred = conjoin(conjuncts.clone());
+            let mut it = children.iter();
+            let Some(first) = it.next() else {
+                return vec![];
+            };
+            let mut keys = nf_keys(catalog, first);
+            let mut cols = first.cols();
+            for ch in it {
+                let ck = nf_keys(catalog, ch);
+                let ccols = ch.cols();
+                keys = derive::join_keys(JoinKind::Inner, &pred, &keys, &ck, &cols, &ccols);
+                cols.extend(ccols);
+            }
+            keys
+        }
+        Nf::Outer {
+            full,
+            left,
+            right,
+            on,
+        } => {
+            let kind = if *full {
+                JoinKind::FullOuter
+            } else {
+                JoinKind::LeftOuter
+            };
+            derive::join_keys(
+                kind,
+                &conjoin(on.clone()),
+                &nf_keys(catalog, left),
+                &nf_keys(catalog, right),
+                &left.cols(),
+                &right.cols(),
+            )
+        }
+        Nf::Semi { left, .. } => nf_keys(catalog, left),
+        Nf::Project { outputs, child } => derive::project_keys(nf_keys(catalog, child), outputs),
+        Nf::GbAgg {
+            group_by, child, ..
+        } => derive::gbagg_keys(nf_keys(catalog, child), group_by),
+        Nf::Distinct { child } => derive::distinct_keys(nf_keys(catalog, child), child.cols()),
+        // A Top emits a subset of its child's rows: keys survive.
+        Nf::Top { child, .. } => nf_keys(catalog, child),
+    }
+}
+
+fn is_true(e: &Expr) -> bool {
+    *e == Expr::true_lit()
+}
+
+/// Filters `nf` by `cs`, sinking each conjunct as deep as it can go and
+/// wrapping whatever is left in a join group.
+fn absorb_all(catalog: &Catalog, nf: Nf, cs: Vec<Expr>) -> Nf {
+    let mut cur = nf;
+    let mut leftovers = Vec::new();
+    for c in cs {
+        if is_true(&c) {
+            continue;
+        }
+        let (n, lo) = absorb(catalog, cur, c);
+        cur = n;
+        leftovers.extend(lo);
+    }
+    if leftovers.is_empty() {
+        cur
+    } else {
+        make_group(catalog, vec![cur], leftovers)
+    }
+}
+
+/// Tries to push one conjunct into `nf`; returns the (possibly rewritten)
+/// node plus the conjunct back if no canonical position below exists.
+fn absorb(catalog: &Catalog, nf: Nf, c: Expr) -> (Nf, Option<Expr>) {
+    match nf {
+        Nf::Leaf { .. } | Nf::Top { .. } => (nf, Some(c)),
+        Nf::Group {
+            children,
+            mut conjuncts,
+        } => {
+            conjuncts.push(c);
+            (make_group(catalog, children, conjuncts), None)
+        }
+        Nf::Outer {
+            full: false,
+            left,
+            right,
+            mut on,
+        } => {
+            let ccols = columns_of(&c);
+            if ccols.is_subset(&left.cols()) {
+                // Filter on the preserved side commutes with the join.
+                let left = absorb_or_wrap(catalog, *left, c);
+                (
+                    Nf::Outer {
+                        full: false,
+                        left: Box::new(left),
+                        right,
+                        on,
+                    },
+                    None,
+                )
+            } else if is_null_rejecting(&c, &right.cols()) {
+                // The filter kills every NULL-padded row: the outer join
+                // is an inner join (§3.1's outer-join-simplify identity).
+                on.push(c);
+                (make_group(catalog, vec![*left, *right], on), None)
+            } else {
+                (
+                    Nf::Outer {
+                        full: false,
+                        left,
+                        right,
+                        on,
+                    },
+                    Some(c),
+                )
+            }
+        }
+        Nf::Outer {
+            full: true,
+            left,
+            right,
+            on,
+        } => {
+            // A filter null-rejecting on one side kills the rows padded
+            // on that side, leaving the join preserving that side only.
+            if is_null_rejecting(&c, &left.cols()) {
+                absorb(catalog, make_outer(catalog, false, *left, *right, on), c)
+            } else if is_null_rejecting(&c, &right.cols()) {
+                absorb(catalog, make_outer(catalog, false, *right, *left, on), c)
+            } else {
+                (
+                    Nf::Outer {
+                        full: true,
+                        left,
+                        right,
+                        on,
+                    },
+                    Some(c),
+                )
+            }
+        }
+        Nf::Semi {
+            anti,
+            left,
+            right,
+            on,
+        } => {
+            if columns_of(&c).is_subset(&left.cols()) {
+                let left = absorb_or_wrap(catalog, *left, c);
+                (
+                    Nf::Semi {
+                        anti,
+                        left: Box::new(left),
+                        right,
+                        on,
+                    },
+                    None,
+                )
+            } else {
+                (
+                    Nf::Semi {
+                        anti,
+                        left,
+                        right,
+                        on,
+                    },
+                    Some(c),
+                )
+            }
+        }
+        Nf::Project { outputs, child } => {
+            // Rewrite through the projection and keep sinking.
+            let map: HashMap<ColId, Expr> =
+                outputs.iter().map(|(id, e)| (*id, e.clone())).collect();
+            let c = substitute(&c, &map);
+            let child = absorb_or_wrap(catalog, *child, c);
+            (
+                Nf::Project {
+                    outputs,
+                    child: Box::new(child),
+                },
+                None,
+            )
+        }
+        Nf::GbAgg {
+            group_by,
+            aggs,
+            child,
+        } => {
+            let gb: BTreeSet<ColId> = group_by.iter().copied().collect();
+            if columns_of(&c).is_subset(&gb) {
+                let child = absorb_or_wrap(catalog, *child, c);
+                (
+                    Nf::GbAgg {
+                        group_by,
+                        aggs,
+                        child: Box::new(child),
+                    },
+                    None,
+                )
+            } else {
+                (
+                    Nf::GbAgg {
+                        group_by,
+                        aggs,
+                        child,
+                    },
+                    Some(c),
+                )
+            }
+        }
+        Nf::Distinct { child } => {
+            let child = absorb_or_wrap(catalog, *child, c);
+            (
+                Nf::Distinct {
+                    child: Box::new(child),
+                },
+                None,
+            )
+        }
+    }
+}
+
+fn absorb_or_wrap(catalog: &Catalog, nf: Nf, c: Expr) -> Nf {
+    let (nf, lo) = absorb(catalog, nf, c);
+    match lo {
+        None => nf,
+        Some(c) => make_group(catalog, vec![nf], vec![c]),
+    }
+}
+
+/// Smart constructor for an inner-join group: flattens nested groups,
+/// lifts untouched outer joins out, sinks conjuncts into children that
+/// can take them, and unwraps the degenerate single-child case.
+fn make_group(catalog: &Catalog, mut children: Vec<Nf>, mut conjuncts: Vec<Expr>) -> Nf {
+    conjuncts.retain(|c| !is_true(c));
+    let mut lifted: Vec<(Nf, Vec<Expr>)> = Vec::new();
+    loop {
+        // Flatten nested inner-join groups, hoisting their conjuncts.
+        let mut flat = Vec::with_capacity(children.len());
+        for ch in children {
+            match ch {
+                Nf::Group {
+                    children: cc,
+                    conjuncts: cj,
+                } => {
+                    flat.extend(cc);
+                    conjuncts.extend(cj);
+                }
+                other => flat.push(other),
+            }
+        }
+        children = flat;
+
+        // Lift: (A LOJ B) ⨝p C ≡ (A ⨝p C) LOJ B when nothing else in the
+        // group touches B's columns.
+        let mut lift_at = None;
+        for (i, ch) in children.iter().enumerate() {
+            if let Nf::Outer {
+                full: false, right, ..
+            } = ch
+            {
+                let rcols = right.cols();
+                let touched = conjuncts.iter().any(|c| !columns_of(c).is_disjoint(&rcols))
+                    || children
+                        .iter()
+                        .enumerate()
+                        .any(|(j, other)| j != i && !other.cols().is_disjoint(&rcols));
+                let degenerate = children.len() == 1 && conjuncts.is_empty();
+                if !touched && !degenerate {
+                    lift_at = Some(i);
+                    break;
+                }
+            }
+        }
+        if let Some(i) = lift_at {
+            let Nf::Outer {
+                left, right, on, ..
+            } = children.remove(i)
+            else {
+                unreachable!("index found above holds an Outer");
+            };
+            lifted.push((*right, on));
+            children.insert(i, *left);
+            continue;
+        }
+
+        // Sink each conjunct into the unique child covering its columns.
+        let mut remaining = Vec::new();
+        let mut progressed = false;
+        'conj: for c in conjuncts.drain(..) {
+            let ccols = columns_of(&c);
+            if !ccols.is_empty() {
+                for i in 0..children.len() {
+                    if ccols.is_subset(&children[i].cols()) {
+                        let child = children.remove(i);
+                        let (child, lo) = absorb(catalog, child, c.clone());
+                        children.insert(i, child);
+                        match lo {
+                            None => progressed = true,
+                            Some(c2) => remaining.push(c2),
+                        }
+                        continue 'conj;
+                    }
+                }
+            }
+            remaining.push(c);
+        }
+        conjuncts = remaining;
+        if !progressed {
+            break;
+        }
+        // A demotion may have produced a nested group: re-flatten.
+    }
+
+    let mut result = if children.len() == 1 && conjuncts.is_empty() {
+        children.pop().expect("one child")
+    } else {
+        Nf::Group {
+            children,
+            conjuncts,
+        }
+    };
+    for (right, on) in lifted {
+        result = make_outer(catalog, false, result, right, on);
+    }
+    result
+}
+
+/// Smart constructor for outer joins. For a left outer join, on-conjuncts
+/// over the null-supplying side alone sink into that side.
+fn make_outer(catalog: &Catalog, full: bool, left: Nf, right: Nf, mut on: Vec<Expr>) -> Nf {
+    on.retain(|c| !is_true(c));
+    if full {
+        return Nf::Outer {
+            full,
+            left: Box::new(left),
+            right: Box::new(right),
+            on,
+        };
+    }
+    let rcols = right.cols();
+    let mut right = right;
+    let mut kept = Vec::new();
+    for c in on {
+        let ccols = columns_of(&c);
+        if !ccols.is_empty() && ccols.is_subset(&rcols) {
+            right = absorb_or_wrap(catalog, right, c);
+        } else {
+            kept.push(c);
+        }
+    }
+    Nf::Outer {
+        full,
+        left: Box::new(left),
+        right: Box::new(right),
+        on: kept,
+    }
+}
+
+/// Smart constructor for semi/anti joins: right-only on-conjuncts sink
+/// into the probe side (valid for both kinds — they restrict which right
+/// rows can witness a match).
+fn make_semi(catalog: &Catalog, anti: bool, left: Nf, right: Nf, mut on: Vec<Expr>) -> Nf {
+    on.retain(|c| !is_true(c));
+    let rcols = right.cols();
+    let mut right = right;
+    let mut kept = Vec::new();
+    for c in on {
+        let ccols = columns_of(&c);
+        if !ccols.is_empty() && ccols.is_subset(&rcols) {
+            right = absorb_or_wrap(catalog, right, c);
+        } else {
+            kept.push(c);
+        }
+    }
+    Nf::Semi {
+        anti,
+        left: Box::new(left),
+        right: Box::new(right),
+        on: kept,
+    }
+}
+
+fn make_distinct(catalog: &Catalog, child: Nf) -> Nf {
+    if class_of(&nf_keys(catalog, &child)) == CardClass::Set {
+        child
+    } else {
+        Nf::Distinct {
+            child: Box::new(child),
+        }
+    }
+}
+
+fn make_top(n: u64, keys: Vec<SortKey>, child: Nf) -> Nf {
+    if let Nf::Top {
+        n: m,
+        keys: inner_keys,
+        child: inner,
+    } = &child
+    {
+        if *inner_keys == keys {
+            return Nf::Top {
+                n: n.min(*m),
+                keys,
+                child: inner.clone(),
+            };
+        }
+    }
+    Nf::Top {
+        n,
+        keys,
+        child: Box::new(child),
+    }
+}
+
+fn make_gbagg(
+    catalog: &Catalog,
+    mut group_by: Vec<ColId>,
+    mut aggs: Vec<AggCall>,
+    child: Nf,
+) -> Nf {
+    group_by.sort_unstable();
+    group_by.dedup();
+    aggs.sort_by_key(|a| a.output);
+    let gb: BTreeSet<ColId> = group_by.iter().copied().collect();
+
+    // Pure deduplication over every child column is Distinct.
+    if aggs.is_empty() && gb == child.cols() {
+        return make_distinct(catalog, child);
+    }
+
+    // Grouping on a candidate key makes every group a singleton, so
+    // order-insensitive single-row aggregates become projections
+    // (CountStar of one row is 1; Sum/Min/Max of one row is the value —
+    // even a NULL one. Count(col) differs on NULL, so it blocks this).
+    let agg_safe = aggs.iter().all(|a| match a.func {
+        AggFunc::CountStar => true,
+        AggFunc::Sum | AggFunc::Min | AggFunc::Max => a.arg.is_some(),
+        AggFunc::Count => false,
+    });
+    let keyed = nf_keys(catalog, &child)
+        .iter()
+        .any(|k| !k.is_empty() && k.is_subset(&gb));
+    if agg_safe && keyed && !group_by.is_empty() {
+        let mut outputs: Vec<(ColId, Expr)> =
+            group_by.iter().map(|g| (*g, Expr::col(*g))).collect();
+        for a in &aggs {
+            let e = match a.func {
+                AggFunc::CountStar => Expr::lit(1i64),
+                _ => Expr::col(a.arg.expect("checked agg_safe")),
+            };
+            outputs.push((a.output, e));
+        }
+        return project_over(catalog, outputs, child);
+    }
+
+    Nf::GbAgg {
+        group_by,
+        aggs,
+        child: Box::new(child),
+    }
+}
+
+/// Smart constructor for projections: composes stacked projections,
+/// recognizes semi/anti-join idioms, and drops identities.
+fn project_over(catalog: &Catalog, outputs: Vec<(ColId, Expr)>, child: Nf) -> Nf {
+    // Compose Project ∘ Project.
+    if let Nf::Project {
+        outputs: inner_out,
+        child: inner_child,
+    } = child
+    {
+        let map: HashMap<ColId, Expr> = inner_out.iter().map(|(id, e)| (*id, e.clone())).collect();
+        let composed: Vec<(ColId, Expr)> = outputs
+            .into_iter()
+            .map(|(id, e)| (id, substitute(&e, &map)))
+            .collect();
+        return project_over(catalog, composed, *inner_child);
+    }
+
+    let used: BTreeSet<ColId> = outputs.iter().flat_map(|(_, e)| columns_of(e)).collect();
+
+    let child = recognize_semi(catalog, used, child);
+
+    // Identity projection.
+    let ids: BTreeSet<ColId> = outputs.iter().map(|(id, _)| *id).collect();
+    let identity = outputs
+        .iter()
+        .all(|(id, e)| matches!(e, Expr::Col(c) if c == id))
+        && ids == child.cols();
+    if identity {
+        return child;
+    }
+
+    let mut outputs = outputs;
+    outputs.sort_by_key(|(id, _)| *id);
+    Nf::Project {
+        outputs,
+        child: Box::new(child),
+    }
+}
+
+/// Semi/anti-join recognition under a projection that hides one join
+/// side. `used` is the column set the projection still references.
+fn recognize_semi(catalog: &Catalog, used: BTreeSet<ColId>, child: Nf) -> Nf {
+    match child {
+        // π_X(X ⨝ L) with L a base table none of whose columns survive
+        // and a cross-side equi conjunct binding a single-column key of
+        // L: each X row matches at most once, so this is a semi join.
+        Nf::Group {
+            mut children,
+            conjuncts,
+        } if children.len() == 2 => {
+            let leaf_side = (0..2).find(|&i| {
+                let lcols = children[i].cols();
+                let xcols = children[1 - i].cols();
+                matches!(&children[i], Nf::Leaf { table, cols }
+                if used.is_disjoint(&lcols)
+                && used.is_subset(&xcols)
+                && conjuncts.iter().any(|c| match try_col_eq_col(c) {
+                    Some((a, b)) => {
+                        let key_binds = |x: ColId, l: ColId| {
+                            xcols.contains(&x)
+                                && lcols.contains(&l)
+                                && catalog.table(*table).is_ok_and(|def| {
+                                    derive::get_keys(def, cols)
+                                        .iter()
+                                        .any(|k| k.len() == 1 && k.contains(&l))
+                                })
+                        };
+                        key_binds(a, b) || key_binds(b, a)
+                    }
+                    None => false,
+                }))
+            });
+            match leaf_side {
+                Some(i) => {
+                    let leaf = children.remove(i);
+                    let x = children.pop().expect("two children");
+                    make_semi(catalog, false, x, leaf, conjuncts)
+                }
+                None => Nf::Group {
+                    children,
+                    conjuncts,
+                },
+            }
+        }
+        // π_A(σ_{IsNull(c)}(A LOJ R)) where c is a column of R that is
+        // provably non-NULL on every *matched* row — either a
+        // non-nullable base column of R, or a column the join predicate
+        // rejects NULLs on (`x = c` never matches a NULL c). The filter
+        // then keeps exactly the NULL-padded (= unmatched) rows, so
+        // this is an anti join.
+        Nf::Group {
+            mut children,
+            conjuncts,
+        } if children.len() == 1 && conjuncts.len() == 1 => {
+            let is_anti = {
+                let null_col = match &conjuncts[0] {
+                    Expr::IsNull(inner) => match inner.as_ref() {
+                        Expr::Col(c) => Some(*c),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                match (&children[0], null_col) {
+                    (
+                        Nf::Outer {
+                            full: false,
+                            left,
+                            right,
+                            on,
+                        },
+                        Some(c),
+                    ) => {
+                        let non_nullable = match right.as_ref() {
+                            Nf::Leaf { table, cols } => {
+                                catalog.table(*table).is_ok_and(|def| {
+                                    cols.iter()
+                                        .position(|&cc| cc == c)
+                                        .and_then(|ord| def.columns.get(ord))
+                                        .is_some_and(|cd| !cd.nullable)
+                                })
+                            }
+                            _ => false,
+                        };
+                        let probe: BTreeSet<ColId> = [c].into_iter().collect();
+                        let match_rejects_null = on.iter().any(|p| is_null_rejecting(p, &probe));
+                        (non_nullable || match_rejects_null)
+                            && right.cols().contains(&c)
+                            && used.is_subset(&left.cols())
+                    }
+                    _ => false,
+                }
+            };
+            if is_anti {
+                let Nf::Outer {
+                    left, right, on, ..
+                } = children.pop().expect("one child")
+                else {
+                    unreachable!("matched Outer above");
+                };
+                make_semi(catalog, true, *left, *right, on)
+            } else {
+                Nf::Group {
+                    children,
+                    conjuncts,
+                }
+            }
+        }
+        other => other,
+    }
+}
+
+/// True when some database instance makes the relation arbitrarily
+/// large — the soundness side-condition for the Top-n witness (a `Top`
+/// over a provably-bounded input may ignore its count). Conservative:
+/// `false` means "could not prove unbounded".
+pub fn max_rows_unbounded(nf: &Nf) -> bool {
+    match nf {
+        Nf::Leaf { .. } => true,
+        // Pick instances where every factor is non-empty; the product
+        // then grows with any one unbounded factor. Conjuncts cannot
+        // cap cardinality below that on all instances.
+        Nf::Group { children, .. } => children.iter().any(max_rows_unbounded),
+        // A left outer join preserves every left row; full outer both.
+        Nf::Outer {
+            full, left, right, ..
+        } => max_rows_unbounded(left) || (*full && max_rows_unbounded(right)),
+        // Semi: a fully-matching right side passes all left rows; anti:
+        // an empty right side does.
+        Nf::Semi { left, .. } => max_rows_unbounded(left),
+        // Projection preserves bag cardinality.
+        Nf::Project { child, .. } => max_rows_unbounded(child),
+        // Distinct/GbAgg collapse duplicates and Top caps the count —
+        // boundedness of their outputs needs value-level reasoning.
+        Nf::Distinct { .. } | Nf::GbAgg { .. } | Nf::Top { .. } => false,
+    }
+}
+
+/// Canonical conjunct set: equality closure over `col = col` and
+/// `col = literal` conjuncts, remaining conjuncts rewritten to class
+/// representatives, everything rendered to sorted strings.
+pub fn canonical_conjuncts(conjs: &[Expr]) -> BTreeSet<String> {
+    let mut uf: BTreeMap<ColId, ColId> = BTreeMap::new();
+    fn find(uf: &mut BTreeMap<ColId, ColId>, c: ColId) -> ColId {
+        let p = *uf.entry(c).or_insert(c);
+        if p == c {
+            c
+        } else {
+            let root = find(uf, p);
+            uf.insert(c, root);
+            root
+        }
+    }
+    let mut lits: Vec<(ColId, Expr)> = Vec::new();
+    let mut others: Vec<Expr> = Vec::new();
+    for c in conjs {
+        if let Some((a, b)) = try_col_eq_col(c) {
+            let (ra, rb) = (find(&mut uf, a), find(&mut uf, b));
+            let (lo, hi) = if ra <= rb { (ra, rb) } else { (rb, ra) };
+            uf.insert(hi, lo);
+        } else if let Some((col, lit)) = col_eq_lit(c) {
+            find(&mut uf, col);
+            lits.push((col, lit));
+        } else {
+            others.push(c.clone());
+        }
+    }
+    // Classes and their minimum-id representatives.
+    let cols: Vec<ColId> = uf.keys().copied().collect();
+    let mut members: BTreeMap<ColId, BTreeSet<ColId>> = BTreeMap::new();
+    for c in cols {
+        let r = find(&mut uf, c);
+        members.entry(r).or_default().insert(c);
+    }
+    let mut rep: HashMap<ColId, ColId> = HashMap::new();
+    for ms in members.values() {
+        let min = *ms.iter().next().expect("class is non-empty");
+        for &m in ms {
+            rep.insert(m, min);
+        }
+    }
+    let mut out = BTreeSet::new();
+    // A class bound to a literal renders as member = literal for every
+    // member (subsuming its internal col-col edges): {a=b, a=1} and
+    // {a=1, b=1} become the same set.
+    let mut lit_roots: BTreeSet<ColId> = BTreeSet::new();
+    for (col, lit) in &lits {
+        let r = find(&mut uf, *col);
+        lit_roots.insert(r);
+        for &m in &members[&r] {
+            out.insert(Expr::eq(Expr::col(m), lit.clone()).to_string());
+        }
+    }
+    // Literal-free classes render as a chain from the representative:
+    // {a=b} and {a=c, c=b} close to the same edges.
+    for (root, ms) in &members {
+        if lit_roots.contains(root) || ms.len() < 2 {
+            continue;
+        }
+        let mut it = ms.iter();
+        let min = *it.next().expect("non-empty");
+        for &m in it {
+            out.insert(Expr::eq(Expr::col(min), Expr::col(m)).to_string());
+        }
+    }
+    // Everything else, rewritten to class representatives.
+    let repmap: HashMap<ColId, ColId> = rep;
+    for e in &others {
+        let e = ruletest_expr::remap_columns(e, &repmap);
+        out.insert(e.to_string());
+    }
+    out
+}
+
+fn col_eq_lit(e: &Expr) -> Option<(ColId, Expr)> {
+    if let Expr::Bin {
+        op: ruletest_expr::BinOp::Eq,
+        left,
+        right,
+    } = e
+    {
+        match (left.as_ref(), right.as_ref()) {
+            (Expr::Col(c), Expr::Lit(_)) => return Some((*c, (**right).clone())),
+            (Expr::Lit(_), Expr::Col(c)) => return Some((*c, (**left).clone())),
+            _ => {}
+        }
+    }
+    None
+}

@@ -1,0 +1,220 @@
+//! Algebraic-identity tests for the prover's normal form: equivalent
+//! shapes must reach identical fingerprints, known-inequivalent pairs
+//! must not.
+
+use ruletest_common::{ColId, TableId};
+use ruletest_expr::{BinOp, Expr};
+use ruletest_lint::prove::normalize::normalize;
+use ruletest_lint::prove::symbolic_catalog;
+use ruletest_logical::{JoinKind, LogicalTree, SortKey};
+use ruletest_storage::Catalog;
+
+/// Scan of symbolic table `t` with column ids `10*t .. 10*t+2`
+/// (positional: k, a, b — see [`symbolic_catalog`]).
+fn scan(t: u32) -> LogicalTree {
+    let base = 10 * t;
+    LogicalTree::get_with_cols(
+        TableId(t),
+        vec![ColId(base), ColId(base + 1), ColId(base + 2)],
+    )
+}
+
+fn col(id: u32) -> Expr {
+    Expr::col(ColId(id))
+}
+
+fn fp(cat: &Catalog, tree: &LogicalTree) -> String {
+    normalize(cat, tree)
+        .unwrap_or_else(|| panic!("tree must normalize: {tree:?}"))
+        .fingerprint()
+}
+
+#[test]
+fn conjunct_order_is_canonicalized() {
+    let cat = symbolic_catalog();
+    let a = Expr::bin(BinOp::Gt, col(1), Expr::lit(3i64));
+    let b = Expr::eq(col(0), Expr::lit(7i64));
+    let ab = LogicalTree::select(scan(0), Expr::and(a.clone(), b.clone()));
+    let ba = LogicalTree::select(scan(0), Expr::and(b, a));
+    assert_eq!(fp(&cat, &ab), fp(&cat, &ba));
+}
+
+#[test]
+fn split_selects_match_one_conjoined_select() {
+    let cat = symbolic_catalog();
+    let a = Expr::bin(BinOp::Gt, col(1), Expr::lit(3i64));
+    let b = Expr::eq(col(2), Expr::lit(7i64));
+    let stacked = LogicalTree::select(LogicalTree::select(scan(0), a.clone()), b.clone());
+    let merged = LogicalTree::select(scan(0), Expr::and(a, b));
+    assert_eq!(fp(&cat, &stacked), fp(&cat, &merged));
+}
+
+#[test]
+fn inner_join_commutes_and_reassociates() {
+    let cat = symbolic_catalog();
+    let p01 = Expr::eq(col(0), Expr::col(ColId(10)));
+    let p12 = Expr::eq(col(10), Expr::col(ColId(20)));
+    // (s0 ⋈ s1) ⋈ s2
+    let left_assoc = LogicalTree::join(
+        JoinKind::Inner,
+        LogicalTree::join(JoinKind::Inner, scan(0), scan(1), p01.clone()),
+        scan(2),
+        p12.clone(),
+    );
+    // s0 ⋈ (s1 ⋈ s2), with the other predicate placement
+    let right_assoc = LogicalTree::join(
+        JoinKind::Inner,
+        scan(0),
+        LogicalTree::join(JoinKind::Inner, scan(1), scan(2), p12.clone()),
+        p01.clone(),
+    );
+    // s2 ⋈ (s1 ⋈ s0): fully commuted
+    let commuted = LogicalTree::join(
+        JoinKind::Inner,
+        scan(2),
+        LogicalTree::join(JoinKind::Inner, scan(1), scan(0), p01),
+        p12,
+    );
+    let f = fp(&cat, &left_assoc);
+    assert_eq!(f, fp(&cat, &right_assoc));
+    assert_eq!(f, fp(&cat, &commuted));
+}
+
+#[test]
+fn join_predicates_and_filters_share_one_conjunct_pool() {
+    let cat = symbolic_catalog();
+    let p = Expr::eq(col(0), Expr::col(ColId(10)));
+    let on_join = LogicalTree::join(JoinKind::Inner, scan(0), scan(1), p.clone());
+    let on_filter = LogicalTree::select(
+        LogicalTree::join(JoinKind::Inner, scan(0), scan(1), Expr::true_lit()),
+        p,
+    );
+    assert_eq!(fp(&cat, &on_join), fp(&cat, &on_filter));
+}
+
+#[test]
+fn null_rejecting_filter_demotes_left_outer_join() {
+    let cat = symbolic_catalog();
+    let on = Expr::eq(col(0), Expr::col(ColId(10)));
+    // col 11 ("a" of s1) comes from the null-supplying side; `> 5`
+    // rejects NULLs, so LOJ-then-filter equals join-then-filter.
+    let guard = Expr::bin(BinOp::Gt, Expr::col(ColId(11)), Expr::lit(5i64));
+    let over_loj = LogicalTree::select(
+        LogicalTree::join(JoinKind::LeftOuter, scan(0), scan(1), on.clone()),
+        guard.clone(),
+    );
+    let over_inner = LogicalTree::select(
+        LogicalTree::join(JoinKind::Inner, scan(0), scan(1), on.clone()),
+        guard,
+    );
+    assert_eq!(fp(&cat, &over_loj), fp(&cat, &over_inner));
+
+    // `IS NULL` does *not* reject NULLs: the padded rows survive, so the
+    // outer join must be preserved and the two sides stay distinct.
+    let keeps = Expr::is_null(Expr::col(ColId(11)));
+    let loj_kept = LogicalTree::select(
+        LogicalTree::join(JoinKind::LeftOuter, scan(0), scan(1), on.clone()),
+        keeps.clone(),
+    );
+    let inner_kept = LogicalTree::select(
+        LogicalTree::join(JoinKind::Inner, scan(0), scan(1), on),
+        keeps,
+    );
+    assert_ne!(fp(&cat, &loj_kept), fp(&cat, &inner_kept));
+}
+
+#[test]
+fn right_outer_join_is_a_mirrored_left_outer_join() {
+    let cat = symbolic_catalog();
+    let on = Expr::eq(col(0), Expr::col(ColId(10)));
+    let roj = LogicalTree::join(JoinKind::RightOuter, scan(0), scan(1), on.clone());
+    let loj = LogicalTree::join(JoinKind::LeftOuter, scan(1), scan(0), on);
+    assert_eq!(fp(&cat, &roj), fp(&cat, &loj));
+}
+
+#[test]
+fn distinct_equals_group_by_all_columns() {
+    let cat = symbolic_catalog();
+    let distinct = LogicalTree::distinct(scan(0));
+    let gbagg = LogicalTree::gbagg(scan(0), vec![ColId(0), ColId(1), ColId(2)], vec![]);
+    assert_eq!(fp(&cat, &distinct), fp(&cat, &gbagg));
+}
+
+#[test]
+fn distinct_over_a_key_preserving_tree_is_dropped() {
+    let cat = symbolic_catalog();
+    // s0's primary key makes the scan duplicate-free already.
+    let distinct = LogicalTree::distinct(scan(0));
+    assert_eq!(fp(&cat, &distinct), fp(&cat, &scan(0)));
+}
+
+#[test]
+fn sort_is_transparent_and_top_over_top_takes_the_min() {
+    let cat = symbolic_catalog();
+    let keys = vec![SortKey::asc(ColId(1))];
+    let sorted = LogicalTree::sort(scan(0), keys.clone());
+    assert_eq!(fp(&cat, &sorted), fp(&cat, &scan(0)));
+
+    let stacked = LogicalTree::top(LogicalTree::top(scan(0), 5, keys.clone()), 3, keys.clone());
+    let collapsed = LogicalTree::top(scan(0), 3, keys.clone());
+    assert_eq!(fp(&cat, &stacked), fp(&cat, &collapsed));
+    // Different counts are *not* the same relation.
+    let five = LogicalTree::top(scan(0), 5, keys);
+    assert_ne!(fp(&cat, &collapsed), fp(&cat, &five));
+}
+
+#[test]
+fn projections_compose_and_identity_projections_vanish() {
+    let cat = symbolic_catalog();
+    let wide = LogicalTree::project(
+        scan(0),
+        vec![(ColId(0), col(0)), (ColId(1), col(1)), (ColId(2), col(2))],
+    );
+    assert_eq!(fp(&cat, &wide), fp(&cat, &scan(0)));
+
+    let narrow_direct = LogicalTree::project(scan(0), vec![(ColId(1), col(1))]);
+    let narrow_stacked = LogicalTree::project(wide, vec![(ColId(1), col(1))]);
+    assert_eq!(fp(&cat, &narrow_direct), fp(&cat, &narrow_stacked));
+}
+
+#[test]
+fn known_inequivalent_pairs_keep_distinct_fingerprints() {
+    let cat = symbolic_catalog();
+    // Different filter columns.
+    let on_k = LogicalTree::select(scan(0), Expr::eq(col(0), Expr::lit(1i64)));
+    let on_a = LogicalTree::select(scan(0), Expr::eq(col(1), Expr::lit(1i64)));
+    assert_ne!(fp(&cat, &on_k), fp(&cat, &on_a));
+    // Inner vs left outer join.
+    let on = Expr::eq(col(0), Expr::col(ColId(10)));
+    let inner = LogicalTree::join(JoinKind::Inner, scan(0), scan(1), on.clone());
+    let loj = LogicalTree::join(JoinKind::LeftOuter, scan(0), scan(1), on);
+    assert_ne!(fp(&cat, &inner), fp(&cat, &loj));
+    // Filter dropped entirely.
+    assert_ne!(fp(&cat, &on_k), fp(&cat, &scan(0)));
+}
+
+#[test]
+fn equality_closure_identifies_transitive_conjuncts() {
+    let cat = symbolic_catalog();
+    let j = |p: Expr| {
+        LogicalTree::select(
+            LogicalTree::join(
+                JoinKind::Inner,
+                scan(0),
+                LogicalTree::join(JoinKind::Inner, scan(1), scan(2), Expr::true_lit()),
+                Expr::true_lit(),
+            ),
+            p,
+        )
+    };
+    // {c0=c10, c10=c20} and {c10=c20, c20=c0} generate the same closure.
+    let a = j(Expr::and(
+        Expr::eq(col(0), Expr::col(ColId(10))),
+        Expr::eq(col(10), Expr::col(ColId(20))),
+    ));
+    let b = j(Expr::and(
+        Expr::eq(col(10), Expr::col(ColId(20))),
+        Expr::eq(col(20), Expr::col(ColId(0))),
+    ));
+    assert_eq!(fp(&cat, &a), fp(&cat, &b));
+}

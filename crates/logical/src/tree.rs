@@ -209,9 +209,19 @@ impl LogicalTree {
     /// For `Get` nodes: the minted id of the `ordinal`-th table column.
     /// Panics if this is not a `Get` or the ordinal is out of range.
     pub fn output_col(&self, ordinal: usize) -> ColId {
+        match self.try_output_col(ordinal) {
+            Some(c) => c,
+            None => panic!("output_col on non-Get operator {}", self.op.label()),
+        }
+    }
+
+    /// Total variant of [`Self::output_col`]: `None` for non-`Get`
+    /// operators and out-of-range ordinals, so sandboxed callers (the
+    /// lint auditor, the symbolic prover) never abort the process.
+    pub fn try_output_col(&self, ordinal: usize) -> Option<ColId> {
         match &self.op {
-            Operator::Get { cols, .. } => cols[ordinal],
-            other => panic!("output_col on non-Get operator {}", other.label()),
+            Operator::Get { cols, .. } => cols.get(ordinal).copied(),
+            _ => None,
         }
     }
 

@@ -4,7 +4,7 @@
 //! column id (`c17`), so generated SQL is unambiguous under self-joins and
 //! arbitrary transformations, and parses back to the identical tree.
 
-use ruletest_common::{ColId, Result};
+use ruletest_common::{ColId, Error, Result};
 use ruletest_expr::{AggCall, BinOp, Expr};
 use ruletest_logical::{JoinKind, LogicalTree, Operator, SortKey};
 use ruletest_storage::Catalog;
@@ -118,7 +118,11 @@ fn render(catalog: &Catalog, tree: &LogicalTree, counter: &mut usize) -> Result<
                         JoinKind::LeftOuter => "LEFT OUTER JOIN",
                         JoinKind::RightOuter => "RIGHT OUTER JOIN",
                         JoinKind::FullOuter => "FULL OUTER JOIN",
-                        _ => unreachable!(),
+                        JoinKind::LeftSemi | JoinKind::LeftAnti => {
+                            return Err(Error::unsupported(
+                                "semi/anti join has no JOIN-keyword rendering",
+                            ))
+                        }
                     };
                     Ok(format!(
                         "SELECT * FROM {left} {kw} {right} ON {}",

@@ -455,7 +455,7 @@ impl Parser<'_> {
             let tree = LogicalTree::get(def, &mut self.ids);
             let cols = match &tree.op {
                 ruletest_logical::Operator::Get { cols, .. } => cols.clone(),
-                _ => unreachable!(),
+                _ => return Err(Error::internal("table scan did not produce a Get")),
             };
             // Optional alias (bare identifier that is not a clause keyword).
             let alias = match self.peek() {
@@ -862,24 +862,25 @@ impl Parser<'_> {
 /// returns its child plus the referenced source ids (in output order);
 /// otherwise returns the tree unchanged.
 fn unwrap_pure_rename(tree: LogicalTree) -> (LogicalTree, Option<Vec<ColId>>) {
-    if let ruletest_logical::Operator::Project { outputs } = &tree.op {
-        let srcs: Option<Vec<ColId>> = outputs
+    let srcs: Option<Vec<ColId>> = match &tree.op {
+        ruletest_logical::Operator::Project { outputs } => outputs
             .iter()
             .map(|(_, e)| match e {
                 Expr::Col(c) => Some(*c),
                 _ => None,
             })
-            .collect();
-        if let Some(srcs) = srcs {
-            let child = tree
-                .children
-                .into_iter()
-                .next()
-                .expect("project has a child");
-            return (child, Some(srcs));
+            .collect(),
+        _ => None,
+    };
+    match srcs {
+        // A childless Project is malformed; leave it for schema
+        // validation to reject instead of panicking here.
+        Some(srcs) if !tree.children.is_empty() => {
+            let mut children = tree.children;
+            (children.remove(0), Some(srcs))
         }
+        _ => (tree, None),
     }
-    (tree, None)
 }
 
 fn display_name(ast: &Ast, id: ColId) -> String {

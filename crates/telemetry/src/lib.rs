@@ -199,6 +199,23 @@ impl Telemetry {
         }
     }
 
+    /// Opens a per-rule profiling span on the current thread, nested
+    /// under whatever stage span is active (the symbolic prover uses
+    /// this to attribute proof time rule by rule under `Stage::Prove`).
+    #[inline]
+    pub fn rule_span(&self, rule: u16) -> SpanGuard {
+        match &self.inner {
+            Some(i) => Profiler::enter(
+                &i.profiler,
+                span::SpanKey::Rule {
+                    rule,
+                    phase: RulePhase::Explore,
+                },
+            ),
+            None => SpanGuard::noop(),
+        }
+    }
+
     /// A fresh per-invocation profile buffer, `None` when disabled —
     /// callers thread it through `compute` and hand it back via
     /// [`Telemetry::flush_profile`] only for deduplicated winners.

@@ -76,10 +76,17 @@ pub enum Counter {
     /// Snapshots discarded because the campaign fingerprint (catalog,
     /// rule catalog, seed, scale) no longer matches. Environmental.
     CacheFingerprintRejected,
+    /// Rules proved equivalent by the symbolic prover (normal forms match).
+    ProveEquivalent,
+    /// Rules the symbolic prover refuted with a symbolic counterexample.
+    ProveInequivalent,
+    /// Rules outside the prover's decidable fragment (fall back to the
+    /// concrete-corpus auditor).
+    ProveUnknown,
 }
 
 impl Counter {
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 28;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::OptInvocations,
@@ -107,6 +114,9 @@ impl Counter {
         Counter::CachePersisted,
         Counter::CacheWarmHits,
         Counter::CacheFingerprintRejected,
+        Counter::ProveEquivalent,
+        Counter::ProveInequivalent,
+        Counter::ProveUnknown,
     ];
 
     /// Stable dotted name used in reports and traces.
@@ -137,6 +147,9 @@ impl Counter {
             Counter::CachePersisted => "cache.persisted",
             Counter::CacheWarmHits => "cache.warm_hits",
             Counter::CacheFingerprintRejected => "cache.fingerprint_rejected",
+            Counter::ProveEquivalent => "prove.equivalent",
+            Counter::ProveInequivalent => "prove.inequivalent",
+            Counter::ProveUnknown => "prove.unknown",
         }
     }
 

@@ -469,6 +469,19 @@ impl RunReport {
             self.counter(Counter::SkippedExpensive),
             self.counter(Counter::CorrectnessBugs)
         );
+        let proved = self.counter(Counter::ProveEquivalent)
+            + self.counter(Counter::ProveInequivalent)
+            + self.counter(Counter::ProveUnknown);
+        if proved > 0 {
+            let _ = writeln!(
+                out,
+                "  prover               {:>10} rules: {} equivalent, {} inequivalent, {} unknown",
+                proved,
+                self.counter(Counter::ProveEquivalent),
+                self.counter(Counter::ProveInequivalent),
+                self.counter(Counter::ProveUnknown)
+            );
+        }
         let _ = writeln!(
             out,
             "  pool                 {:>10} tasks over {} workers in {} stages ({} steals, {:.1}% busy)",

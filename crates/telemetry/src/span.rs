@@ -61,10 +61,12 @@ pub enum Stage {
     Execution,
     /// Cache/checkpoint persistence work (snapshot open and save).
     Persist,
+    /// One rule's symbolic equivalence proof (witness passes + normalize).
+    Prove,
 }
 
 impl Stage {
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Generation,
         Stage::Graph,
         Stage::Correctness,
@@ -73,6 +75,7 @@ impl Stage {
         Stage::Optimize,
         Stage::Execution,
         Stage::Persist,
+        Stage::Prove,
     ];
 
     pub fn name(self) -> &'static str {
@@ -85,6 +88,7 @@ impl Stage {
             Stage::Optimize => "optimize",
             Stage::Execution => "execution",
             Stage::Persist => "persist",
+            Stage::Prove => "prove",
         }
     }
 }

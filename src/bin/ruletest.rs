@@ -15,6 +15,9 @@
 //! ruletest triage [--fault F] [--out P]  campaign + bug triage: minimize, dedup, emit repro bundles
 //! ruletest triage replay <bugs.jsonl>    re-execute bundles in a fresh process (--check fails unless all confirm)
 //! ruletest lint [--fault F] [--json P]   static rule audit: catch rule bugs without executing queries
+//! ruletest lint --prove                  also run the symbolic equivalence prover
+//! ruletest prove [--rule R] [--json P]   prove catalog rules equivalence-preserving algebraically
+//! ruletest prove --fault MUTANT          inject a mutant; fail unless proved inequivalent
 //! ruletest mutate [--class C] [--sample N] [--json P]  rule-mutation campaign: measure fault-detection power
 //! ruletest mutate --list                 print the mutant catalog
 //!
@@ -100,6 +103,16 @@ fn main() -> ExitCode {
     if cmd == "lint" {
         // Purely static: no executor, no framework, no query runs.
         return match run_lint(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if cmd == "prove" {
+        // Purely symbolic: rowless database, no executor, no framework.
+        return match run_prove(&opts) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -248,7 +261,7 @@ fn main() -> ExitCode {
         "impact" => run_impact(&fw, &opts),
         _ => {
             eprintln!(
-                "usage: ruletest <rules|pattern|gen|pair|relevant|sql|audit|impact|report|diff|triage|lint|mutate> [options]\n\
+                "usage: ruletest <rules|pattern|gen|pair|relevant|sql|audit|impact|report|diff|triage|lint|prove|mutate> [options]\n\
                  see the module docs (`ruletest --help` equivalent) in src/bin/ruletest.rs"
             );
             Ok(())
@@ -500,9 +513,28 @@ fn run_lint(opts: &Opts) -> Result<(), String> {
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("lint: report written to {path}");
     }
+    // --prove: also run the symbolic prover, over its own rowless
+    // symbolic database (the concrete lint corpus needs the TPC-H
+    // catalog; proofs do not). The same fault is re-injected so both
+    // layers see the same catalog.
+    let prove_failures = if opts.prove {
+        use ruletest::lint::prove;
+        let sdb = Arc::new(prove::symbolic_database());
+        let sopt = match fault {
+            Some(f) => buggy_optimizer(sdb, f),
+            None => Optimizer::new(sdb),
+        };
+        let preport =
+            prove::prove_rules(&sopt, &Telemetry::disabled()).map_err(|e| e.to_string())?;
+        print!("{}", preport.render_text());
+        preport.inequivalent
+    } else {
+        0
+    };
     match fault {
         Some(f) => {
-            let caught = report.flagged_rules().iter().any(|r| r == f.rule_name());
+            let caught =
+                report.flagged_rules().iter().any(|r| r == f.rule_name()) || prove_failures > 0;
             if caught {
                 println!("lint: fault {} caught statically", f.name());
                 Ok(())
@@ -510,11 +542,93 @@ fn run_lint(opts: &Opts) -> Result<(), String> {
                 Err(format!("fault {} NOT caught by the static audit", f.name()))
             }
         }
-        None if report.is_clean() => Ok(()),
-        None => Err(format!(
+        None if report.is_clean() && prove_failures == 0 => Ok(()),
+        None if !report.is_clean() => Err(format!(
             "{} lint violation(s) in the rule catalog",
             report.violations.len()
         )),
+        None => Err(format!(
+            "{prove_failures} rule(s) proved inequivalent by the symbolic prover"
+        )),
+    }
+}
+
+/// Runs the symbolic equivalence prover (`ruletest prove`): every
+/// exploration rule's pattern is instantiated over symbolic relations,
+/// its action applied, and both sides compared algebraically — no rows,
+/// no execution. Without `--fault` the command fails when any rule is
+/// proved inequivalent; with `--fault MUTANT` the named mutant is
+/// injected and the command fails unless its rule is proved
+/// inequivalent statically.
+fn run_prove(opts: &Opts) -> Result<(), String> {
+    use ruletest::core::mutate::{mutant_optimizer, Mutant};
+    use ruletest::lint::prove::{self, ProveVerdict};
+    let telemetry = if opts.metrics_json.is_some() || opts.profile_folded.is_some() {
+        Telemetry::metrics_only()
+    } else {
+        Telemetry::disabled()
+    };
+    let mutant = match &opts.fault {
+        Some(id) => Some(Mutant::by_id(id).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    // Proofs run over the rowless symbolic database, never TPC-H.
+    let db = Arc::new(prove::symbolic_database());
+    let optimizer = match mutant {
+        Some(m) => mutant_optimizer(db, m),
+        None => Optimizer::new(db),
+    };
+    let started = Instant::now();
+    let report = match (mutant, &opts.rule) {
+        (Some(m), _) => prove::prove_rules_focused(&optimizer, m.rule_name, &telemetry),
+        (None, Some(rule)) => prove::prove_rules_focused(&optimizer, rule, &telemetry),
+        (None, None) => prove::prove_rules(&optimizer, &telemetry),
+    }
+    .map_err(|e| e.to_string())?;
+    print!("{}", report.render_text());
+    println!("prove: finished in {:?}", started.elapsed());
+    if let Some(path) = &opts.json {
+        std::fs::write(path, report.to_json().to_string_pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("prove: report written to {path}");
+    }
+    let rule_names: Vec<String> = (0..optimizer.num_rules())
+        .map(|i| {
+            optimizer
+                .rule(ruletest::common::RuleId(i as u16))
+                .name
+                .to_string()
+        })
+        .collect();
+    if let Some(path) = &opts.metrics_json {
+        let mut run = telemetry.run_report(&rule_names);
+        run.wall_seconds = started.elapsed().as_secs_f64();
+        std::fs::write(path, run.to_json().to_string_pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote run report to {path}");
+    }
+    if let Some(path) = &opts.profile_folded {
+        let section = telemetry.profile_section(&rule_names);
+        std::fs::write(path, section.folded()).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {} folded stack(s) to {path}", section.spans.len());
+    }
+    match mutant {
+        Some(m) => match report.verdict_of(m.rule_name) {
+            Some(ProveVerdict::Inequivalent) => {
+                println!("prove: mutant {} proved inequivalent statically", m.id);
+                Ok(())
+            }
+            verdict => Err(format!(
+                "mutant {} NOT proved inequivalent (verdict: {})",
+                m.id,
+                verdict.map_or("absent", |v| v.name())
+            )),
+        },
+        None if report.has_inequivalent() => Err(format!(
+            "{} rule(s) proved inequivalent",
+            report.inequivalent
+        )),
+        None => Ok(()),
     }
 }
 

@@ -55,6 +55,11 @@ pub struct Opts {
     /// `ruletest audit --cache-dir DIR --resume`: resume an interrupted
     /// campaign from its last completed stage checkpoint.
     pub resume: bool,
+    /// `ruletest prove --rule NAME`: prove only the named rule.
+    pub rule: Option<String>,
+    /// `ruletest lint --prove`: run the symbolic prover alongside the
+    /// concrete lint passes.
+    pub prove: bool,
     pub positional: Vec<String>,
 }
 
@@ -82,6 +87,8 @@ impl Default for Opts {
             threshold_pct: None,
             cache_dir: None,
             resume: false,
+            rule: None,
+            prove: false,
             positional: Vec::new(),
         }
     }
@@ -129,10 +136,12 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<(String, Opts), S
             "--profile-folded" => opts.profile_folded = Some(value_of(&a, &mut args)?),
             "--threshold-pct" => opts.threshold_pct = Some(parse_value(&a, &mut args)?),
             "--cache-dir" => opts.cache_dir = Some(value_of(&a, &mut args)?),
+            "--rule" => opts.rule = Some(value_of(&a, &mut args)?),
             "--random" => opts.random = true,
             "--check" => opts.check = true,
             "--list" => opts.list = true,
             "--resume" => opts.resume = true,
+            "--prove" => opts.prove = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag '{other}'"));
             }
@@ -329,6 +338,30 @@ mod tests {
         assert!(opts.resume && opts.cache_dir.is_none());
         assert!(parse(argv(&["audit", "--cache-dir"])).is_err());
         assert!(parse(argv(&["audit", "--cache-dir", "--resume"])).is_err());
+    }
+
+    #[test]
+    fn prove_flags_parse() {
+        let (cmd, opts) = parse(argv(&[
+            "prove",
+            "--rule",
+            "TopTopCollapse",
+            "--json",
+            "prove.json",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "prove");
+        assert_eq!(opts.rule.as_deref(), Some("TopTopCollapse"));
+        assert_eq!(opts.json.as_deref(), Some("prove.json"));
+        // lint grows a --prove switch; --fault reuses the triage flag.
+        let (cmd, opts) = parse(argv(&["lint", "--prove"])).unwrap();
+        assert_eq!(cmd, "lint");
+        assert!(opts.prove);
+        let (_, opts) = parse(argv(&["prove", "--fault", "TopTopCollapseTakesMax"])).unwrap();
+        assert_eq!(opts.fault.as_deref(), Some("TopTopCollapseTakesMax"));
+        // missing values fail loudly
+        assert!(parse(argv(&["prove", "--rule"])).is_err());
+        assert!(parse(argv(&["prove", "--rule", "--json"])).is_err());
     }
 
     #[test]
