@@ -21,6 +21,11 @@ pub enum Error {
     /// from `Unsupported`: the plan is runnable, just too expensive under
     /// the configured limits.
     Budget(String),
+    /// A cooperative wall-clock deadline expired mid-computation (see
+    /// `supervise::Deadline`). Distinct from `Budget`: the work abandoned
+    /// was bounded by *time*, not by a unit-counted resource cap, so the
+    /// result says nothing about how expensive the input actually is.
+    Timeout(String),
     /// SQL text that failed to tokenize or parse.
     Parse(String),
     /// An invariant violation inside the framework itself — always a bug.
@@ -48,6 +53,11 @@ impl Error {
         Error::Budget(msg.into())
     }
 
+    /// Shorthand constructor for [`Error::Timeout`].
+    pub fn timeout(msg: impl Into<String>) -> Self {
+        Error::Timeout(msg.into())
+    }
+
     /// Shorthand constructor for [`Error::Parse`].
     pub fn parse(msg: impl Into<String>) -> Self {
         Error::Parse(msg.into())
@@ -66,6 +76,7 @@ impl fmt::Display for Error {
             Error::NotFound(m) => write!(f, "not found: {m}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Budget(m) => write!(f, "budget exceeded: {m}"),
+            Error::Timeout(m) => write!(f, "deadline exceeded: {m}"),
             Error::Parse(m) => write!(f, "parse error: {m}"),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -90,6 +101,10 @@ mod tests {
             "unsupported: window functions"
         );
         assert_eq!(Error::parse("eof").to_string(), "parse error: eof");
+        assert_eq!(
+            Error::timeout("optimize").to_string(),
+            "deadline exceeded: optimize"
+        );
         assert_eq!(Error::internal("memo").to_string(), "internal error: memo");
     }
 

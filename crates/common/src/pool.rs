@@ -216,6 +216,36 @@ where
     out
 }
 
+/// Result-preserving supervised variant of [`par_map`].
+///
+/// [`par_map`] deliberately has abort semantics: one panicking item
+/// resumes the unwind on the caller and discards every other worker's
+/// completed result. A supervised campaign wants the opposite — keep
+/// everything that finished and hand back the failures as data. Here a
+/// panicking item becomes `Err(Failure::Panic)` (payload message plus
+/// `site[index]`) in its own slot, while all other items' results are
+/// preserved, still in item order.
+pub fn par_map_supervised<T, R, F>(
+    threads: usize,
+    items: &[T],
+    site: &str,
+    f: F,
+) -> Vec<Result<R, crate::supervise::Failure>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map(threads, items, |i, x| {
+        catch_unwind(AssertUnwindSafe(|| f(i, x))).map_err(|payload| {
+            crate::supervise::Failure::panic(
+                crate::supervise::panic_message(payload.as_ref()),
+                format!("{site}[{i}]"),
+            )
+        })
+    })
+}
+
 /// Like [`par_map`] but for fallible item functions: returns the first
 /// error by item order, or all results.
 pub fn try_par_map<T, R, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, E>
@@ -380,6 +410,34 @@ mod tests {
         assert!(msg.contains("item 5 exploded"), "payload: {msg}");
         // The panic did not stop the cursor: every item was claimed.
         assert_eq!(executed.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn par_map_supervised_preserves_other_results_on_panic() {
+        let items: Vec<u32> = (0..32).collect();
+        for threads in [1, 4] {
+            let out = par_map_supervised(threads, &items, "square", |i, &v| {
+                if i == 5 || i == 20 {
+                    panic!("item {i} exploded");
+                }
+                v * v
+            });
+            assert_eq!(out.len(), 32, "threads={threads}");
+            for (i, slot) in out.iter().enumerate() {
+                match slot {
+                    Ok(v) => {
+                        assert!(i != 5 && i != 20);
+                        assert_eq!(*v, (i * i) as u32);
+                    }
+                    Err(fail) => {
+                        assert!(i == 5 || i == 20, "unexpected failure at {i}");
+                        assert_eq!(fail.kind(), "panic");
+                        assert!(fail.message().contains(&format!("item {i} exploded")));
+                        assert!(fail.to_string().contains(&format!("square[{i}]")), "{fail}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

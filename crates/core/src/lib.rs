@@ -14,23 +14,30 @@ pub mod mutate;
 pub mod perf;
 pub mod persist;
 pub mod suite;
+pub mod supervise;
 pub mod triage;
 
 pub use compress::{Instance, Solution};
-pub use correctness::{BugReport, CorrectnessReport};
+pub use correctness::{execute_solution_supervised, BugReport, CorrectnessReport};
 pub use framework::{DbProfile, Framework, FrameworkConfig};
 pub use generate::{GenConfig, GenOutcome, Strategy};
 pub use mutate::{
     detect_with_methodology, mutant_optimizer, run_mutation_campaign, BugClass, Detection,
-    DynamicKill, Mutant, MutantOutcome, MutationBudget, MutationConfig, MutationReport, Verdict,
+    DynamicKill, KillKind, Mutant, MutantOutcome, MutationBudget, MutationConfig, MutationReport,
+    Verdict,
 };
 pub use perf::{rule_impact, RuleImpact};
 pub use persist::{
-    final_persist, run_checkpointed_campaign, CampaignParams, CampaignRun, CampaignStore,
+    final_persist, run_checkpointed_campaign, run_checkpointed_campaign_supervised, CampaignParams,
+    CampaignRun, CampaignStore,
 };
 pub use suite::{
     build_graph, build_graph_pruned, generate_suite, generate_suite_lenient, pair_targets,
     singleton_targets, BipartiteGraph, RuleTarget, SuiteQuery, TestSuite,
+};
+pub use supervise::{
+    build_graph_supervised, crash_bundles, generate_suite_supervised, input_fingerprint,
+    quarantine_summary, Quarantine, QuarantineEntry,
 };
 pub use triage::{
     read_bundles, replay, to_bundles, triage_report, write_bundles, BugSignature, ReplayOutcome,

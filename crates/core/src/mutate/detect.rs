@@ -29,6 +29,11 @@ pub struct MutationBudget {
     pub max_trials: usize,
     /// Extra random operators stacked on the instantiated pattern.
     pub pad_ops: usize,
+    /// Cooperative wall-clock deadline per mutant-plan execution, in
+    /// milliseconds (0 = unarmed). With a deadline armed, a mutant whose
+    /// plan loops or degenerates into pathological work is killed as
+    /// [`KillKind::Hang`] instead of stalling the whole campaign.
+    pub exec_deadline_ms: u64,
 }
 
 impl Default for MutationBudget {
@@ -37,6 +42,35 @@ impl Default for MutationBudget {
             seeds: 48,
             max_trials: 20,
             pad_ops: 0,
+            exec_deadline_ms: 0,
+        }
+    }
+}
+
+/// How a dynamic kill landed. The masked plan uses only unmutated rules,
+/// so any asymmetric failure implicates the mutant — but *how* it failed
+/// matters for the fault-detection-power analysis: a wrong answer, a
+/// crash, and a hang are different bug classes with different production
+/// blast radii.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillKind {
+    /// Both plans executed; the result multisets differ.
+    Diff,
+    /// One plan executed and the other failed outright (e.g. an unbound
+    /// column reference surfacing at runtime, or a plan-time error).
+    Crash,
+    /// One plan executed and the other exceeded its cooperative deadline
+    /// — the runaway-mutant signature (`Error::Timeout`).
+    Hang,
+}
+
+impl KillKind {
+    /// Stable name used in `MUTATION_REPORT.json` and the text report.
+    pub fn name(self) -> &'static str {
+        match self {
+            KillKind::Diff => "diff",
+            KillKind::Crash => "crash",
+            KillKind::Hang => "hang",
         }
     }
 }
@@ -50,11 +84,25 @@ pub struct DynamicKill {
     /// (failed seeds charge their full `max_trials`) — the paper's
     /// trials-to-detection efficiency metric applied to mutants.
     pub trials: u64,
-    /// The kill was a *differential crash*: one plan executed and the
-    /// other failed. The masked plan uses only unmutated rules, so an
-    /// asymmetric failure means the mutant's ill-formed plan surfaced at
-    /// runtime (e.g. an unbound column reference).
-    pub crashed: bool,
+    /// How the kill landed (result diff / differential crash / hang).
+    pub kind: KillKind,
+}
+
+impl DynamicKill {
+    /// True when the kill was any kind of differential failure rather
+    /// than a result diff (crash *or* hang).
+    pub fn crashed(&self) -> bool {
+        self.kind != KillKind::Diff
+    }
+}
+
+/// Classifies an asymmetric execution failure: a cooperative-deadline
+/// expiry is a hang, anything else a crash.
+fn failure_kind(e: &ruletest_common::Error) -> KillKind {
+    match e {
+        ruletest_common::Error::Timeout(_) => KillKind::Hang,
+        _ => KillKind::Crash,
+    }
 }
 
 /// What the dynamic sweep observed for one mutant.
@@ -76,6 +124,39 @@ pub struct Detection {
 /// mutant never executed" from "it executed and the results still
 /// matched" — the difference between a vacuous and a meaningful
 /// survival).
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeouts_classify_as_hangs_and_everything_else_as_crashes() {
+        use ruletest_common::Error;
+        assert_eq!(failure_kind(&Error::timeout("deadline")), KillKind::Hang);
+        assert_eq!(failure_kind(&Error::internal("boom")), KillKind::Crash);
+        assert_eq!(failure_kind(&Error::unsupported("nope")), KillKind::Crash);
+        assert_eq!(failure_kind(&Error::budget("rows")), KillKind::Crash);
+    }
+
+    #[test]
+    fn kill_kind_names_are_stable_and_crashed_covers_both_failures() {
+        assert_eq!(KillKind::Diff.name(), "diff");
+        assert_eq!(KillKind::Crash.name(), "crash");
+        assert_eq!(KillKind::Hang.name(), "hang");
+        for (kind, crashed) in [
+            (KillKind::Diff, false),
+            (KillKind::Crash, true),
+            (KillKind::Hang, true),
+        ] {
+            let kill = DynamicKill {
+                seed: 1,
+                trials: 1,
+                kind,
+            };
+            assert_eq!(kill.crashed(), crashed, "{}", kind.name());
+        }
+    }
+}
+
 pub fn detect_with_methodology(
     opt: &Arc<Optimizer>,
     rule_name: &str,
@@ -110,7 +191,10 @@ pub fn detect_with_methodology(
             let masked = opt.optimize_with(&out.query, &OptimizerConfig::disabling(&[rule]))?;
             if !base.plan.same_shape(&masked.plan) {
                 det.plans_diverged = true;
-                let exec = ExecConfig::default();
+                let exec = ExecConfig {
+                    deadline: ruletest_common::Deadline::after_ms(budget.exec_deadline_ms),
+                    ..ExecConfig::default()
+                };
                 match (
                     execute_profiled(db, &base.plan, &exec, &tel),
                     execute_profiled(db, &masked.plan, &exec, &tel),
@@ -120,16 +204,16 @@ pub fn detect_with_methodology(
                             det.dynamic = Some(DynamicKill {
                                 seed,
                                 trials,
-                                crashed: false,
+                                kind: KillKind::Diff,
                             });
                             return Ok(det);
                         }
                     }
-                    (Ok(_), Err(_)) | (Err(_), Ok(_)) => {
+                    (Ok(_), Err(e)) | (Err(e), Ok(_)) => {
                         det.dynamic = Some(DynamicKill {
                             seed,
                             trials,
-                            crashed: true,
+                            kind: failure_kind(&e),
                         });
                         return Ok(det);
                     }
@@ -153,19 +237,20 @@ pub fn detect_with_methodology(
             let Some(built) = instantiate_pattern(db, &mut rng, &mut ids, &pattern) else {
                 continue;
             };
-            if opt.optimize(&built.tree).is_err()
-                && opt
+            if let Err(e) = opt.optimize(&built.tree) {
+                if opt
                     .optimize_with(&built.tree, &OptimizerConfig::disabling(&[rule]))
                     .is_ok()
-            {
-                det.fired = true;
-                det.plans_diverged = true;
-                det.dynamic = Some(DynamicKill {
-                    seed,
-                    trials,
-                    crashed: true,
-                });
-                return Ok(det);
+                {
+                    det.fired = true;
+                    det.plans_diverged = true;
+                    det.dynamic = Some(DynamicKill {
+                        seed,
+                        trials,
+                        kind: failure_kind(&e),
+                    });
+                    return Ok(det);
+                }
             }
         }
     }

@@ -138,7 +138,7 @@ impl MutationReport {
                     Some(k) => (
                         Json::count(k.seed),
                         Json::count(k.trials),
-                        Json::str(if k.crashed { "crash" } else { "diff" }),
+                        Json::str(k.kind.name()),
                     ),
                     None => (Json::Null, Json::Null, Json::Null),
                 };
@@ -180,6 +180,7 @@ impl MutationReport {
             })
             .collect();
         let (killed, survived) = self.kill_counts();
+        let kill_kinds = self.kill_kind_counts();
         Json::obj(vec![
             (
                 "budget",
@@ -187,6 +188,10 @@ impl MutationReport {
                     ("seeds", Json::count(self.budget.seeds)),
                     ("max_trials", Json::count(self.budget.max_trials as u64)),
                     ("pad_ops", Json::count(self.budget.pad_ops as u64)),
+                    (
+                        "exec_deadline_ms",
+                        Json::count(self.budget.exec_deadline_ms),
+                    ),
                 ]),
             ),
             ("mutants", Json::Arr(mutants)),
@@ -207,6 +212,14 @@ impl MutationReport {
                     ("killed", Json::count(killed)),
                     ("survived", Json::count(survived)),
                     (
+                        "kill_kinds",
+                        Json::obj(vec![
+                            ("diff", Json::count(kill_kinds.0)),
+                            ("crash", Json::count(kill_kinds.1)),
+                            ("hang", Json::count(kill_kinds.2)),
+                        ]),
+                    ),
+                    (
                         "lint_escapes",
                         Json::count(self.lint_escapes().len() as u64),
                     ),
@@ -215,6 +228,19 @@ impl MutationReport {
                 ]),
             ),
         ])
+    }
+
+    /// `(diff, crash, hang)` counts over the dynamic kills.
+    fn kill_kind_counts(&self) -> (u64, u64, u64) {
+        let mut counts = (0, 0, 0);
+        for k in self.outcomes.iter().filter_map(|o| o.dynamic()) {
+            match k.kind {
+                super::detect::KillKind::Diff => counts.0 += 1,
+                super::detect::KillKind::Crash => counts.1 += 1,
+                super::detect::KillKind::Hang => counts.2 += 1,
+            }
+        }
+        counts
     }
 
     fn kill_counts(&self) -> (u64, u64) {
@@ -244,7 +270,15 @@ impl MutationReport {
         );
         for o in &self.outcomes {
             let dynamic = match o.dynamic() {
-                Some(k) => format!("s{}{}", k.seed, if k.crashed { "!" } else { "" }),
+                // Marker: `!` = differential crash, `~` = hang, none = diff.
+                Some(k) => {
+                    let marker = match k.kind {
+                        super::detect::KillKind::Diff => "",
+                        super::detect::KillKind::Crash => "!",
+                        super::detect::KillKind::Hang => "~",
+                    };
+                    format!("s{}{}", k.seed, marker)
+                }
                 None if o.detection.fired => "-".to_string(),
                 None => "never".to_string(),
             };
@@ -293,5 +327,57 @@ impl MutationReport {
             if self.failed() { "FAIL" } else { "PASS" }
         );
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::campaign::MutantOutcome;
+    use super::super::detect::{Detection, DynamicKill, KillKind, MutationBudget};
+    use super::super::Mutant;
+    use super::MutationReport;
+
+    fn outcome(mutant: &'static Mutant, kind: KillKind) -> MutantOutcome {
+        MutantOutcome {
+            mutant,
+            static_caught: false,
+            detection: Detection {
+                fired: true,
+                plans_diverged: true,
+                dynamic: Some(DynamicKill {
+                    seed: 7,
+                    trials: 3,
+                    kind,
+                }),
+            },
+        }
+    }
+
+    #[test]
+    fn report_renders_kill_kinds_in_json_and_text() {
+        let mutants = Mutant::all();
+        let outcomes = vec![
+            outcome(&mutants[0], KillKind::Diff),
+            outcome(&mutants[1], KillKind::Crash),
+            outcome(&mutants[2], KillKind::Hang),
+        ];
+        let report = MutationReport::from_outcomes(outcomes, &MutationBudget::default());
+
+        let json = report.to_json().to_string_compact();
+        assert!(json.contains("\"kill_kind\":\"diff\""), "{json}");
+        assert!(json.contains("\"kill_kind\":\"crash\""), "{json}");
+        assert!(json.contains("\"kill_kind\":\"hang\""), "{json}");
+        let kinds = report.to_json();
+        let kinds = kinds.get("summary").and_then(|s| s.get("kill_kinds"));
+        let count = |k: &str| kinds.and_then(|v| v.get(k)).and_then(|v| v.as_u64());
+        assert_eq!(count("diff"), Some(1), "{json}");
+        assert_eq!(count("crash"), Some(1), "{json}");
+        assert_eq!(count("hang"), Some(1), "{json}");
+        assert!(json.contains("\"exec_deadline_ms\":0"), "{json}");
+
+        let text = report.render_text();
+        assert!(text.contains("s7 "), "diff kill unmarked: {text}");
+        assert!(text.contains("s7!"), "crash marker missing: {text}");
+        assert!(text.contains("s7~"), "hang marker missing: {text}");
     }
 }

@@ -36,6 +36,7 @@ use crate::suite::{
     build_graph, generate_suite, singleton_targets, BipartiteGraph, RuleTarget, SuiteQuery,
     TestSuite,
 };
+use crate::supervise::{build_graph_supervised, generate_suite_supervised, Quarantine};
 use ruletest_common::{Error, Result, RuleId};
 use ruletest_optimizer::persist::{tree_from_json, tree_to_json};
 use ruletest_optimizer::SnapshotStore;
@@ -426,10 +427,21 @@ impl CampaignStore {
     /// Loads a stage checkpoint, or `None` when it is absent, unreadable,
     /// or was written by a different format version, fingerprint, or
     /// parameter set — a stale checkpoint silently falls back to
-    /// recomputation, never to an error.
+    /// recomputation, never to an error. A file that exists but does not
+    /// parse (truncated by a crash mid-write of a non-atomic editor, disk
+    /// corruption) is *warned about* before the cold-start fallback, so
+    /// the operator learns the resume was partial.
     pub fn load_stage(&self, name: &str) -> Option<(u64, Json, RunReport)> {
         let text = fs::read_to_string(self.stage_path(name)).ok()?;
-        let doc = Json::parse(&text).ok()?;
+        let doc = match Json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!(
+                    "warning: campaign checkpoint stage-{name}.json is corrupted ({e}); recomputing the stage"
+                );
+                return None;
+            }
+        };
         if doc.get("format")?.as_u64()? != CHECKPOINT_FORMAT {
             return None;
         }
@@ -447,11 +459,66 @@ impl CampaignStore {
         Some((boundary, doc.get("payload")?.clone(), report))
     }
 
-    /// Removes all stage files (a fresh non-resume run must not leave a
-    /// previous campaign's checkpoints behind for a later `--resume`).
+    fn quarantine_path(&self) -> PathBuf {
+        self.dir.join("quarantine.json")
+    }
+
+    /// Persists the campaign's quarantine atomically, guarded by the same
+    /// format/fingerprint/params identity as the stage files (quarantine
+    /// fingerprints are only meaningful for the campaign that wrote them).
+    /// Telemetry on/off is deliberately *not* part of the identity: the
+    /// quarantine records poisoned inputs, not counted work.
+    pub fn save_quarantine(&self, quarantine: &Quarantine) -> io::Result<()> {
+        let params = Json::parse(&self.params).expect("params round-trip");
+        let doc = Json::obj(vec![
+            ("format", Json::count(CHECKPOINT_FORMAT)),
+            ("fingerprint", Json::str(self.fingerprint.clone())),
+            ("params", params),
+            ("quarantine", quarantine.to_json()),
+        ]);
+        write_atomic(&self.quarantine_path(), doc.to_string_compact().as_bytes())
+    }
+
+    /// Loads the persisted quarantine; absent, unreadable, or mismatched
+    /// files yield an empty quarantine (same soft-fail contract as
+    /// [`CampaignStore::load_stage`], with the same corruption warning).
+    pub fn load_quarantine(&self) -> Quarantine {
+        let Ok(text) = fs::read_to_string(self.quarantine_path()) else {
+            return Quarantine::new();
+        };
+        let doc = match Json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!(
+                    "warning: campaign quarantine.json is corrupted ({e}); starting with an empty quarantine"
+                );
+                return Quarantine::new();
+            }
+        };
+        let valid = doc.get("format").and_then(Json::as_u64) == Some(CHECKPOINT_FORMAT)
+            && doc.get("fingerprint").and_then(Json::as_str) == Some(self.fingerprint.as_str())
+            && doc
+                .get("params")
+                .map(|p| p.to_string_compact() == self.params)
+                .unwrap_or(false);
+        if !valid {
+            return Quarantine::new();
+        }
+        doc.get("quarantine")
+            .and_then(|q| Quarantine::from_json(q).ok())
+            .unwrap_or_default()
+    }
+
+    /// Removes all stage files and the quarantine (a fresh non-resume run
+    /// must not leave a previous campaign's checkpoints behind for a
+    /// later `--resume`).
     pub fn clear(&self) -> io::Result<()> {
-        for stage in [STAGE_SUITE, STAGE_GRAPH] {
-            match fs::remove_file(self.stage_path(stage)) {
+        for path in [
+            self.stage_path(STAGE_SUITE),
+            self.stage_path(STAGE_GRAPH),
+            self.quarantine_path(),
+        ] {
+            match fs::remove_file(&path) {
                 Ok(()) => {}
                 Err(e) if e.kind() == io::ErrorKind::NotFound => {}
                 Err(e) => return Err(e),
@@ -471,6 +538,9 @@ pub struct CampaignRun {
     pub graph: BipartiteGraph,
     /// Stage names answered from a checkpoint instead of recomputed.
     pub resumed: Vec<&'static str>,
+    /// The checkpoint store, when one is attached — the caller uses it to
+    /// persist the final quarantine after the execute stage.
+    pub store: Option<CampaignStore>,
 }
 
 /// Runs the generation and graph stages of an audit campaign with
@@ -495,6 +565,34 @@ pub fn run_checkpointed_campaign(
     cache_dir: Option<&Path>,
     resume: bool,
     stop_after: Option<&str>,
+) -> Result<Option<CampaignRun>> {
+    campaign_impl(fw, params, cache_dir, resume, stop_after, None)
+}
+
+/// Supervised variant of [`run_checkpointed_campaign`]: the generation
+/// and graph stages run under the panic sandbox, absorbed failures land
+/// in `quarantine` (which is persisted in the checkpoint dir at every
+/// stage boundary and merged back on `--resume`, so a resumed campaign
+/// skips known-poisoned inputs instead of re-crashing on them), and
+/// quarantined targets shrink the suite instead of aborting the run.
+pub fn run_checkpointed_campaign_supervised(
+    fw: &Framework,
+    params: &CampaignParams,
+    cache_dir: Option<&Path>,
+    resume: bool,
+    stop_after: Option<&str>,
+    quarantine: &mut Quarantine,
+) -> Result<Option<CampaignRun>> {
+    campaign_impl(fw, params, cache_dir, resume, stop_after, Some(quarantine))
+}
+
+fn campaign_impl(
+    fw: &Framework,
+    params: &CampaignParams,
+    cache_dir: Option<&Path>,
+    resume: bool,
+    stop_after: Option<&str>,
+    mut supervised: Option<&mut Quarantine>,
 ) -> Result<Option<CampaignRun>> {
     let fingerprint = fw.campaign_fingerprint();
     let cstore = match cache_dir {
@@ -523,6 +621,11 @@ pub fn run_checkpointed_campaign(
     if let (Some(cs), false) = (&cstore, resume) {
         cs.clear()
             .map_err(|e| io_err("clearing stale checkpoints", e))?;
+    }
+    // A supervised resume inherits the persisted quarantine: inputs that
+    // crashed the previous run are skipped, not retried.
+    if let (Some(cs), true, Some(q)) = (&cstore, resume, supervised.as_deref_mut()) {
+        q.merge(cs.load_quarantine());
     }
     let counted_through = graph_ck
         .as_ref()
@@ -559,13 +662,24 @@ pub fn run_checkpointed_campaign(
             if let Some(s) = &store {
                 s.set_boundary(BOUNDARY_SUITE);
             }
-            let suite = generate_suite(
-                fw,
-                singleton_targets(fw, params.rules),
-                params.k,
-                Strategy::Pattern,
-                &params.gen_config(),
-            )?;
+            let targets = singleton_targets(fw, params.rules);
+            let suite = match supervised.as_deref_mut() {
+                Some(q) => generate_suite_supervised(
+                    fw,
+                    targets,
+                    params.k,
+                    Strategy::Pattern,
+                    &params.gen_config(),
+                    q,
+                )?,
+                None => generate_suite(
+                    fw,
+                    targets,
+                    params.k,
+                    Strategy::Pattern,
+                    &params.gen_config(),
+                )?,
+            };
             checkpoint(
                 fw,
                 &cstore,
@@ -573,6 +687,7 @@ pub fn run_checkpointed_campaign(
                 BOUNDARY_SUITE,
                 suite_to_json(&suite),
             )?;
+            save_quarantine(&cstore, supervised.as_deref())?;
             suite
         }
     };
@@ -580,22 +695,50 @@ pub fn run_checkpointed_campaign(
         return Ok(None);
     }
 
-    // Stage 2: bipartite graph.
-    let graph = match &graph_ck {
-        Some((_, payload, _)) => graph_from_json(payload)?,
+    // Stage 2: bipartite graph. A supervised graph stage may shrink the
+    // suite (quarantined targets drop with their queries), so its
+    // checkpoint payload carries the shrunk suite alongside the graph —
+    // the two must stay consistent on resume.
+    let (suite, graph) = match &graph_ck {
+        Some((_, payload, _)) => match payload.get("graph") {
+            Some(g) => (
+                suite_from_json(payload.get("suite").ok_or_else(|| malformed("suite"))?)?,
+                graph_from_json(g)?,
+            ),
+            None => (suite, graph_from_json(payload)?),
+        },
         None => {
             if let Some(s) = &store {
                 s.set_boundary(BOUNDARY_GRAPH);
             }
-            let graph = build_graph(fw, &suite)?;
-            checkpoint(
-                fw,
-                &cstore,
-                STAGE_GRAPH,
-                BOUNDARY_GRAPH,
-                graph_to_json(&graph),
-            )?;
-            graph
+            match supervised.as_deref_mut() {
+                Some(q) => {
+                    let (suite, graph) = build_graph_supervised(fw, &suite, q)?;
+                    checkpoint(
+                        fw,
+                        &cstore,
+                        STAGE_GRAPH,
+                        BOUNDARY_GRAPH,
+                        Json::obj(vec![
+                            ("suite", suite_to_json(&suite)),
+                            ("graph", graph_to_json(&graph)),
+                        ]),
+                    )?;
+                    save_quarantine(&cstore, supervised.as_deref())?;
+                    (suite, graph)
+                }
+                None => {
+                    let graph = build_graph(fw, &suite)?;
+                    checkpoint(
+                        fw,
+                        &cstore,
+                        STAGE_GRAPH,
+                        BOUNDARY_GRAPH,
+                        graph_to_json(&graph),
+                    )?;
+                    (suite, graph)
+                }
+            }
         }
     };
     if stop_after == Some(STAGE_GRAPH) {
@@ -610,7 +753,17 @@ pub fn run_checkpointed_campaign(
         suite,
         graph,
         resumed,
+        store: cstore,
     }))
+}
+
+/// Persists the quarantine at a stage boundary (supervised runs only).
+fn save_quarantine(cstore: &Option<CampaignStore>, quarantine: Option<&Quarantine>) -> Result<()> {
+    if let (Some(cs), Some(q)) = (cstore, quarantine) {
+        cs.save_quarantine(q)
+            .map_err(|e| io_err("writing quarantine", e))?;
+    }
+    Ok(())
 }
 
 /// One stage boundary: persist the invocation cache (inside the persist

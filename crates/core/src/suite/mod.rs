@@ -160,7 +160,7 @@ pub fn generate_suite(
 /// Finds `k` distinct untruncated queries for one target — the unit of
 /// work the suite builders fan out over. `ti` feeds both the seed stream
 /// and the `generated_for` tags of the returned queries.
-fn queries_for_target(
+pub(crate) fn queries_for_target(
     fw: &Framework,
     target: RuleTarget,
     ti: usize,

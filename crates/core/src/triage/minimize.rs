@@ -220,14 +220,14 @@ fn rebuild_at_scale(
 
 /// A candidate is worth optimizing only if it is schema-valid and renders
 /// back to SQL (the surviving witness must round-trip through a bundle).
-fn is_valid(fw: &Framework, cand: &LogicalTree) -> bool {
+pub(crate) fn is_valid(fw: &Framework, cand: &LogicalTree) -> bool {
     derive_schema(&fw.db.catalog, cand).is_ok() && to_sql(&fw.db.catalog, cand).is_ok()
 }
 
 /// The shrink lattice below `tree`, biggest wins first: operator drops in
 /// pre-order (dropping near the root removes the most), then conjunct
 /// shrinks.
-fn candidates(tree: &LogicalTree) -> Vec<LogicalTree> {
+pub(crate) fn candidates(tree: &LogicalTree) -> Vec<LogicalTree> {
     let mut out = Vec::new();
     let paths = tree.paths();
     for path in &paths {

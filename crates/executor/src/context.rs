@@ -13,15 +13,25 @@ use std::collections::HashMap;
 pub struct ExecConfig {
     /// Cap on total work units (rows produced + join pairs examined).
     pub work_budget: u64,
+    /// Cooperative wall-clock deadline, checked at batch boundaries
+    /// (every [`BATCH_UNITS`] work units). Unarmed by default.
+    pub deadline: ruletest_common::Deadline,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
         Self {
             work_budget: 20_000_000,
+            deadline: ruletest_common::Deadline::none(),
         }
     }
 }
+
+/// Work units between cooperative deadline checks and chaos probes. Large
+/// enough that the hot charge path stays a couple of integer ops, small
+/// enough that a stuck operator is abandoned within milliseconds of the
+/// deadline passing.
+pub const BATCH_UNITS: u64 = 1024;
 
 /// An executed result: rows positionally aligned with the plan's schema.
 pub type ResultSet = Vec<Row>;
@@ -29,15 +39,27 @@ pub type ResultSet = Vec<Row>;
 pub(crate) struct Ctx<'a> {
     pub db: &'a Database,
     pub remaining: u64,
+    pub deadline: ruletest_common::Deadline,
+    /// Work units charged since the last batch-boundary check.
+    since_check: u64,
 }
 
 impl Ctx<'_> {
-    /// Charges `n` work units, failing when the budget runs out.
+    /// Charges `n` work units, failing when the budget runs out. Every
+    /// [`BATCH_UNITS`] charged units this also probes the `exec.batch`
+    /// chaos site and checks the cooperative deadline, so a pathological
+    /// plan is abandoned with [`Error::Timeout`] instead of hanging.
     pub fn charge(&mut self, n: u64) -> Result<()> {
         if self.remaining < n {
             return Err(Error::budget("execution work budget exceeded"));
         }
         self.remaining -= n;
+        self.since_check += n;
+        if self.since_check >= BATCH_UNITS {
+            self.since_check = 0;
+            ruletest_common::chaos::point("exec.batch")?;
+            self.deadline.check("executor batch")?;
+        }
         Ok(())
     }
 }
@@ -84,6 +106,11 @@ pub fn execute_with(db: &Database, plan: &PhysicalPlan, config: &ExecConfig) -> 
     let mut ctx = Ctx {
         db,
         remaining: config.work_budget,
+        // Re-arm per execution: a deadline parsed from the CLI at
+        // process start becomes a budget for *this* run, not a fuse
+        // that burned down during earlier campaign stages.
+        deadline: config.deadline.rearm(),
+        since_check: 0,
     };
     let rows = exec_node(&mut ctx, plan)?;
     debug_assert!(
@@ -240,8 +267,53 @@ mod tests {
     fn budget_exhaustion_is_a_clean_error() {
         let db = tiny_db();
         let plan = scan_t0();
-        let err = execute_with(&db, &plan, &ExecConfig { work_budget: 1 });
+        let err = execute_with(
+            &db,
+            &plan,
+            &ExecConfig {
+                work_budget: 1,
+                ..Default::default()
+            },
+        );
         assert!(matches!(err, Err(Error::Budget(_))));
+    }
+
+    #[test]
+    fn expired_deadline_abandons_execution_at_a_batch_boundary() {
+        let db = tiny_db();
+        let deadline = ruletest_common::Deadline::after_ms(1);
+        while !deadline.expired() {
+            std::thread::yield_now();
+        }
+        let mut ctx = Ctx {
+            db: &db,
+            remaining: u64::MAX,
+            deadline,
+            since_check: 0,
+        };
+        // Under a full batch no check fires; crossing the boundary does.
+        assert!(ctx.charge(BATCH_UNITS - 1).is_ok());
+        let err = ctx.charge(BATCH_UNITS);
+        assert!(matches!(err, Err(Error::Timeout(_))), "got {err:?}");
+    }
+
+    #[test]
+    fn chaos_stall_at_the_exec_batch_site_is_a_timeout_error() {
+        let db = tiny_db();
+        let plan = ruletest_common::chaos::ChaosPlan::parse("exec.batch:stall@1").unwrap();
+        ruletest_common::chaos::install(plan);
+        let mut ctx = Ctx {
+            db: &db,
+            remaining: u64::MAX,
+            deadline: ruletest_common::Deadline::none(),
+            since_check: 0,
+        };
+        let err = ctx.charge(BATCH_UNITS);
+        ruletest_common::chaos::clear();
+        match err {
+            Err(Error::Timeout(m)) => assert!(m.contains("chaos"), "unexpected message: {m}"),
+            other => panic!("expected injected stall, got {other:?}"),
+        }
     }
 
     #[test]

@@ -349,7 +349,14 @@ mod tests {
         let db = tiny_db();
         let mut ids = IdGen::new();
         let t = get(&db, "t0", &mut ids);
-        let err = reference_eval(&db, &t, &ExecConfig { work_budget: 1 });
+        let err = reference_eval(
+            &db,
+            &t,
+            &ExecConfig {
+                work_budget: 1,
+                ..Default::default()
+            },
+        );
         assert!(matches!(err, Err(Error::Budget(_))));
     }
 }

@@ -842,14 +842,12 @@ fn recognize_semi(catalog: &Catalog, used: BTreeSet<ColId>, child: Nf) -> Nf {
                         Some(c),
                     ) => {
                         let non_nullable = match right.as_ref() {
-                            Nf::Leaf { table, cols } => {
-                                catalog.table(*table).is_ok_and(|def| {
-                                    cols.iter()
-                                        .position(|&cc| cc == c)
-                                        .and_then(|ord| def.columns.get(ord))
-                                        .is_some_and(|cd| !cd.nullable)
-                                })
-                            }
+                            Nf::Leaf { table, cols } => catalog.table(*table).is_ok_and(|def| {
+                                cols.iter()
+                                    .position(|&cc| cc == c)
+                                    .and_then(|ord| def.columns.get(ord))
+                                    .is_some_and(|cd| !cd.nullable)
+                            }),
                             _ => false,
                         };
                         let probe: BTreeSet<ColId> = [c].into_iter().collect();

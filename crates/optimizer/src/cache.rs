@@ -38,6 +38,11 @@ pub struct CacheKey {
     disabled: Vec<RuleId>,
     max_exprs: usize,
     max_passes: usize,
+    /// Hard memo-growth cap, part of the key because it changes whether
+    /// an invocation succeeds at all. The wall-clock `deadline` is
+    /// deliberately *excluded*: timed-out computes are errors and never
+    /// cached, and a cached result is valid under any deadline.
+    hard_max_exprs: Option<usize>,
 }
 
 impl CacheKey {
@@ -47,6 +52,7 @@ impl CacheKey {
             disabled: config.mask.disabled_rules(),
             max_exprs: config.max_exprs,
             max_passes: config.max_passes,
+            hard_max_exprs: config.hard_max_exprs,
         }
     }
 
@@ -66,6 +72,10 @@ impl CacheKey {
 
     pub fn max_passes(&self) -> usize {
         self.max_passes
+    }
+
+    pub fn hard_max_exprs(&self) -> Option<usize> {
+        self.hard_max_exprs
     }
 
     pub fn fingerprint(&self) -> u64 {
@@ -254,6 +264,29 @@ mod tests {
             },
         );
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deadline_is_not_part_of_the_key_but_hard_cap_is() {
+        let tree = leaf(0);
+        let a = CacheKey::new(&tree, &OptimizerConfig::default());
+        let timed = CacheKey::new(
+            &tree,
+            &OptimizerConfig {
+                deadline: ruletest_common::Deadline::after_ms(5),
+                ..Default::default()
+            },
+        );
+        // Wall-clock state never addresses cached results.
+        assert_eq!(a, timed);
+        let capped = CacheKey::new(
+            &tree,
+            &OptimizerConfig {
+                hard_max_exprs: Some(100),
+                ..Default::default()
+            },
+        );
+        assert_ne!(a, capped);
     }
 
     #[test]

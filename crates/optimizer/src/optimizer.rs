@@ -37,6 +37,17 @@ pub struct OptimizerConfig {
     pub max_exprs: usize,
     /// Safety cap on exploration passes.
     pub max_passes: usize,
+    /// Hard memo-growth cap: exceeding it *fails* the invocation with
+    /// `Error::Budget` instead of truncating. `None` (the default) keeps
+    /// the graceful truncation behavior. The supervision layer uses this
+    /// to turn a rule that floods the memo into a quarantinable
+    /// `Failure::BudgetExhausted` rather than a silently weaker search.
+    pub hard_max_exprs: Option<usize>,
+    /// Cooperative wall-clock deadline, checked at pass and
+    /// task-expansion boundaries. Unarmed by default. Deliberately **not**
+    /// part of [`CacheKey`]: wall-clock state must never address cached
+    /// results (a timed-out compute is an error and is never cached).
+    pub deadline: ruletest_common::Deadline,
 }
 
 impl Default for OptimizerConfig {
@@ -49,6 +60,8 @@ impl Default for OptimizerConfig {
             // their search too).
             max_exprs: 3_000,
             max_passes: 64,
+            hard_max_exprs: None,
+            deadline: ruletest_common::Deadline::none(),
         }
     }
 }
@@ -513,10 +526,14 @@ impl Optimizer {
         let empty: Vec<usize> = Vec::new();
 
         'passes: for _pass in 0..config.max_passes {
+            config.deadline.check("memo exploration pass")?;
             let mut changed = false;
             let mut g = 0usize;
             while g < memo.num_groups() {
                 let gid = GroupId(g as u32);
+                // Task-expansion boundary: a runaway rule is abandoned
+                // within one group's worth of work.
+                config.deadline.check("memo task expansion")?;
                 let mut ei = 0usize;
                 while ei < memo.group(gid).exprs.len() {
                     let kind = memo.group(gid).exprs[ei].op.kind();
@@ -600,6 +617,7 @@ impl Optimizer {
                             }
                             let organic = !rule.mints_fresh_ids && memo.is_organic(gid, ei);
                             for nt in results {
+                                ruletest_common::chaos::point("memo.insert")?;
                                 let (_, fresh) = memo.insert_created_by(
                                     &self.db,
                                     &nt,
@@ -608,6 +626,13 @@ impl Optimizer {
                                     Some(rid),
                                 )?;
                                 changed |= fresh;
+                            }
+                            if let Some(hard) = config.hard_max_exprs {
+                                if memo.num_exprs() > hard {
+                                    return Err(Error::budget(format!(
+                                        "memo grew past the hard cap of {hard} expressions"
+                                    )));
+                                }
                             }
                             if memo.num_exprs() > config.max_exprs {
                                 truncated = true;
@@ -1038,6 +1063,47 @@ mod tests {
         // Implementation rules are traced too.
         let seqscan = opt.rule_id("GetToSeqScan").unwrap();
         assert!(res.rule_set.contains(&seqscan));
+    }
+
+    #[test]
+    fn expired_deadline_abandons_the_search_with_a_timeout() {
+        let opt = optimizer();
+        let tree = simple_join(&opt);
+        // A 1ms deadline that has certainly passed by the time the memo
+        // loop reaches its first cooperative check.
+        let deadline = ruletest_common::Deadline::after_ms(1);
+        while !deadline.expired() {
+            std::hint::spin_loop();
+        }
+        let err = opt
+            .optimize_with(
+                &tree,
+                &OptimizerConfig {
+                    deadline,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Timeout(_)), "{err}");
+        // The same tree still optimizes fine without a deadline — the
+        // abandoned invocation left no poisoned state behind.
+        assert!(opt.optimize(&tree).is_ok());
+    }
+
+    #[test]
+    fn hard_memo_cap_fails_with_a_budget_error() {
+        let opt = optimizer();
+        let tree = simple_join(&opt);
+        let err = opt
+            .optimize_with(
+                &tree,
+                &OptimizerConfig {
+                    hard_max_exprs: Some(1),
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::Budget(_)), "{err}");
     }
 
     #[test]

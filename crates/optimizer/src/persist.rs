@@ -861,12 +861,18 @@ pub fn result_from_json(j: &Json) -> Result<OptimizeResult, String> {
 }
 
 pub fn key_to_json(key: &CacheKey) -> Json {
-    Json::obj(vec![
+    let mut fields = vec![
         ("tree", tree_to_json(key.tree())),
         ("disabled", rule_ids_to_json(key.disabled().iter().copied())),
         ("max_exprs", Json::count(key.max_exprs() as u64)),
         ("max_passes", Json::count(key.max_passes() as u64)),
-    ])
+    ];
+    // Omitted when unset so default-config keys keep the exact canonical
+    // bytes older snapshots were addressed by.
+    if let Some(hard) = key.hard_max_exprs() {
+        fields.push(("hard_max_exprs", Json::count(hard as u64)));
+    }
+    Json::obj(fields)
 }
 
 /// Canonical byte form of a cache key: compact JSON with sorted object
@@ -996,16 +1002,37 @@ impl SnapshotStore {
         if !self.has_snapshot {
             return map;
         }
-        let Ok(text) = fs::read_to_string(self.shard_path(idx)) else {
+        // Chaos site: an injected cache-I/O fault degrades this shard to
+        // a cold start — exactly the graceful path a real read error takes.
+        if let Err(e) = ruletest_common::chaos::point("cache.load") {
+            eprintln!("warning: cache shard {idx} load failed ({e}); starting cold");
             return map;
+        }
+        let text = match fs::read_to_string(self.shard_path(idx)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return map,
+            Err(e) => {
+                eprintln!("warning: cache shard {idx} unreadable ({e}); starting cold");
+                return map;
+            }
         };
+        let mut corrupted = 0usize;
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
-            // A malformed line (partial write from a pre-atomic-rename
-            // era, manual edit) only loses that entry's warmth.
+            // A malformed line (truncated write from a pre-atomic-rename
+            // era, disk corruption, manual edit) only loses that entry's
+            // warmth; intact lines in the same shard stay usable.
             let Some((key_str, entry)) = parse_entry_line(line) else {
+                corrupted += 1;
                 continue;
             };
             map.insert(key_str, entry);
+        }
+        if corrupted > 0 {
+            eprintln!(
+                "warning: cache shard {idx}: skipped {corrupted} corrupted entr{} (kept {})",
+                if corrupted == 1 { "y" } else { "ies" },
+                map.len()
+            );
         }
         map
     }
@@ -1062,6 +1089,13 @@ impl SnapshotStore {
     /// fresh ones, sorted by key) via atomic renames. Returns the number
     /// of entries persisted.
     pub fn save(&self) -> std::io::Result<u64> {
+        // Chaos site: an injected fault skips the save — the previous
+        // snapshot stays intact (same guarantee a failed atomic rename
+        // gives), the process just loses this round of warmth.
+        if let Err(e) = ruletest_common::chaos::point("cache.save") {
+            eprintln!("warning: cache snapshot save skipped ({e})");
+            return Ok(0);
+        }
         let mut persisted = 0u64;
         for idx in 0..DISK_SHARDS {
             let guard = self.locked_shard(idx);
@@ -1371,6 +1405,72 @@ mod tests {
         let cold = SnapshotStore::open(&dir, 9, None).unwrap();
         assert!(!cold.peek_warm(&key).unwrap().counted_in_base);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_shard_degrades_to_the_intact_entries() {
+        let dir = temp_dir("truncate");
+        let keys: Vec<CacheKey> = (0..8)
+            .map(|i| CacheKey::new(&leaf(i), &OptimizerConfig::default()))
+            .collect();
+        {
+            let store = SnapshotStore::open(&dir, 5, None).unwrap();
+            for k in &keys {
+                store.record_fresh(k, &dummy_result(3.0), None);
+            }
+            store.save().unwrap();
+        }
+        // Chop the tail off every non-empty shard, mid-record: the last
+        // line becomes unparseable garbage, earlier lines stay intact.
+        let mut chopped = 0usize;
+        for i in 0..DISK_SHARDS {
+            let path = dir.join("cache").join(format!("shard-{i}.jsonl"));
+            let text = fs::read_to_string(&path).unwrap();
+            if text.len() < 40 {
+                continue;
+            }
+            fs::write(&path, &text[..text.len() - 30]).unwrap();
+            chopped += 1;
+        }
+        assert!(chopped > 0, "no shard was large enough to truncate");
+        // Reopen: no panic, no error — every entry on an intact line is
+        // still warm, only the torn records lost their warmth.
+        let store = SnapshotStore::open(&dir, 5, None).unwrap();
+        assert!(!store.rejected());
+        let warm = keys.iter().filter(|k| store.peek_warm(k).is_some()).count();
+        assert!(warm < keys.len(), "truncation must cost some warmth");
+        // A fresh save repairs the snapshot.
+        for k in &keys {
+            store.record_fresh(k, &dummy_result(3.0), None);
+        }
+        store.save().unwrap();
+        let repaired = SnapshotStore::open(&dir, 5, None).unwrap();
+        assert_eq!(
+            keys.iter()
+                .filter(|k| repaired.peek_warm(k).is_some())
+                .count(),
+            keys.len()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hard_cap_extends_the_canonical_key_without_perturbing_defaults() {
+        let tree = leaf(2);
+        let plain = canonical_key(&CacheKey::new(&tree, &OptimizerConfig::default()));
+        assert!(
+            !plain.contains("hard_max_exprs"),
+            "default keys must keep their historical byte form: {plain}"
+        );
+        let capped = canonical_key(&CacheKey::new(
+            &tree,
+            &OptimizerConfig {
+                hard_max_exprs: Some(500),
+                ..Default::default()
+            },
+        ));
+        assert!(capped.contains("\"hard_max_exprs\":500"), "{capped}");
+        assert_ne!(plain, capped);
     }
 
     #[test]

@@ -218,6 +218,25 @@ pub fn diff_reports(base: &RunReport, cur: &RunReport, threshold_pct: u32) -> Di
             .filter(|(k, _)| !environmental_counter(k))
             .map(|(k, &v)| (k.clone(), v)),
     );
+    // Crash counters are environmental (so excluded above), but they are
+    // not *noise*: a candidate run absorbing more panics/timeouts/budget
+    // blowups than its baseline is a robustness regression. Any increase
+    // fails the gate; a decrease is an informational improvement.
+    for c in Counter::ALL.iter().filter(|c| c.crash_counter()) {
+        let (b, v) = (base.counter(*c), cur.counter(*c));
+        let field = format!("counters.{}", c.name());
+        if v > b {
+            out.regressions.push(DiffItem::new(
+                field,
+                b,
+                v,
+                "crash counter increased — new supervised failures",
+            ));
+        } else if v < b {
+            out.notes
+                .push(DiffItem::new(field, b, v, "crash counter decreased"));
+        }
+    }
     diff_exact_maps(
         &mut out,
         "rule_firings",
@@ -517,6 +536,36 @@ mod tests {
         let d = diff_reports(&base, &cur, 10);
         assert!(d.regressed());
         assert!(d.regressions[0].field.contains("wall_seconds"));
+    }
+
+    #[test]
+    fn crash_counter_increase_fails_the_gate_but_decrease_is_a_note() {
+        let base = report();
+        let mut cur = report();
+        cur.counters
+            .insert(Counter::SupervisePanics.name().to_string(), 2);
+        let d = diff_reports(&base, &cur, 10);
+        assert!(d.regressed(), "{}", d.render_text());
+        assert!(d.regressions[0].field.contains("supervise.panics"));
+        assert!(d.regressions[0].detail.contains("crash counter"));
+        // Direction matters: fewer crashes than baseline is an improvement.
+        let mut noisy_base = report();
+        noisy_base
+            .counters
+            .insert(Counter::SuperviseTimeouts.name().to_string(), 3);
+        let d = diff_reports(&noisy_base, &report(), 10);
+        assert!(!d.regressed(), "{}", d.render_text());
+        assert!(d
+            .notes
+            .iter()
+            .any(|n| n.field.contains("supervise.timeouts")));
+        // Chaos injections are environmental but not crash-gated: a chaos
+        // run diffed against a clean baseline only fails on real fallout.
+        let mut chaotic = report();
+        chaotic
+            .counters
+            .insert(Counter::ChaosInjected.name().to_string(), 50);
+        assert!(!diff_reports(&base, &chaotic, 10).regressed());
     }
 
     #[test]

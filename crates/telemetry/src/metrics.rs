@@ -83,10 +83,28 @@ pub enum Counter {
     /// Rules outside the prover's decidable fragment (fall back to the
     /// concrete-corpus auditor).
     ProveUnknown,
+    /// Optimizer/executor invocations that escaped a panic into the
+    /// supervisor sandbox. Environmental: panics can come from injected
+    /// chaos or wall-clock-dependent state, so crash counters stay out of
+    /// the deterministic fingerprint — `ruletest diff` instead treats any
+    /// increase as a hard regression.
+    SupervisePanics,
+    /// Invocations abandoned at a cooperative deadline check.
+    /// Environmental (wall clock).
+    SuperviseTimeouts,
+    /// Invocations abandoned by a hard memo/work budget under supervision.
+    /// Environmental (depends on supervision flags and chaos pressure).
+    SuperviseBudget,
+    /// Inputs quarantined after a supervised failure (skipped on resume).
+    /// Environmental.
+    SuperviseQuarantined,
+    /// Faults injected by the chaos engine. Environmental: zero unless a
+    /// chaos plan is installed.
+    ChaosInjected,
 }
 
 impl Counter {
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 33;
 
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::OptInvocations,
@@ -117,6 +135,11 @@ impl Counter {
         Counter::ProveEquivalent,
         Counter::ProveInequivalent,
         Counter::ProveUnknown,
+        Counter::SupervisePanics,
+        Counter::SuperviseTimeouts,
+        Counter::SuperviseBudget,
+        Counter::SuperviseQuarantined,
+        Counter::ChaosInjected,
     ];
 
     /// Stable dotted name used in reports and traces.
@@ -150,7 +173,26 @@ impl Counter {
             Counter::ProveEquivalent => "prove.equivalent",
             Counter::ProveInequivalent => "prove.inequivalent",
             Counter::ProveUnknown => "prove.unknown",
+            Counter::SupervisePanics => "supervise.panics",
+            Counter::SuperviseTimeouts => "supervise.timeouts",
+            Counter::SuperviseBudget => "supervise.budget",
+            Counter::SuperviseQuarantined => "supervise.quarantined",
+            Counter::ChaosInjected => "chaos.injected",
         }
+    }
+
+    /// Supervision crash counters: any *increase* in one of these between
+    /// a baseline and a candidate run is a regression in `ruletest diff`,
+    /// even though (being environmental) they are excluded from the
+    /// deterministic fingerprint.
+    pub fn crash_counter(self) -> bool {
+        matches!(
+            self,
+            Counter::SupervisePanics
+                | Counter::SuperviseTimeouts
+                | Counter::SuperviseBudget
+                | Counter::SuperviseQuarantined
+        )
     }
 
     /// Whether the count is a pure function of seed + inputs. The cache
@@ -160,7 +202,14 @@ impl Counter {
     pub fn deterministic(self) -> bool {
         !matches!(
             self,
-            Counter::CachePersisted | Counter::CacheWarmHits | Counter::CacheFingerprintRejected
+            Counter::CachePersisted
+                | Counter::CacheWarmHits
+                | Counter::CacheFingerprintRejected
+                | Counter::SupervisePanics
+                | Counter::SuperviseTimeouts
+                | Counter::SuperviseBudget
+                | Counter::SuperviseQuarantined
+                | Counter::ChaosInjected
         )
     }
 }

@@ -469,6 +469,21 @@ impl RunReport {
             self.counter(Counter::SkippedExpensive),
             self.counter(Counter::CorrectnessBugs)
         );
+        let supervised = self.counter(Counter::SupervisePanics)
+            + self.counter(Counter::SuperviseTimeouts)
+            + self.counter(Counter::SuperviseBudget);
+        if supervised > 0 || self.counter(Counter::ChaosInjected) > 0 {
+            let _ = writeln!(
+                out,
+                "  supervision          {:>10} failures absorbed: {} panics, {} timeouts, {} budget ({} quarantined, {} chaos-injected)",
+                supervised,
+                self.counter(Counter::SupervisePanics),
+                self.counter(Counter::SuperviseTimeouts),
+                self.counter(Counter::SuperviseBudget),
+                self.counter(Counter::SuperviseQuarantined),
+                self.counter(Counter::ChaosInjected)
+            );
+        }
         let proved = self.counter(Counter::ProveEquivalent)
             + self.counter(Counter::ProveInequivalent)
             + self.counter(Counter::ProveUnknown);

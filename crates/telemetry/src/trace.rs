@@ -87,6 +87,17 @@ pub enum Event {
     },
     /// The debug-mode substitute auditor flagged a rule firing.
     LintViolation { rule: u16 },
+    /// The supervisor sandbox absorbed a failed invocation. `kind` is the
+    /// failure taxonomy name ("panic" / "timeout" / "budget"); `site` says
+    /// where it escaped; `fingerprint` is the quarantined input's stable
+    /// fingerprint.
+    Supervised {
+        kind: &'static str,
+        site: String,
+        fingerprint: u64,
+    },
+    /// The chaos engine fired an injected fault at an instrumented site.
+    ChaosInjection { site: String, kind: &'static str },
 }
 
 impl Event {
@@ -99,6 +110,8 @@ impl Event {
             Event::GraphProbe { .. } => "graph_probe",
             Event::Validation { .. } => "validation",
             Event::LintViolation { .. } => "lint_violation",
+            Event::Supervised { .. } => "supervised",
+            Event::ChaosInjection { .. } => "chaos_injection",
         }
     }
 
@@ -164,6 +177,19 @@ impl Event {
                 ("outcome", Json::str(*outcome)),
             ],
             Event::LintViolation { rule } => vec![("rule", Json::count(*rule as u64))],
+            Event::Supervised {
+                kind,
+                site,
+                fingerprint,
+            } => vec![
+                ("kind", Json::str(*kind)),
+                ("site", Json::str(site.clone())),
+                ("fingerprint", Json::str(format!("{fingerprint:016x}"))),
+            ],
+            Event::ChaosInjection { site, kind } => vec![
+                ("site", Json::str(site.clone())),
+                ("kind", Json::str(*kind)),
+            ],
         }
     }
 

@@ -23,7 +23,15 @@
 //!
 //! common options: --seed N   --pad N   --random   --trials N   --threads N   --scale N
 //! telemetry:      --metrics-json PATH   --trace-out PATH   --profile-folded PATH
+//! robustness:     --no-supervise   --deadline-ms N   --chaos-seed N   --chaos-plan SPEC
 //! ```
+//!
+//! `audit` runs supervised by default: every optimizer invocation and
+//! executor run is sandboxed, failures land in a crash quarantine
+//! (persisted alongside `--cache-dir` checkpoints, skipped on
+//! `--resume`), and quarantined inputs with SQL witnesses are minimized
+//! into crash repro bundles. `--chaos-seed` / `--chaos-plan` install a
+//! deterministic fault-injection plan to exercise exactly that path.
 
 use ruletest::cli::{self, Opts};
 use ruletest::core::compress::{baseline, smc, topk, Instance};
@@ -54,6 +62,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Chaos plans are process-global and must be in place before any
+    // instrumented subsystem runs. `--chaos-plan` (explicit schedule)
+    // wins over `--chaos-seed` (derived schedule).
+    if let Err(e) = install_chaos_plan(&opts) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     if cmd == "report" {
         // Pure file analysis: no framework (or test database) needed.
         return match run_report_cmd(&opts) {
@@ -279,6 +294,20 @@ fn main() -> ExitCode {
     }
 }
 
+/// Installs the `--chaos-plan` / `--chaos-seed` fault schedule, logging
+/// the effective plan in replayable spec syntax.
+fn install_chaos_plan(opts: &Opts) -> Result<(), String> {
+    use ruletest::common::chaos;
+    let plan = match (&opts.chaos_plan, opts.chaos_seed) {
+        (Some(spec), _) => chaos::ChaosPlan::parse(spec).map_err(|e| e.to_string())?,
+        (None, Some(seed)) => chaos::ChaosPlan::seeded(seed),
+        (None, None) => return Ok(()),
+    };
+    eprintln!("chaos: installed plan {}", plan.to_spec());
+    chaos::install(plan);
+    Ok(())
+}
+
 /// Writes the `--metrics-json` run report and the `--trace-out` JSONL
 /// trace, when requested.
 fn write_telemetry_outputs(fw: &Framework, opts: &Opts, started: Instant) -> Result<(), String> {
@@ -409,9 +438,17 @@ fn run_impact(fw: &Framework, opts: &Opts) -> Result<(), String> {
 }
 
 fn run_audit(fw: &Framework, opts: &Opts) -> Result<(), String> {
+    use ruletest::common::chaos;
+    use ruletest::core::{
+        crash_bundles, execute_solution_supervised, quarantine_summary,
+        run_checkpointed_campaign_supervised, Quarantine,
+    };
+    let supervised = !opts.no_supervise;
     println!(
-        "auditing {} rules with k={} queries each...",
-        opts.rules, opts.k
+        "auditing {} rules with k={} queries each{}...",
+        opts.rules,
+        opts.k,
+        if supervised { " (supervised)" } else { "" }
     );
     // The audit pipeline's generation parameters: `pad_ops: 2` pads each
     // pattern query a little so plans are non-trivial. They feed the
@@ -432,9 +469,21 @@ fn run_audit(fw: &Framework, opts: &Opts) -> Result<(), String> {
             if opts.resume { " (resume)" } else { "" }
         );
     }
-    let run = run_checkpointed_campaign(fw, &params, cache_dir, opts.resume, None)
-        .map_err(|e| e.to_string())?
-        .expect("campaign ran without a stop hook");
+    let mut quarantine = Quarantine::new();
+    let run = if supervised {
+        run_checkpointed_campaign_supervised(
+            fw,
+            &params,
+            cache_dir,
+            opts.resume,
+            None,
+            &mut quarantine,
+        )
+    } else {
+        run_checkpointed_campaign(fw, &params, cache_dir, opts.resume, None)
+    }
+    .map_err(|e| e.to_string())?
+    .expect("campaign ran without a stop hook");
     if !run.resumed.is_empty() {
         println!("resumed from checkpoint: {}", run.resumed.join("+"));
     }
@@ -453,8 +502,28 @@ fn run_audit(fw: &Framework, opts: &Opts) -> Result<(), String> {
     println!("  BASELINE {:>12.1}", b.total_cost(&inst));
     println!("  SMC      {:>12.1}", s.total_cost(&inst));
     println!("  TOPK     {:>12.1}", t.total_cost(&inst));
-    let report = execute_solution(fw, suite, &inst, &t, &ExecConfig::default())
-        .map_err(|e| e.to_string())?;
+    // `--deadline-ms` arms a cooperative per-execution deadline in the
+    // executor's batch loops (re-armed per run, so it is not a fuse from
+    // process start).
+    let exec_cfg = ExecConfig {
+        deadline: ruletest::common::Deadline::after_ms(opts.deadline_ms),
+        ..ExecConfig::default()
+    };
+    let report = if supervised {
+        execute_solution_supervised(fw, suite, &inst, &t, &exec_cfg, &mut quarantine)
+    } else {
+        execute_solution(fw, suite, &inst, &t, &exec_cfg)
+    }
+    .map_err(|e| e.to_string())?;
+    // Persist the final quarantine (now including execution-stage
+    // entries) so a later --resume skips every poisoned input.
+    if let Some(store) = &run.store {
+        if supervised {
+            store
+                .save_quarantine(&quarantine)
+                .map_err(|e| format!("saving quarantine: {e}"))?;
+        }
+    }
     // Final cache save (no stage file): later runs with the same
     // cache-dir warm-start from everything this campaign computed.
     let persisted = final_persist(fw).map_err(|e| e.to_string())?;
@@ -462,13 +531,48 @@ fn run_audit(fw: &Framework, opts: &Opts) -> Result<(), String> {
         println!("cache: {persisted} invocation entries persisted");
     }
     println!(
-        "executed TOPK suite: {} validations, {} executions, {} skipped-identical, {} skipped-unsupported, {} bugs",
+        "executed TOPK suite: {} validations, {} executions, {} skipped-identical, {} skipped-unsupported, {} skipped-quarantined, {} bugs",
         report.validations,
         report.executions,
         report.skipped_identical,
         report.skipped_unsupported,
+        report.skipped_quarantined,
         report.bugs.len()
     );
+    if supervised && !quarantine.is_empty() {
+        println!("{}", quarantine_summary(&quarantine));
+        // Minimize crash witnesses into repro bundles: --out wins, a
+        // cache-dir gets them as a campaign artifact, otherwise the
+        // quarantine summary above is the record.
+        let triage_cfg = TriageConfig {
+            exec: exec_cfg.clone(),
+            ..TriageConfig::default()
+        };
+        let bundles = crash_bundles(fw, params.seed, &quarantine, &triage_cfg);
+        let bundle_path = opts
+            .out
+            .clone()
+            .or_else(|| cache_dir.map(|d| d.join("crash_bundles.jsonl").display().to_string()));
+        if let (Some(path), false) = (bundle_path, bundles.is_empty()) {
+            let file = std::fs::File::create(&path).map_err(|e| format!("creating {path}: {e}"))?;
+            let mut w = std::io::BufWriter::new(file);
+            write_bundles(&mut w, &bundles).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("wrote {} crash repro bundle(s) to {path}", bundles.len());
+        }
+    }
+    if chaos::enabled() {
+        let s = chaos::stats();
+        fw.telemetry
+            .add(ruletest::telemetry::Counter::ChaosInjected, s.total());
+        println!(
+            "chaos: {} fault(s) injected ({} panics, {} stalls, {} budgets), {} quarantined",
+            s.total(),
+            s.panics,
+            s.stalls,
+            s.budgets,
+            quarantine.len()
+        );
+    }
     for bug in &report.bugs {
         println!(
             "BUG in {}: {}\n  seed={} scale={} rule_mask=[{}]\n  {}",

@@ -60,6 +60,18 @@ pub struct Opts {
     /// `ruletest lint --prove`: run the symbolic prover alongside the
     /// concrete lint passes.
     pub prove: bool,
+    /// `ruletest audit --no-supervise`: disable the invocation sandbox
+    /// and crash quarantine (supervision is on by default for `audit`).
+    pub no_supervise: bool,
+    /// `ruletest audit --chaos-seed N`: install a seeded chaos-injection
+    /// plan before the campaign runs.
+    pub chaos_seed: Option<u64>,
+    /// `ruletest audit --chaos-plan SPEC`: install an explicit chaos
+    /// plan (`site:kind@every[#times],...`); overrides `--chaos-seed`.
+    pub chaos_plan: Option<String>,
+    /// `ruletest audit --deadline-ms N`: cooperative per-execution
+    /// deadline for executor batch loops (0 = unarmed).
+    pub deadline_ms: u64,
     pub positional: Vec<String>,
 }
 
@@ -89,6 +101,10 @@ impl Default for Opts {
             resume: false,
             rule: None,
             prove: false,
+            no_supervise: false,
+            chaos_seed: None,
+            chaos_plan: None,
+            deadline_ms: 0,
             positional: Vec::new(),
         }
     }
@@ -137,6 +153,10 @@ pub fn parse(args: impl IntoIterator<Item = String>) -> Result<(String, Opts), S
             "--threshold-pct" => opts.threshold_pct = Some(parse_value(&a, &mut args)?),
             "--cache-dir" => opts.cache_dir = Some(value_of(&a, &mut args)?),
             "--rule" => opts.rule = Some(value_of(&a, &mut args)?),
+            "--chaos-seed" => opts.chaos_seed = Some(parse_value(&a, &mut args)?),
+            "--chaos-plan" => opts.chaos_plan = Some(value_of(&a, &mut args)?),
+            "--deadline-ms" => opts.deadline_ms = parse_value(&a, &mut args)?,
+            "--no-supervise" => opts.no_supervise = true,
             "--random" => opts.random = true,
             "--check" => opts.check = true,
             "--list" => opts.list = true,
@@ -362,6 +382,39 @@ mod tests {
         // missing values fail loudly
         assert!(parse(argv(&["prove", "--rule"])).is_err());
         assert!(parse(argv(&["prove", "--rule", "--json"])).is_err());
+    }
+
+    #[test]
+    fn supervision_and_chaos_flags_parse() {
+        let (cmd, opts) = parse(argv(&[
+            "audit",
+            "--chaos-seed",
+            "99",
+            "--deadline-ms",
+            "250",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "audit");
+        assert_eq!(opts.chaos_seed, Some(99));
+        assert_eq!(opts.deadline_ms, 250);
+        assert!(!opts.no_supervise);
+        let (_, opts) = parse(argv(&[
+            "audit",
+            "--chaos-plan",
+            "memo.insert:panic@3#1,exec.batch:stall@5",
+            "--no-supervise",
+        ]))
+        .unwrap();
+        assert_eq!(
+            opts.chaos_plan.as_deref(),
+            Some("memo.insert:panic@3#1,exec.batch:stall@5")
+        );
+        assert!(opts.no_supervise);
+        // missing/unparseable values fail loudly
+        assert!(parse(argv(&["audit", "--chaos-seed"])).is_err());
+        assert!(parse(argv(&["audit", "--chaos-seed", "entropy"])).is_err());
+        assert!(parse(argv(&["audit", "--chaos-plan"])).is_err());
+        assert!(parse(argv(&["audit", "--deadline-ms", "soon"])).is_err());
     }
 
     #[test]

@@ -151,6 +151,63 @@ fn telemetry_mode_switch_invalidates_checkpoints() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Corrupted or truncated checkpoint files degrade to recomputation, not
+/// a crash: garbage in a stage checkpoint, a truncated cache shard, or a
+/// mangled quarantine file each warn and cold-start, and the recomputed
+/// campaign reproduces the clean deterministic slice.
+#[test]
+fn corrupted_checkpoints_recompute_instead_of_crashing() {
+    let dir = temp_dir("corrupt");
+    let (_, clean) = full_campaign(&fw(), Some(&dir), false);
+
+    // Corrupt every persisted artifact class at once: stage checkpoints
+    // (truncated JSON), one cache shard (binary garbage), and the
+    // quarantine file (not JSON at all).
+    let checkpoint = dir.join("checkpoint");
+    std::fs::write(checkpoint.join("stage-suite.json"), "{\"format\":1,\"trunc").unwrap();
+    std::fs::write(checkpoint.join("stage-graph.json"), "\0\0garbage\0").unwrap();
+    std::fs::write(checkpoint.join("quarantine.json"), "not json either").unwrap();
+    let shard = dir.join("cache").join("shard-0.jsonl");
+    if shard.exists() {
+        std::fs::write(&shard, "{\"truncated").unwrap();
+    }
+
+    let resumed_fw = fw();
+    let mut quarantine = ruletest_core::Quarantine::new();
+    let run = ruletest_core::run_checkpointed_campaign_supervised(
+        &resumed_fw,
+        &params(),
+        Some(&dir),
+        true,
+        None,
+        &mut quarantine,
+    )
+    .unwrap()
+    .expect("no stop hook");
+    assert!(
+        run.resumed.is_empty(),
+        "corrupted checkpoints must not resume: {:?}",
+        run.resumed
+    );
+    assert!(
+        quarantine.is_empty(),
+        "a corrupted quarantine file loads as empty, not as an error"
+    );
+    let inst = Instance::from_graph(&run.graph);
+    let sol = topk(&inst).unwrap();
+    execute_solution(&resumed_fw, &run.suite, &inst, &sol, &ExecConfig::default()).unwrap();
+    final_persist(&resumed_fw).unwrap();
+    let report = resumed_fw.run_report();
+    report.check().unwrap();
+    assert_eq!(
+        clean.deterministic_json(),
+        report.deterministic_json(),
+        "recomputation after corruption diverged from the clean run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A snapshot produced under one campaign fingerprint is rejected by a
 /// campaign with another (here: a different database seed) — the second
 /// campaign recomputes everything rather than serve poisoned entries.
